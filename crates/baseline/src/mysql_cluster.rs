@@ -1,0 +1,180 @@
+//! Builder for the traditional topology of Figure 2: primary instance
+//! with an EBS volume + in-AZ mirror in AZ1; optionally a standby instance
+//! with its own EBS pair in AZ2 (the *mirrored* configuration), and binlog
+//! replication replicas.
+
+use aurora_core::engine::InstanceSpec;
+use aurora_sim::{DiskSpec, NodeId, NodeOpts, Probe, Sim, SimDuration, Zone};
+
+use crate::ebs::{EbsMirror, EbsVolume};
+use crate::engine::{MysqlConfig, MysqlEngine, MysqlFlavor};
+use crate::replica::{BinlogReplica, StandbyInstance};
+
+/// What to build.
+#[derive(Debug, Clone)]
+pub struct MysqlClusterConfig {
+    pub seed: u64,
+    pub instance: InstanceSpec,
+    pub flavor: MysqlFlavor,
+    /// Mirrored configuration: standby instance + EBS pair in AZ2.
+    pub mirrored: bool,
+    /// Binlog replication replicas and their single-thread apply cost.
+    pub binlog_replicas: usize,
+    pub replica_apply_cost: SimDuration,
+    pub bootstrap_rows: u64,
+    pub row_size: usize,
+    /// Provisioned IOPS of each EBS volume (paper: 30K).
+    pub ebs_iops: u64,
+    /// Callback knobs applied to the engine config.
+    pub group_commit_limit: Option<usize>,
+    pub checkpoint_every_records: Option<u64>,
+    /// Inject occasional slow EBS IOs: (outlier_ms, probability). Models a
+    /// gray volume — the "poor outlier performance" of §6.2.
+    pub ebs_outlier: Option<(u64, f64)>,
+}
+
+impl Default for MysqlClusterConfig {
+    fn default() -> Self {
+        MysqlClusterConfig {
+            seed: 1,
+            instance: InstanceSpec::r3_8xlarge(),
+            flavor: MysqlFlavor::V57,
+            mirrored: false,
+            binlog_replicas: 0,
+            replica_apply_cost: SimDuration::from_micros(300),
+            bootstrap_rows: 0,
+            row_size: 96,
+            ebs_iops: 30_000,
+            group_commit_limit: None,
+            checkpoint_every_records: None,
+            ebs_outlier: None,
+        }
+    }
+}
+
+/// The built topology.
+pub struct MysqlCluster {
+    pub sim: Sim,
+    pub client: NodeId,
+    pub engine: NodeId,
+    pub ebs: NodeId,
+    pub standby: Option<NodeId>,
+    pub replicas: Vec<NodeId>,
+}
+
+impl MysqlCluster {
+    pub fn build(cfg: MysqlClusterConfig) -> MysqlCluster {
+        Self::build_with(cfg, |_| {})
+    }
+
+    pub fn build_with(
+        cfg: MysqlClusterConfig,
+        tweak: impl FnOnce(&mut MysqlConfig),
+    ) -> MysqlCluster {
+        let mut sim = Sim::new(cfg.seed);
+        let mut disk = DiskSpec::ebs_provisioned(cfg.ebs_iops);
+        if let Some((ms, p)) = cfg.ebs_outlier {
+            disk.read_latency = disk
+                .read_latency
+                .with_outlier(aurora_sim::Dist::const_millis(ms), p);
+            disk.write_latency = disk
+                .write_latency
+                .with_outlier(aurora_sim::Dist::const_millis(ms), p);
+        }
+        let ebs_opts = NodeOpts { disk };
+
+        let client = sim.add_node("client", Zone(0), Box::new(Probe::new()), NodeOpts::default());
+
+        // primary EBS pair (AZ1 == Zone 0, same zone as the instance)
+        let mirror = sim.add_node("ebs-mirror", Zone(0), Box::new(EbsMirror), ebs_opts.clone());
+        let ebs = sim.add_node(
+            "ebs-primary",
+            Zone(0),
+            Box::new(EbsVolume::new(Some(mirror))),
+            ebs_opts.clone(),
+        );
+
+        // standby chain in AZ2
+        let standby = if cfg.mirrored {
+            let smirror =
+                sim.add_node("standby-ebs-mirror", Zone(1), Box::new(EbsMirror), ebs_opts.clone());
+            let sebs = sim.add_node(
+                "standby-ebs",
+                Zone(1),
+                Box::new(EbsVolume::new(Some(smirror))),
+                ebs_opts.clone(),
+            );
+            Some(sim.add_node(
+                "standby",
+                Zone(1),
+                Box::new(StandbyInstance::new(sebs)),
+                NodeOpts::default(),
+            ))
+        } else {
+            None
+        };
+
+        // binlog replicas (cross-AZ readers)
+        let mut replicas = Vec::new();
+        for r in 0..cfg.binlog_replicas {
+            let id = sim.add_node(
+                format!("binlog-replica-{r}"),
+                Zone(((r + 1) % 3) as u8),
+                Box::new(BinlogReplica::new(cfg.replica_apply_cost)),
+                NodeOpts::default(),
+            );
+            replicas.push(id);
+        }
+
+        let mut engine_cfg = MysqlConfig::tuned(ebs, cfg.flavor);
+        engine_cfg.instance = cfg.instance.clone();
+        engine_cfg.standby = standby;
+        engine_cfg.binlog_replicas = replicas.clone();
+        engine_cfg.bootstrap_rows = cfg.bootstrap_rows;
+        engine_cfg.row_size = cfg.row_size;
+        if let Some(g) = cfg.group_commit_limit {
+            engine_cfg.group_commit_limit = g;
+        }
+        if let Some(cp) = cfg.checkpoint_every_records {
+            engine_cfg.checkpoint_every_records = cp;
+        }
+        tweak(&mut engine_cfg);
+        let engine = sim.add_node(
+            "mysql",
+            Zone(0),
+            Box::new(MysqlEngine::new(engine_cfg)),
+            NodeOpts::default(),
+        );
+
+        MysqlCluster {
+            sim,
+            client,
+            engine,
+            ebs,
+            standby,
+            replicas,
+        }
+    }
+
+    /// Send a transaction from the client probe.
+    pub fn submit(&mut self, conn: u64, spec: aurora_core::wire::TxnSpec) {
+        let req = aurora_core::wire::ClientRequest {
+            conn,
+            txn: spec,
+            issued_at: self.sim.now(),
+        };
+        let engine = self.engine;
+        self.sim
+            .tell(self.client, aurora_sim::Relay::new(engine, req));
+    }
+
+    /// All client responses received so far.
+    pub fn responses(&self) -> Vec<aurora_core::wire::ClientResponse> {
+        self.sim
+            .actor::<Probe>(self.client)
+            .received::<aurora_core::wire::ClientResponse>()
+            .into_iter()
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+}

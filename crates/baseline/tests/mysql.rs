@@ -1,0 +1,224 @@
+//! End-to-end tests for the traditional (mirrored MySQL) stack.
+
+use aurora_baseline::{MysqlCluster, MysqlClusterConfig, MysqlEngine};
+use aurora_core::wire::*;
+use aurora_sim::SimDuration;
+
+fn committed(resp: &ClientResponse) -> &[OpResult] {
+    match &resp.result {
+        TxnResult::Committed(rs) => rs,
+        TxnResult::Aborted(m) => panic!("unexpected abort: {m}"),
+    }
+}
+
+#[test]
+fn basic_read_write_cycle() {
+    let mut c = MysqlCluster::build(MysqlClusterConfig {
+        seed: 1,
+        bootstrap_rows: 100,
+        ..Default::default()
+    });
+    c.sim.run_for(SimDuration::from_millis(200));
+    c.submit(1, TxnSpec::single(Op::Insert(500, b"mysql".to_vec())));
+    c.sim.run_for(SimDuration::from_millis(100));
+    c.submit(2, TxnSpec::single(Op::Get(500)));
+    c.sim.run_for(SimDuration::from_millis(100));
+    let rs = c.responses();
+    assert_eq!(rs.len(), 2);
+    match &committed(&rs[1])[0] {
+        OpResult::Row(Some(row)) => assert_eq!(&row[..5], b"mysql"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn mirrored_commit_latency_exceeds_single_az() {
+    let run = |mirrored: bool| {
+        let mut c = MysqlCluster::build(MysqlClusterConfig {
+            seed: 2,
+            mirrored,
+            bootstrap_rows: 100,
+            ..Default::default()
+        });
+        c.sim.run_for(SimDuration::from_millis(200));
+        c.sim.clear_stats();
+        for i in 0..50u64 {
+            c.submit(i, TxnSpec::single(Op::Upsert(i, vec![1])));
+            c.sim.run_for(SimDuration::from_millis(20));
+        }
+        c.sim.metrics.histogram_total("mysql.commit_ns").p50()
+    };
+    let single = run(false);
+    let mirrored = run(true);
+    // Figure 2: the standby chain adds a synchronous cross-AZ leg plus a
+    // second EBS pair — latency is additive.
+    assert!(
+        mirrored as f64 > single as f64 * 1.3,
+        "mirrored {mirrored}ns vs single {single}ns"
+    );
+}
+
+#[test]
+fn write_path_issues_log_binlog_and_page_ios() {
+    let mut c = MysqlCluster::build(MysqlClusterConfig {
+        seed: 3,
+        mirrored: true,
+        bootstrap_rows: 100,
+        ..Default::default()
+    });
+    c.sim.run_for(SimDuration::from_millis(200));
+    c.sim.clear_stats();
+    for i in 0..100u64 {
+        c.submit(i, TxnSpec::single(Op::Upsert(i, vec![2])));
+        c.sim.run_for(SimDuration::from_millis(5));
+    }
+    c.sim.run_for(SimDuration::from_millis(500));
+    let commits = c.sim.metrics.counter_total("mysql.write_txns");
+    assert_eq!(commits, 100);
+    // the amplified write kinds of Figure 2 all occur
+    let log = c.sim.net().class_packets("ebs_log_write");
+    let pages = c.sim.net().class_packets("ebs_page_write");
+    let ship = c.sim.net().class_packets("standby_ship");
+    assert!(log >= 100, "log flushes {log}"); // log + binlog appends
+    assert!(pages > 0, "page flushes {pages}");
+    assert!(ship > 0, "standby shipping {ship}");
+}
+
+#[test]
+fn crash_recovery_replays_and_rolls_back() {
+    let mut c = MysqlCluster::build(MysqlClusterConfig {
+        seed: 4,
+        bootstrap_rows: 100,
+        ..Default::default()
+    });
+    c.sim.run_for(SimDuration::from_millis(200));
+    // committed work
+    for i in 0..10u64 {
+        c.submit(i, TxnSpec::single(Op::Insert(1_000 + i, vec![5])));
+    }
+    c.sim.run_for(SimDuration::from_millis(300));
+    assert_eq!(c.sim.metrics.counter_total("mysql.write_txns"), 10);
+    // an in-flight transaction at crash time
+    let ops: Vec<Op> = (0..30u64).map(|i| Op::Insert(2_000 + i, vec![6])).collect();
+    c.submit(99, TxnSpec { ops });
+    c.sim.run_for(SimDuration::from_micros(800));
+    c.sim.crash(c.engine);
+    c.sim.run_for(SimDuration::from_millis(20));
+    c.sim.restart(c.engine);
+    c.sim.run_for(SimDuration::from_millis(1_000));
+    assert!(c.sim.actor::<MysqlEngine>(c.engine).is_ready());
+    assert!(c.sim.metrics.counter_total("mysql.recoveries") >= 1);
+
+    // committed rows visible, uncommitted rolled back
+    for i in 0..10u64 {
+        c.submit(3_000 + i, TxnSpec::single(Op::Get(1_000 + i)));
+    }
+    for i in 0..30u64 {
+        c.submit(4_000 + i, TxnSpec::single(Op::Get(2_000 + i)));
+    }
+    c.sim.run_for(SimDuration::from_millis(2_000));
+    let rs = c.responses();
+    for r in rs.iter().filter(|r| (3_000..3_010).contains(&r.conn)) {
+        match &committed(r)[0] {
+            OpResult::Row(Some(row)) => assert_eq!(row[0], 5),
+            other => panic!("committed row lost: {other:?}"),
+        }
+    }
+    let rolled: Vec<_> = rs.iter().filter(|r| r.conn >= 4_000).collect();
+    assert_eq!(rolled.len(), 30);
+    for r in rolled {
+        match &committed(r)[0] {
+            OpResult::Row(None) => {}
+            other => panic!("uncommitted write survived: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn checkpoints_stall_foreground_writes() {
+    let mut c = MysqlCluster::build_with(
+        MysqlClusterConfig {
+            seed: 5,
+            bootstrap_rows: 8_000,
+            checkpoint_every_records: Some(400), // checkpoint frequently
+            ..Default::default()
+        },
+        |e| {
+            e.flusher_interval = SimDuration::from_millis(1_000); // lazy flusher
+            e.flusher_batch = 4; // slow checkpoint drain
+        },
+    );
+    c.sim.run_for(SimDuration::from_millis(1_000));
+    c.sim.clear_stats();
+    // writes scattered widely dirty many pages; continuous submission
+    // guarantees writes arrive while a checkpoint is draining
+    for i in 0..300u64 {
+        c.submit(i, TxnSpec::single(Op::Upsert(i * 53 % 8_000, vec![i as u8])));
+        c.sim.run_for(SimDuration::from_micros(500));
+    }
+    c.sim.run_for(SimDuration::from_secs(2));
+    assert!(c.sim.metrics.counter_total("mysql.checkpoints") >= 1);
+    assert!(
+        c.sim.metrics.counter_total("mysql.checkpoint_stalls") > 0,
+        "checkpointing must interfere with foreground writes"
+    );
+    assert_eq!(c.sim.metrics.counter_total("mysql.write_txns"), 300);
+}
+
+#[test]
+fn binlog_replica_lags_under_write_pressure() {
+    let mut c = MysqlCluster::build(MysqlClusterConfig {
+        seed: 6,
+        bootstrap_rows: 100,
+        binlog_replicas: 1,
+        replica_apply_cost: SimDuration::from_millis(2), // 500/s capacity
+        ..Default::default()
+    });
+    c.sim.run_for(SimDuration::from_millis(200));
+    // ~2000 commits/s demand for 1 simulated second
+    for burst in 0..100u64 {
+        for i in 0..20u64 {
+            c.submit(burst * 20 + i, TxnSpec::single(Op::Upsert(i, vec![1])));
+        }
+        c.sim.run_for(SimDuration::from_millis(10));
+    }
+    let lag = c.sim.metrics.histogram_total("mysql.replica_lag_ns");
+    assert!(lag.count() > 0);
+    assert!(
+        lag.max() > SimDuration::from_millis(300).nanos(),
+        "overloaded single-threaded apply must lag: max {}ms",
+        lag.max() / 1_000_000
+    );
+}
+
+#[test]
+fn tiny_cache_forces_eviction_flushes() {
+    let mut c = MysqlCluster::build_with(
+        MysqlClusterConfig {
+            seed: 7,
+            bootstrap_rows: 4_000,
+            ..Default::default()
+        },
+        |e| {
+            e.instance.buffer_pages = 16;
+            e.flusher_interval = SimDuration::from_secs(10); // keep pages dirty
+        },
+    );
+    c.sim.run_for(SimDuration::from_millis(3_000));
+    c.sim.clear_stats();
+    // writes scattered across the keyspace dirty many pages; reads of cold
+    // pages then force dirty evictions
+    for i in 0..100u64 {
+        c.submit(i, TxnSpec::single(Op::Upsert(i * 37 % 4_000, vec![1])));
+        c.sim.run_for(SimDuration::from_millis(5));
+    }
+    c.sim.run_for(SimDuration::from_millis(2_000));
+    assert!(
+        c.sim.metrics.counter_total("mysql.page_fetches") > 0,
+        "cold reads must fetch"
+    );
+    assert!(
+        c.sim.metrics.counter_total("mysql.evict_flushes") > 0,
+        "dirty victims must be flushed in the foreground"
+    );
+}

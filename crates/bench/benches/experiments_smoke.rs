@@ -1,0 +1,9 @@
+//! `cargo bench` entry that regenerates every paper table and figure at a
+//! reduced measurement window (scale 0.15). For the full-window numbers
+//! recorded in EXPERIMENTS.md, run
+//! `cargo run --release -p aurora-bench --bin experiments -- all`.
+
+fn main() {
+    // cargo passes --bench; criterion-style filters are ignored here
+    aurora_bench::experiments::run_all(0.15);
+}

@@ -1,0 +1,171 @@
+//! Criterion micro-benchmarks for the hot kernels of the reproduction:
+//! the log applicator, the record codec + CRC, the quorum/durability
+//! tracker, the segment log, the B+-tree, the buffer pool, and the
+//! metrics histogram.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use aurora_core::btree::{BTree, MemProvider, TreeMeta};
+use aurora_core::buffer::BufferPool;
+use aurora_log::{
+    apply_record, codec, Lsn, LogRecord, Page, PageId, Patch, PgId, RecordBody, SegmentLog, TxnId,
+};
+use aurora_quorum::{DurabilityTracker, QuorumConfig};
+use aurora_sim::Histogram;
+
+fn write_record(lsn: u64, patch_len: usize) -> LogRecord {
+    LogRecord {
+        lsn: Lsn(lsn),
+        prev_in_pg: Lsn(lsn - 1),
+        pg: PgId(0),
+        txn: TxnId(1),
+        is_cpl: true,
+        body: RecordBody::PageWrite {
+            page: PageId(0),
+            patches: vec![Patch {
+                offset: ((lsn * 97) % 3_500) as u32,
+                before: Bytes::from(vec![0u8; patch_len]),
+                after: Bytes::from(vec![(lsn % 251) as u8; patch_len]),
+            }],
+        },
+    }
+}
+
+fn bench_applicator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_applicator");
+    let records: Vec<LogRecord> = (1..=1_000).map(|l| write_record(l, 64)).collect();
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("apply_1000x64B", |b| {
+        b.iter(|| {
+            let mut page = Page::new();
+            for r in &records {
+                let _ = apply_record(&mut page, black_box(r));
+            }
+            black_box(page.lsn)
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let rec = write_record(42, 128);
+    let buf = codec::encode(&rec);
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| black_box(codec::encode(black_box(&rec)))));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(codec::decode(black_box(&buf)).unwrap()))
+    });
+    g.bench_function("crc32_4k", |b| {
+        let page = vec![0xA5u8; 4096];
+        b.iter(|| black_box(codec::crc32(black_box(&page))))
+    });
+    g.finish();
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    c.bench_function("durability_tracker_ack_cycle", |b| {
+        b.iter(|| {
+            let mut t = DurabilityTracker::new(QuorumConfig::aurora(), Lsn::ZERO);
+            for i in 1..=100u64 {
+                t.register(Lsn(i * 10), Some(Lsn(i * 10)), &[PgId(0)]);
+            }
+            for i in 1..=100u64 {
+                for r in 0..4 {
+                    t.ack(Lsn(i * 10), PgId(0), r);
+                }
+            }
+            black_box(t.vdl())
+        })
+    });
+}
+
+fn bench_segment_log(c: &mut Criterion) {
+    c.bench_function("segment_log_ingest_1000", |b| {
+        b.iter(|| {
+            let mut s = SegmentLog::new();
+            for l in 1..=1_000u64 {
+                s.insert(write_record(l, 16));
+            }
+            black_box(s.scl())
+        })
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let t = BTree::new(TreeMeta::for_row_size(32, PageId(0)));
+            let mut p = MemProvider::new();
+            t.create(&mut p).unwrap();
+            let row = [7u8; 32];
+            for k in 0..10_000u64 {
+                t.insert(&mut p, (k * 2_654_435_761) % 100_000, &row).ok();
+            }
+            black_box(p.pages.len())
+        })
+    });
+    // point lookups on a prebuilt tree
+    let t = BTree::new(TreeMeta::for_row_size(32, PageId(0)));
+    let mut p = MemProvider::new();
+    t.create(&mut p).unwrap();
+    let row = [7u8; 32];
+    for k in 0..50_000u64 {
+        t.insert(&mut p, k, &row).unwrap();
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("get", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 12_345) % 50_000;
+            black_box(t.get(&mut p, k).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    c.bench_function("buffer_pool_churn", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(512);
+            for i in 0..2_000u64 {
+                let mut page = Page::new();
+                page.lsn = Lsn(i);
+                let _ = pool.insert(PageId(i), page, Lsn(u64::MAX));
+                let _ = pool.get(PageId(i / 2));
+            }
+            black_box(pool.evictions)
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record_quantile", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for i in 1..=10_000u64 {
+                h.record(i * 997);
+            }
+            black_box((h.p50(), h.p95(), h.p99()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // modest sampling: these kernels are microsecond-scale and stable
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_applicator,
+        bench_codec,
+        bench_tracker,
+        bench_segment_log,
+        bench_btree,
+        bench_buffer,
+        bench_histogram
+}
+criterion_main!(benches);

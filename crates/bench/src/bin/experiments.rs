@@ -1,0 +1,85 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p aurora-bench --bin experiments -- all
+//! cargo run --release -p aurora-bench --bin experiments -- table1 fig7
+//! cargo run --release -p aurora-bench --bin experiments -- --scale 0.5 all
+//! ```
+
+use aurora_bench::experiments as ex;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        if pos + 1 < args.len() {
+            scale = args[pos + 1].parse().unwrap_or(1.0);
+            args.drain(pos..=pos + 1);
+        }
+    }
+    if args.is_empty() {
+        eprintln!("usage: experiments [--scale F] <name>... | all");
+        eprintln!(
+            "names: table1 fig6 fig7 table2 table3 table4 table5 fig8 fig11 fig12 \
+             recovery durability ablation_quorum ablation_group_commit ablation_cpl ablation_loss"
+        );
+        std::process::exit(2);
+    }
+    for name in &args {
+        match name.as_str() {
+            "all" => ex::run_all(scale),
+            "table1" => {
+                ex::table1(scale);
+            }
+            "fig6" => {
+                ex::fig6(scale);
+            }
+            "fig7" => {
+                ex::fig7(scale);
+            }
+            "table2" => {
+                ex::table2(scale);
+            }
+            "table3" => {
+                ex::table3(scale);
+            }
+            "table4" => {
+                ex::table4(scale);
+            }
+            "table5" => {
+                ex::table5(scale);
+            }
+            "fig8" | "fig9" | "fig10" => {
+                ex::fig8_9_10(scale);
+            }
+            "fig11" => {
+                ex::fig11(scale);
+            }
+            "fig12" => {
+                ex::fig12(scale);
+            }
+            "recovery" => {
+                ex::recovery(scale);
+            }
+            "durability" => {
+                ex::durability(scale);
+            }
+            "ablation_quorum" => {
+                ex::ablation_quorum(scale);
+            }
+            "ablation_group_commit" => {
+                ex::ablation_group_commit(scale);
+            }
+            "ablation_cpl" => {
+                ex::ablation_cpl(scale);
+            }
+            "ablation_loss" => {
+                ex::ablation_loss(scale);
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # aurora-bench — workloads and the experiment harness
+//!
+//! Reproduces every table and figure of the paper's §6 evaluation:
+//!
+//! * [`workload`] — SysBench-style (read-only / write-only / OLTP),
+//!   TPC-C-like hot-row, and web-transaction mixes, driven closed-loop
+//!   (one outstanding transaction per connection) or open-loop (fixed
+//!   arrival rate, for the replica-lag experiments),
+//! * [`harness`] — builds an Aurora cluster or a MySQL deployment, warms
+//!   it up, runs a measurement window, and extracts throughput, latency
+//!   percentiles, network-IO and lag statistics,
+//! * [`experiments`] — one function per table/figure that prints the same
+//!   rows the paper reports, plus the recovery, durability and ablation
+//!   experiments. Run them all with
+//!   `cargo run --release -p aurora-bench --bin experiments -- all`.
+//!
+//! ## Scale note
+//!
+//! Sizes are scaled down (see DESIGN.md §7): the simulated buffer pool is
+//! thousands of pages, not 170 GB, and paper "DB sizes" map to
+//! cache-to-data ratios. Absolute numbers therefore differ from the
+//! paper's; the *shapes* — who wins, by what factor, where the knees are —
+//! are the reproduction target, and EXPERIMENTS.md records both.
+
+pub mod experiments;
+pub mod harness;
+pub mod workload;
+
+pub use harness::{AuroraParams, MysqlParams, RunStats};
+pub use workload::{Mix, WorkloadActor, WorkloadConfig};

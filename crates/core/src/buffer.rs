@@ -1,0 +1,378 @@
+//! The buffer cache, with Aurora's eviction rule.
+//!
+//! §4.2.3: "the Aurora database does not write out pages on eviction (or
+//! anywhere else) … The guarantee is implemented by evicting a page from
+//! the cache only if its 'page LSN' … is greater than or equal to the
+//! VDL" — i.e. a page may leave the cache only when the log that produced
+//! it is already durable, so a later fetch at the current VDL returns
+//! something at least as new.
+//!
+//! (The paper's phrasing inverts the comparison; the operative invariant,
+//! which we implement, is: **evict only pages whose every change is at or
+//! below the VDL**. Pages carrying changes above the VDL must stay
+//! resident because storage cannot yet serve their latest version.)
+//!
+//! The same pool serves the baseline engine, where eviction of a dirty
+//! page instead forces a page write (returned to the caller to charge IO).
+
+use std::collections::HashMap;
+
+use aurora_log::{Lsn, Page, PageId};
+
+struct Frame {
+    page: Page,
+    last_use: u64,
+    dirty: bool,
+}
+
+/// A fixed-capacity page cache with LRU eviction.
+pub struct BufferPool {
+    frames: HashMap<PageId, Frame>,
+    capacity: usize,
+    tick: u64,
+    /// Cache statistics.
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl BufferPool {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        BufferPool {
+            frames: HashMap::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    pub fn contains(&self, id: PageId) -> bool {
+        self.frames.contains_key(&id)
+    }
+
+    /// Borrow a resident page, bumping its recency. Counts hit/miss.
+    pub fn get(&mut self, id: PageId) -> Option<&Page> {
+        self.tick += 1;
+        match self.frames.get_mut(&id) {
+            Some(f) => {
+                f.last_use = self.tick;
+                self.hits += 1;
+                Some(&f.page)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Borrow mutably (engine mutation path); bumps recency and marks the
+    /// frame dirty (meaningful for the baseline; harmless for Aurora).
+    pub fn get_mut(&mut self, id: PageId) -> Option<&mut Page> {
+        self.tick += 1;
+        match self.frames.get_mut(&id) {
+            Some(f) => {
+                f.last_use = self.tick;
+                f.dirty = true;
+                self.hits += 1;
+                Some(&mut f.page)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without recency/statistics effects.
+    pub fn peek(&self, id: PageId) -> Option<&Page> {
+        self.frames.get(&id).map(|f| &f.page)
+    }
+
+    /// Insert a page fetched from storage (clean). If the pool is full,
+    /// evicts the least-recently-used page whose LSN is at or below `vdl`
+    /// (the Aurora rule). Returns `Err(page)` with the offered page if no
+    /// frame is evictable (caller must stall until the VDL advances —
+    /// in practice the VDL advances continuously and this is momentary).
+    pub fn insert(&mut self, id: PageId, page: Page, vdl: Lsn) -> Result<(), Page> {
+        if let Some(f) = self.frames.get_mut(&id) {
+            // Re-fetch raced with an existing frame: keep the newer image.
+            if page.lsn > f.page.lsn {
+                f.page = page;
+            }
+            return Ok(());
+        }
+        if self.frames.len() >= self.capacity && !self.evict_one(vdl) {
+            return Err(page);
+        }
+        self.tick += 1;
+        self.frames.insert(
+            id,
+            Frame {
+                page,
+                last_use: self.tick,
+                dirty: false,
+            },
+        );
+        Ok(())
+    }
+
+    fn evict_one(&mut self, vdl: Lsn) -> bool {
+        let victim = self
+            .frames
+            .iter()
+            .filter(|(id, f)| f.page.lsn <= vdl && id.0 != 0)
+            .min_by_key(|(_, f)| f.last_use)
+            .map(|(id, _)| *id);
+        match victim {
+            Some(id) => {
+                self.frames.remove(&id);
+                self.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Baseline variant: evict LRU regardless of LSN; a dirty victim is
+    /// returned so the caller can charge the flush IO (and the double
+    /// write) before reuse.
+    pub fn insert_traditional(&mut self, id: PageId, page: Page) -> Option<(PageId, bool)> {
+        if self.frames.contains_key(&id) {
+            self.frames.get_mut(&id).unwrap().page = page;
+            return None;
+        }
+        let mut flushed = None;
+        if self.frames.len() >= self.capacity {
+            if let Some(victim) = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_use)
+                .map(|(id, _)| *id)
+            {
+                let f = self.frames.remove(&victim).unwrap();
+                self.evictions += 1;
+                flushed = Some((victim, f.dirty));
+            }
+        }
+        self.tick += 1;
+        self.frames.insert(
+            id,
+            Frame {
+                page,
+                last_use: self.tick,
+                dirty: false,
+            },
+        );
+        flushed
+    }
+
+    /// Insert without evicting — used for freshly allocated pages inside
+    /// an operation (eviction mid-op could pull a page out from under the
+    /// B+-tree) and during bootstrap. The pool may temporarily exceed its
+    /// capacity; [`BufferPool::shrink_to_capacity`] trims it back.
+    pub fn insert_unchecked(&mut self, id: PageId, page: Page) {
+        if let Some(f) = self.frames.get_mut(&id) {
+            if page.lsn > f.page.lsn {
+                f.page = page;
+            }
+            return;
+        }
+        self.tick += 1;
+        self.frames.insert(
+            id,
+            Frame {
+                page,
+                last_use: self.tick,
+                dirty: false,
+            },
+        );
+    }
+
+    /// Stamp a resident page's LSN (after the log manager assigned LSNs to
+    /// the records produced by an in-cache mutation).
+    pub fn set_lsn(&mut self, id: PageId, lsn: Lsn) {
+        if let Some(f) = self.frames.get_mut(&id) {
+            if lsn > f.page.lsn {
+                f.page.lsn = lsn;
+            }
+        }
+    }
+
+    /// Evict durable LRU pages until the pool is back within capacity.
+    /// The meta page (page 0) is never evicted — it anchors allocation.
+    pub fn shrink_to_capacity(&mut self, vdl: Lsn) {
+        while self.frames.len() > self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .filter(|(id, f)| f.page.lsn <= vdl && id.0 != 0)
+                .min_by_key(|(_, f)| f.last_use)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    self.frames.remove(&id);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The current LRU victim (id, dirty) without removing it — the
+    /// baseline engine must flush dirty victims before eviction.
+    pub fn lru_victim(&self) -> Option<(PageId, bool)> {
+        self.frames
+            .iter()
+            .filter(|(id, _)| id.0 != 0)
+            .min_by_key(|(_, f)| f.last_use)
+            .map(|(id, f)| (*id, f.dirty))
+    }
+
+    /// Drop a specific frame (after the baseline flushed it).
+    pub fn remove(&mut self, id: PageId) -> Option<Page> {
+        self.frames.remove(&id).map(|f| {
+            self.evictions += 1;
+            f.page
+        })
+    }
+
+    /// Dirty page ids (baseline checkpointing).
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mark a page clean after the baseline flushed it.
+    pub fn mark_clean(&mut self, id: PageId) {
+        if let Some(f) = self.frames.get_mut(&id) {
+            f.dirty = false;
+        }
+    }
+
+    /// Drop everything (engine crash loses the cache — it is volatile).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Cache hit ratio so far.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_at(lsn: u64) -> Page {
+        let mut p = Page::new();
+        p.lsn = Lsn(lsn);
+        p
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut pool = BufferPool::new(2);
+        assert!(pool.get(PageId(1)).is_none());
+        pool.insert(PageId(1), page_at(1), Lsn(10)).unwrap();
+        assert!(pool.get(PageId(1)).is_some());
+        assert_eq!(pool.hits, 1);
+        assert_eq!(pool.misses, 1);
+        assert!((pool.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_respects_vdl_rule() {
+        let mut pool = BufferPool::new(2);
+        // page 1 has changes above the VDL (lsn 100 > vdl 50): not evictable
+        pool.insert(PageId(1), page_at(100), Lsn(50)).unwrap();
+        pool.insert(PageId(2), page_at(10), Lsn(50)).unwrap();
+        // touch page 2 so page 1 is LRU; eviction must still pick page 2
+        let _ = pool.get(PageId(2));
+        pool.insert(PageId(3), page_at(20), Lsn(50)).unwrap();
+        assert!(pool.contains(PageId(1)), "non-durable page must stay");
+        assert!(!pool.contains(PageId(2)), "durable LRU page evicted");
+        assert!(pool.contains(PageId(3)));
+    }
+
+    #[test]
+    fn insert_fails_when_nothing_evictable() {
+        let mut pool = BufferPool::new(1);
+        pool.insert(PageId(1), page_at(100), Lsn(50)).unwrap();
+        let offered = page_at(10);
+        let back = pool.insert(PageId(2), offered, Lsn(50)).unwrap_err();
+        assert_eq!(back.lsn, Lsn(10));
+        // after the VDL advances past 100, the insert succeeds
+        pool.insert(PageId(2), page_at(10), Lsn(100)).unwrap();
+        assert!(pool.contains(PageId(2)));
+    }
+
+    #[test]
+    fn reinsert_keeps_newest_image() {
+        let mut pool = BufferPool::new(2);
+        pool.insert(PageId(1), page_at(5), Lsn(10)).unwrap();
+        pool.insert(PageId(1), page_at(3), Lsn(10)).unwrap(); // stale refetch
+        assert_eq!(pool.peek(PageId(1)).unwrap().lsn, Lsn(5));
+        pool.insert(PageId(1), page_at(8), Lsn(10)).unwrap();
+        assert_eq!(pool.peek(PageId(1)).unwrap().lsn, Lsn(8));
+    }
+
+    #[test]
+    fn traditional_eviction_reports_dirty_victim() {
+        let mut pool = BufferPool::new(1);
+        assert!(pool.insert_traditional(PageId(1), page_at(1)).is_none());
+        let _ = pool.get_mut(PageId(1)); // dirty it
+        let flushed = pool.insert_traditional(PageId(2), page_at(2));
+        assert_eq!(flushed, Some((PageId(1), true)));
+        // clean victim reports dirty=false
+        let flushed = pool.insert_traditional(PageId(3), page_at(3));
+        assert_eq!(flushed, Some((PageId(2), false)));
+    }
+
+    #[test]
+    fn dirty_tracking_and_clean() {
+        let mut pool = BufferPool::new(4);
+        pool.insert(PageId(1), page_at(1), Lsn(10)).unwrap();
+        pool.insert(PageId(2), page_at(2), Lsn(10)).unwrap();
+        let _ = pool.get_mut(PageId(2));
+        assert_eq!(pool.dirty_pages(), vec![PageId(2)]);
+        pool.mark_clean(PageId(2));
+        assert!(pool.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let mut pool = BufferPool::new(4);
+        pool.insert(PageId(1), page_at(1), Lsn(10)).unwrap();
+        pool.clear();
+        assert!(pool.is_empty());
+        assert!(!pool.contains(PageId(1)));
+    }
+}

@@ -1,0 +1,333 @@
+//! Cluster builder: one Aurora deployment inside a simulation.
+//!
+//! Assembles the full Figure 5 topology — a writer instance, up to 15 read
+//! replicas, a storage fleet striped across three AZs with two replicas of
+//! every protection group per AZ, spare storage nodes, and the control
+//! plane — and returns handles for driving it. Integration tests, the
+//! benchmark harness and the examples all build their worlds through this
+//! module.
+
+use aurora_log::PgId;
+use aurora_quorum::QuorumConfig;
+use aurora_sim::{NodeId, NodeOpts, Probe, Sim, Zone};
+use aurora_storage::{
+    ControlConfig, ControlPlane, ObjectStore, PgMembership, StorageNode, StorageNodeConfig,
+    VolumeLayout,
+};
+
+use crate::engine::{EngineActor, EngineConfig, InstanceSpec};
+use crate::replica::{ReplicaActor, ReplicaConfig};
+
+/// What to build.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub seed: u64,
+    /// Protection groups in the volume.
+    pub pgs: u32,
+    /// Pages per PG (the scale stand-in for 10 GB segments).
+    pub pages_per_pg: u64,
+    /// Storage nodes (>= 6; must be a multiple of 3 to balance AZs).
+    pub storage_nodes: usize,
+    /// Spare storage nodes for repair.
+    pub spares: usize,
+    /// Read replicas.
+    pub replicas: usize,
+    /// Add an idle standby writer (promote with [`Cluster::promote_standby`]).
+    pub with_standby: bool,
+    /// Writer instance size.
+    pub instance: InstanceSpec,
+    /// Rows preloaded at bootstrap.
+    pub bootstrap_rows: u64,
+    pub row_size: usize,
+    /// Attach a control plane (heartbeats, repair)?
+    pub with_control: bool,
+    /// Attach an object store (backups / PITR)?
+    pub store: Option<ObjectStore>,
+    /// Storage node tunables.
+    pub storage_cfg: StorageNodeConfig,
+    /// Disk model for storage nodes (None = simulator default SSD).
+    pub storage_disk: Option<aurora_sim::DiskSpec>,
+    /// Callback to tweak the engine config before the actor is built.
+    pub quorum: QuorumConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            seed: 1,
+            pgs: 2,
+            pages_per_pg: 100_000,
+            storage_nodes: 6,
+            spares: 0,
+            replicas: 0,
+            with_standby: false,
+            instance: InstanceSpec::r3_8xlarge(),
+            bootstrap_rows: 0,
+            row_size: 96,
+            with_control: false,
+            store: None,
+            storage_cfg: StorageNodeConfig::default(),
+            storage_disk: None,
+            quorum: QuorumConfig::aurora(),
+        }
+    }
+}
+
+/// A built cluster.
+pub struct Cluster {
+    pub sim: Sim,
+    /// A probe node for injecting client requests and collecting responses.
+    pub client: NodeId,
+    pub engine: NodeId,
+    /// Idle failover target, if configured.
+    pub standby: Option<NodeId>,
+    pub replicas: Vec<NodeId>,
+    pub storage: Vec<NodeId>,
+    pub spares: Vec<NodeId>,
+    pub control: Option<NodeId>,
+    pub memberships: Vec<PgMembership>,
+    pub layout: VolumeLayout,
+}
+
+impl Cluster {
+    /// Build the topology. Engine bootstrap (tree creation + row load)
+    /// happens at simulated t=0; run the sim briefly before driving load.
+    pub fn build(cfg: ClusterConfig) -> Cluster {
+        Self::build_with(cfg, |_| {})
+    }
+
+    /// Like [`Cluster::build`] but lets the caller tweak the engine config.
+    pub fn build_with(cfg: ClusterConfig, tweak: impl FnOnce(&mut EngineConfig)) -> Cluster {
+        assert!(cfg.storage_nodes >= cfg.quorum.copies as usize);
+        assert_eq!(
+            cfg.storage_nodes % cfg.quorum.azs as usize,
+            0,
+            "storage nodes must balance across AZs"
+        );
+        let mut sim = Sim::new(cfg.seed);
+
+        // Node id layout (sequential allocation):
+        //   0: client probe
+        //   1 ..= storage_nodes: storage
+        //   then spares, then replicas, then engine, [standby], then control
+        let standby_slots = cfg.with_standby as usize;
+        let control_id: NodeId =
+            (1 + cfg.storage_nodes + cfg.spares + cfg.replicas + 1 + standby_slots) as NodeId;
+
+        let client = sim.add_node("client", Zone(0), Box::new(Probe::new()), NodeOpts::default());
+
+        let mut storage_cfg = cfg.storage_cfg.clone();
+        storage_cfg.store = cfg.store.clone();
+        if cfg.store.is_none() {
+            storage_cfg.backup_interval = aurora_sim::SimDuration::ZERO;
+        }
+        storage_cfg.control = cfg.with_control.then_some(control_id);
+
+        let azs = cfg.quorum.azs;
+        let mut storage = Vec::new();
+        let mut zone_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); azs as usize];
+        let storage_opts = || NodeOpts {
+            disk: cfg.storage_disk.clone().unwrap_or_default(),
+        };
+        for i in 0..cfg.storage_nodes {
+            let zone = Zone((i % azs as usize) as u8);
+            let id = sim.add_node(
+                format!("store-{i}"),
+                zone,
+                Box::new(StorageNode::new(storage_cfg.clone())),
+                storage_opts(),
+            );
+            zone_nodes[zone.0 as usize].push(id);
+            storage.push(id);
+        }
+        let mut spares = Vec::new();
+        for s in 0..cfg.spares {
+            let zone = Zone((s % azs as usize) as u8);
+            let id = sim.add_node(
+                format!("spare-{s}"),
+                zone,
+                Box::new(StorageNode::new(storage_cfg.clone())),
+                storage_opts(),
+            );
+            spares.push(id);
+        }
+
+        // PG memberships: slot s lives in AZ s % azs (matching
+        // QuorumConfig::az_of_replica); round-robin across that AZ's nodes
+        // with an offset so the two same-AZ slots of a PG differ.
+        let layout = VolumeLayout::new(cfg.pages_per_pg, cfg.pgs, cfg.quorum);
+        let mut memberships = Vec::new();
+        for pg in 0..cfg.pgs {
+            let mut slots = Vec::with_capacity(cfg.quorum.copies as usize);
+            for s in 0..cfg.quorum.copies {
+                let z = (s % azs) as usize;
+                let ring = &zone_nodes[z];
+                let idx = (pg as usize + (s / azs) as usize * (ring.len() / 2).max(1)) % ring.len();
+                slots.push(ring[idx]);
+            }
+            memberships.push(PgMembership::new(PgId(pg), slots));
+        }
+
+        // replicas (placed across AZs like real Aurora readers)
+        let mut replica_ids = Vec::new();
+        let replica_cfg_proto = ReplicaConfig {
+            instance: cfg.instance.clone(),
+            layout: layout.clone(),
+            memberships: memberships.clone(),
+            row_size: cfg.row_size,
+            cpu_per_op: aurora_sim::SimDuration::from_micros(60),
+            read_timeout: aurora_sim::SimDuration::from_millis(20),
+        };
+        for r in 0..cfg.replicas {
+            let zone = Zone(((r + 1) % azs as usize) as u8);
+            let id = sim.add_node(
+                format!("replica-{r}"),
+                zone,
+                Box::new(ReplicaActor::new(replica_cfg_proto.clone())),
+                NodeOpts::default(),
+            );
+            replica_ids.push(id);
+        }
+
+        // the writer
+        let mut engine_cfg = EngineConfig::new(layout.clone(), memberships.clone());
+        engine_cfg.instance = cfg.instance.clone();
+        engine_cfg.quorum = cfg.quorum;
+        engine_cfg.replicas = replica_ids.clone();
+        engine_cfg.control = cfg.with_control.then_some(control_id);
+        engine_cfg.row_size = cfg.row_size;
+        engine_cfg.bootstrap_rows = cfg.bootstrap_rows;
+        tweak(&mut engine_cfg);
+        let engine = sim.add_node(
+            "writer",
+            Zone(0),
+            Box::new(EngineActor::new(engine_cfg.clone())),
+            NodeOpts::default(),
+        );
+
+        // idle failover standby in another AZ (promoted on demand)
+        let standby = if cfg.with_standby {
+            let mut standby_cfg = engine_cfg.clone();
+            standby_cfg.standby = true;
+            standby_cfg.bootstrap_rows = 0;
+            Some(sim.add_node(
+                "standby-writer",
+                Zone(1),
+                Box::new(EngineActor::new(standby_cfg)),
+                NodeOpts::default(),
+            ))
+        } else {
+            None
+        };
+
+        // control plane
+        let control = if cfg.with_control {
+            let mut ctl_cfg = ControlConfig {
+                watchers: vec![engine],
+                ..Default::default()
+            };
+            ctl_cfg.watchers.extend(replica_ids.iter().copied());
+            for (i, n) in storage.iter().enumerate() {
+                ctl_cfg
+                    .zones
+                    .insert(*n, Zone((i % azs as usize) as u8));
+            }
+            for (s, n) in spares.iter().enumerate() {
+                let z = Zone((s % azs as usize) as u8);
+                ctl_cfg.zones.insert(*n, z);
+                ctl_cfg.spares.push((*n, z));
+            }
+            let id = sim.add_node(
+                "control",
+                Zone(0),
+                Box::new(ControlPlane::new(ctl_cfg, memberships.clone())),
+                NodeOpts::default(),
+            );
+            assert_eq!(id, control_id, "node id layout drifted");
+            Some(id)
+        } else {
+            // without control, hand out gossip peer lists directly
+            for m in &memberships {
+                for (replica, node) in m.slots.iter().enumerate() {
+                    sim.tell(
+                        *node,
+                        aurora_storage::wire::SegmentPeers {
+                            segment: aurora_log::SegmentId::new(m.pg, replica as u8),
+                            peers: m.peers_of(replica as u8),
+                        },
+                    );
+                }
+            }
+            None
+        };
+
+        Cluster {
+            sim,
+            client,
+            engine,
+            standby,
+            replicas: replica_ids,
+            storage,
+            spares,
+            control,
+            memberships,
+            layout,
+        }
+    }
+
+    /// Promote the standby to writer (failover). Returns the standby's
+    /// node id, which is the new write endpoint once its recovery ends.
+    pub fn promote_standby(&mut self) -> NodeId {
+        let standby = self.standby.expect("built with with_standby");
+        self.sim.tell(standby, crate::wire::Promote);
+        standby
+    }
+
+    /// Send a transaction to an arbitrary database node.
+    pub fn submit_to(&mut self, target: NodeId, conn: u64, spec: crate::wire::TxnSpec) {
+        let req = crate::wire::ClientRequest {
+            conn,
+            txn: spec,
+            issued_at: self.sim.now(),
+        };
+        self.sim.tell(self.client, aurora_sim::Relay::new(target, req));
+    }
+
+    /// Send a transaction to the writer from the client probe.
+    pub fn submit(&mut self, conn: u64, spec: crate::wire::TxnSpec) {
+        let req = crate::wire::ClientRequest {
+            conn,
+            txn: spec,
+            issued_at: self.sim.now(),
+        };
+        let engine = self.engine;
+        self.sim
+            .tell(self.client, aurora_sim::Relay::new(engine, req));
+    }
+
+    /// Send a read-only transaction to a replica.
+    pub fn submit_to_replica(&mut self, replica: usize, conn: u64, spec: crate::wire::TxnSpec) {
+        let req = crate::wire::ClientRequest {
+            conn,
+            txn: spec,
+            issued_at: self.sim.now(),
+        };
+        let dst = self.replicas[replica];
+        self.sim.tell(self.client, aurora_sim::Relay::new(dst, req));
+    }
+
+    /// All client responses received so far, in order.
+    pub fn responses(&self) -> Vec<crate::wire::ClientResponse> {
+        self.sim
+            .actor::<Probe>(self.client)
+            .received::<crate::wire::ClientResponse>()
+            .into_iter()
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// The writer actor, for inspection.
+    pub fn engine_actor(&self) -> &EngineActor {
+        self.sim.actor::<EngineActor>(self.engine)
+    }
+}

@@ -1,0 +1,2017 @@
+//! The Aurora writer instance.
+//!
+//! One actor hosts the full engine: connections execute transactions
+//! against the B+-tree in the buffer cache; every mutation becomes redo
+//! records (the only thing that ever crosses the network to storage, §3.2);
+//! commits are asynchronous (§4.2.2); reads are served at a read point
+//! from a single complete segment (§4.2.3); crash recovery rebuilds the
+//! durable point from a read quorum, truncates with a fresh epoch, and
+//! rolls back in-flight transactions with logical undo (§4.3).
+//!
+//! ## CPU model
+//!
+//! The paper's Figures 6–7 scale with instance vCPUs. The actor models an
+//! instance as `vcpus` processors: each statement costs `cpu_per_op` of
+//! processor time, scheduled on the earliest-free vCPU. Waits (page
+//! fetches, lock queues, commit durability) consume no CPU — which is
+//! exactly the asynchrony the paper credits for Aurora's throughput.
+//!
+//! ## Rollback
+//!
+//! Aborts (user aborts, lock-timeout deadlock breaks, crash recovery) are
+//! *logical*: every forward change logs an [`RecordBody::Undo`] record
+//! carrying the inverse operation, and rollback executes those inverses as
+//! a synthetic transaction through the ordinary write path. Physical
+//! unapply would be unsound here because two transactions can shift rows
+//! within the same leaf.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use aurora_log::{
+    mtr::CplMode, LogRecord, Lsn, LsnAllocator, MtrBuilder, Page, PageId, Patch, PgId,
+    RecordBody, SegmentId, TxnId, LAL_DEFAULT,
+};
+use aurora_quorum::{AckOutcome, DurabilityTracker, QuorumConfig, TruncationRange, VolumeEpoch};
+use aurora_sim::{Actor, ActorEvent, Ctx, Msg, NodeId, SimDuration, SimTime, Tag};
+use aurora_storage::wire as swire;
+use aurora_storage::{PgMembership, VolumeLayout};
+use bytes::Bytes;
+
+use crate::btree::{BTree, BTreeError, PageEditor, PageMiss, PageProvider, TreeMeta};
+use crate::buffer::BufferPool;
+use crate::locks::{LockOutcome, LockTable};
+use crate::wire::*;
+
+const TAG_FLUSH: Tag = 1;
+const TAG_SWEEP: Tag = 2;
+const TAG_ZDP_RESUME: Tag = 4;
+const TAG_RECOVERY_RESEND: Tag = 5;
+const TAG_BOOTSTRAP: Tag = 6;
+const TAG_CPU_BASE: Tag = 1 << 48;
+
+/// Client connection ids must stay below this; higher ids are reserved
+/// for the engine's synthetic rollback transactions.
+pub const CONN_SYNTHETIC_BASE: u64 = 1 << 40;
+
+/// EC2 instance model (§6.1: the r3 family, each size doubling the last).
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    pub name: &'static str,
+    pub vcpus: u32,
+    /// Buffer cache capacity in pages.
+    pub buffer_pages: usize,
+}
+
+impl InstanceSpec {
+    pub fn r3(name: &'static str, vcpus: u32, buffer_pages: usize) -> Self {
+        InstanceSpec {
+            name,
+            vcpus,
+            buffer_pages,
+        }
+    }
+
+    /// The five sizes used by Figure 6/7, with cache scaled to vCPUs.
+    pub fn r3_family() -> Vec<InstanceSpec> {
+        vec![
+            InstanceSpec::r3("r3.large", 2, 4_000),
+            InstanceSpec::r3("r3.xlarge", 4, 8_000),
+            InstanceSpec::r3("r3.2xlarge", 8, 16_000),
+            InstanceSpec::r3("r3.4xlarge", 16, 32_000),
+            InstanceSpec::r3("r3.8xlarge", 32, 64_000),
+        ]
+    }
+
+    pub fn r3_8xlarge() -> InstanceSpec {
+        InstanceSpec::r3("r3.8xlarge", 32, 64_000)
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub instance: InstanceSpec,
+    pub quorum: QuorumConfig,
+    pub layout: VolumeLayout,
+    pub memberships: Vec<PgMembership>,
+    /// Read replica nodes receiving the log stream.
+    pub replicas: Vec<NodeId>,
+    /// Control-plane node: recovery truncations are durably recorded there
+    /// (the paper's DynamoDB role) so laggard segments still learn them.
+    pub control: Option<NodeId>,
+    /// Fixed row payload size.
+    pub row_size: usize,
+    /// LSN Allocation Limit (§4.2.1).
+    pub lal: u64,
+    pub cpl_mode: CplMode,
+    /// CPU cost of one write statement.
+    pub cpu_per_op: SimDuration,
+    /// CPU cost of one read statement.
+    pub cpu_per_read: SimDuration,
+    /// Extra CPU per commit.
+    pub cpu_per_commit: SimDuration,
+    /// Group-commit window: staged records are shipped at least this often.
+    pub flush_interval: SimDuration,
+    /// Ship immediately once this many records are staged.
+    pub max_batch_records: usize,
+    /// Re-issue a storage read after this long.
+    pub read_timeout: SimDuration,
+    /// Abort a lock waiter after this long (deadlock breaker).
+    pub lock_wait_timeout: SimDuration,
+    /// Create the tree and load this many rows at start.
+    pub bootstrap_rows: u64,
+    /// Simulated duration of a ZDP engine swap (§7.4).
+    pub zdp_pause: SimDuration,
+    /// Start idle as a failover standby: the engine does nothing until a
+    /// [`Promote`] message arrives, then recovers the volume and serves.
+    pub standby: bool,
+}
+
+impl EngineConfig {
+    /// Reasonable defaults for tests; experiments override.
+    pub fn new(layout: VolumeLayout, memberships: Vec<PgMembership>) -> Self {
+        EngineConfig {
+            instance: InstanceSpec::r3_8xlarge(),
+            quorum: QuorumConfig::aurora(),
+            layout,
+            memberships,
+            replicas: Vec::new(),
+            control: None,
+            row_size: 96,
+            lal: LAL_DEFAULT,
+            cpl_mode: CplMode::LastOnly,
+            cpu_per_op: SimDuration::from_micros(60),
+            cpu_per_read: SimDuration::from_micros(40),
+            cpu_per_commit: SimDuration::from_micros(30),
+            flush_interval: SimDuration::from_micros(500),
+            max_batch_records: 256,
+            read_timeout: SimDuration::from_millis(20),
+            lock_wait_timeout: SimDuration::from_millis(100),
+            bootstrap_rows: 0,
+            zdp_pause: SimDuration::from_millis(3),
+            standby: false,
+        }
+    }
+}
+
+/// Externally visible engine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStatus {
+    Bootstrapping,
+    Ready,
+    Recovering,
+    Patching,
+    /// Idle failover target; promotes on [`Promote`].
+    Standby,
+}
+
+/// Why a running transaction is parked.
+#[derive(Debug)]
+enum Phase {
+    /// A CPU slice is scheduled; the op body runs when the timer fires.
+    Cpu,
+    /// Waiting for a page fetch (the page id aids debugging).
+    PageWait(#[allow(dead_code)] PageId),
+    /// Waiting in a lock queue.
+    LockWait { key: u64, since: SimTime },
+    /// Waiting for LAL headroom.
+    LalWait,
+}
+
+struct RunningTxn {
+    conn: u64,
+    client: NodeId,
+    issued_at: SimTime,
+    spec: TxnSpec,
+    pc: usize,
+    results: Vec<OpResult>,
+    txn: TxnId,
+    phase: Phase,
+    op_started: SimTime,
+    /// Logical inverse ops, newest last.
+    undo_ops: Vec<Op>,
+    first_lsn: Lsn,
+    wrote: bool,
+    /// True for synthetic rollback transactions: ends with `TxnAbort`,
+    /// responds to nobody, never itself aborts.
+    rollback: bool,
+}
+
+struct PendingCommit {
+    conn: u64,
+    client: NodeId,
+    issued_at: SimTime,
+    results: Vec<OpResult>,
+    is_write: bool,
+}
+
+struct OutBatch {
+    by_pg: HashMap<PgId, Vec<LogRecord>>,
+    acked: HashSet<(u32, u8)>,
+    last_sent: SimTime,
+}
+
+struct PendingRead {
+    page: PageId,
+    read_point: Lsn,
+    conns: Vec<u64>,
+    sent_at: SimTime,
+    target: SegmentId,
+    attempts: u32,
+}
+
+#[derive(Default)]
+struct RecoveryState {
+    /// pg -> (replica -> (scl, highest))
+    scls: HashMap<u32, HashMap<u8, (Lsn, Lsn)>>,
+    max_epoch: VolumeEpoch,
+    vcl: Option<Lsn>,
+    cpls: HashMap<u32, Lsn>,
+    vdl: Option<Lsn>,
+    truncate_acks: HashMap<u32, HashSet<u8>>,
+    truncated: bool,
+    in_flight: Option<Vec<TxnId>>,
+    undo_records: Vec<LogRecord>,
+    undo_replies: usize,
+    max_txn_seen: u64,
+    started: SimTime,
+}
+
+/// The writer-instance actor.
+pub struct EngineActor {
+    cfg: EngineConfig,
+    tree: BTree,
+    status: EngineStatus,
+    engine_version: u64,
+
+    // ---- volatile state (rebuilt by recovery) ----
+    pool: BufferPool,
+    alloc: LsnAllocator,
+    chain_tails: HashMap<PgId, Lsn>,
+    tracker: DurabilityTracker,
+    epoch: VolumeEpoch,
+    staging: Vec<LogRecord>,
+    staging_cpl: Option<Lsn>,
+    staging_pgs: Vec<PgId>,
+    commit_waiters: BTreeMap<Lsn, Vec<PendingCommit>>,
+    locks: LockTable,
+    running: HashMap<u64, RunningTxn>,
+    lal_waiters: VecDeque<u64>,
+    next_txn: u64,
+    next_req: u64,
+    next_synthetic_conn: u64,
+    scls: HashMap<SegmentId, Lsn>,
+    reads: HashMap<u64, PendingRead>,
+    page_waits: HashMap<PageId, u64>,
+    pending_inserts: Vec<(PageId, Page)>,
+    /// Shipped but not-yet-durable batches, for retransmission to segments
+    /// that were down or lost the delivery.
+    outstanding: BTreeMap<Lsn, OutBatch>,
+    vcpu_free: Vec<SimTime>,
+    recovery: Option<RecoveryState>,
+    zdp: Option<(NodeId, u64)>,
+    patch_queue: Vec<(NodeId, ClientRequest)>,
+    known_conns: HashSet<u64>,
+    bootstrap_next: u64,
+}
+
+// ------------------------------------------------------------------
+// The engine's PageProvider: buffer cache + record capture
+// ------------------------------------------------------------------
+
+struct EngineProvider<'a> {
+    pool: &'a mut BufferPool,
+    bodies: Vec<RecordBody>,
+}
+
+impl<'a> EngineProvider<'a> {
+    fn new(pool: &'a mut BufferPool) -> Self {
+        EngineProvider {
+            pool,
+            bodies: Vec::new(),
+        }
+    }
+}
+
+impl<'a> PageProvider for EngineProvider<'a> {
+    fn read(&mut self, id: PageId) -> Result<&Page, PageMiss> {
+        // double lookup to satisfy NLL (conditional borrow return)
+        if self.pool.get(id).is_some() {
+            Ok(self.pool.peek(id).unwrap())
+        } else {
+            Err(PageMiss(id))
+        }
+    }
+
+    fn write(
+        &mut self,
+        id: PageId,
+        f: &mut dyn FnMut(&mut PageEditor<'_>),
+    ) -> Result<(), PageMiss> {
+        let Some(page) = self.pool.get_mut(id) else {
+            return Err(PageMiss(id));
+        };
+        let mut patches = Vec::new();
+        {
+            let mut editor = PageEditor::new(page, &mut patches);
+            f(&mut editor);
+        }
+        if !patches.is_empty() {
+            self.bodies.push(RecordBody::PageWrite {
+                page: id,
+                patches: patches
+                    .into_iter()
+                    .map(|(offset, before, after)| Patch {
+                        offset,
+                        before: Bytes::from(before),
+                        after: Bytes::from(after),
+                    })
+                    .collect(),
+            });
+        }
+        Ok(())
+    }
+
+    fn allocate(&mut self) -> Result<PageId, PageMiss> {
+        // Allocator state lives in the meta page (page 0) so that recovery
+        // finds it; the new page is formatted through the log.
+        let off = crate::btree::OFF_META_NEXT_FREE;
+        let next = {
+            let meta = self.pool.get(PageId(0)).ok_or(PageMiss(PageId(0)))?;
+            let stored =
+                u64::from_le_bytes(meta.bytes()[off..off + 8].try_into().unwrap());
+            stored.max(1)
+        };
+        let id = PageId(next);
+        self.write(PageId(0), &mut |e| {
+            e.set_u64(off, next + 1);
+        })?;
+        self.bodies.push(RecordBody::PageFormat {
+            page: id,
+            init: Bytes::new(),
+        });
+        // make the fresh page resident without evicting (eviction mid-op
+        // could pull a page out from under the B+-tree)
+        self.pool.insert_unchecked(id, Page::new());
+        Ok(id)
+    }
+}
+
+// ------------------------------------------------------------------
+// Undo-op (logical inverse) encoding for RecordBody::Undo
+// ------------------------------------------------------------------
+
+fn encode_undo(txn: TxnId, op: &Op) -> Bytes {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&txn.0.to_le_bytes());
+    match op {
+        Op::Insert(k, v) => {
+            out.push(0);
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        Op::Update(k, v) => {
+            out.push(1);
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        Op::Delete(k) => {
+            out.push(2);
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        _ => unreachable!("only write inverses are encoded"),
+    }
+    Bytes::from(out)
+}
+
+fn decode_undo(data: &[u8]) -> Option<(TxnId, Op)> {
+    if data.len() < 17 {
+        return None;
+    }
+    let txn = TxnId(u64::from_le_bytes(data[0..8].try_into().ok()?));
+    let tag = data[8];
+    let k = u64::from_le_bytes(data[9..17].try_into().ok()?);
+    let op = match tag {
+        0 => Op::Insert(k, data[17..].to_vec()),
+        1 => Op::Update(k, data[17..].to_vec()),
+        2 => Op::Delete(k),
+        _ => return None,
+    };
+    Some((txn, op))
+}
+
+enum WriteKind {
+    Insert(Vec<u8>),
+    Update(Vec<u8>),
+    Upsert(Vec<u8>),
+    Delete,
+}
+
+enum ExecStall {
+    Miss(PageId),
+    Lal,
+    Abort(String),
+}
+
+fn stall_from(e: BTreeError) -> ExecStall {
+    match e {
+        BTreeError::Miss(m) => ExecStall::Miss(m.0),
+        BTreeError::DuplicateKey(k) => ExecStall::Abort(format!("duplicate key {k}")),
+        BTreeError::KeyNotFound(k) => ExecStall::Abort(format!("key {k} not found")),
+        BTreeError::LeafFull => ExecStall::Abort("internal: leaf full".into()),
+        BTreeError::NotInitialized => ExecStall::Abort("tree not initialized".into()),
+    }
+}
+
+fn fit_row(v: &[u8], row_size: usize) -> Vec<u8> {
+    let mut row = vec![0u8; row_size];
+    let n = v.len().min(row_size);
+    row[..n].copy_from_slice(&v[..n]);
+    row
+}
+
+/// Deterministic bootstrap row content.
+pub fn bootstrap_row(key: u64, row_size: usize) -> Vec<u8> {
+    let mut row = vec![0u8; row_size];
+    row[..8].copy_from_slice(&key.to_le_bytes());
+    row[8..16].copy_from_slice(&key.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes());
+    row
+}
+
+impl EngineActor {
+    pub fn new(cfg: EngineConfig) -> Self {
+        let tree = BTree::new(TreeMeta::for_row_size(cfg.row_size, PageId(0)));
+        let pool = BufferPool::new(cfg.instance.buffer_pages);
+        let alloc = LsnAllocator::new(Lsn::ZERO, cfg.lal);
+        let tracker = DurabilityTracker::new(cfg.quorum, Lsn::ZERO);
+        let vcpus = cfg.instance.vcpus as usize;
+        EngineActor {
+            tree,
+            pool,
+            alloc,
+            tracker,
+            status: EngineStatus::Bootstrapping,
+            engine_version: 1,
+            chain_tails: HashMap::new(),
+            epoch: VolumeEpoch(0),
+            staging: Vec::new(),
+            staging_cpl: None,
+            staging_pgs: Vec::new(),
+            commit_waiters: BTreeMap::new(),
+            locks: LockTable::new(),
+            running: HashMap::new(),
+            lal_waiters: VecDeque::new(),
+            next_txn: 1,
+            next_req: 1,
+            next_synthetic_conn: CONN_SYNTHETIC_BASE,
+            scls: HashMap::new(),
+            reads: HashMap::new(),
+            page_waits: HashMap::new(),
+            pending_inserts: Vec::new(),
+            outstanding: BTreeMap::new(),
+            vcpu_free: vec![SimTime::ZERO; vcpus],
+            recovery: None,
+            zdp: None,
+            patch_queue: Vec::new(),
+            known_conns: HashSet::new(),
+            bootstrap_next: 0,
+            cfg,
+        }
+    }
+
+    /// Current VDL (inspection).
+    pub fn vdl(&self) -> Lsn {
+        self.tracker.vdl()
+    }
+
+    /// Current status (inspection).
+    pub fn status(&self) -> EngineStatus {
+        self.status
+    }
+
+    /// Engine version (for ZDP tests).
+    pub fn version(&self) -> u64 {
+        self.engine_version
+    }
+
+    /// Buffer cache (hits, misses) — inspection.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.pool.hits, self.pool.misses)
+    }
+
+    /// Active (running, non-synthetic) transactions — inspection.
+    pub fn active_txns(&self) -> usize {
+        self.running
+            .iter()
+            .filter(|(c, _)| **c < CONN_SYNTHETIC_BASE)
+            .count()
+    }
+
+    fn membership(&self, pg: PgId) -> &PgMembership {
+        self.cfg
+            .memberships
+            .iter()
+            .find(|m| m.pg == pg)
+            .expect("membership for every pg")
+    }
+
+    /// §4.2.3: the PGMRPL low-water mark below which no read will ever be
+    /// issued and whose records storage may GC. Bounded by the oldest
+    /// uncommitted transaction so logical undo records survive.
+    fn pgmrpl(&self) -> Lsn {
+        let mut low = self.tracker.vdl();
+        for rt in self.running.values() {
+            if rt.wrote && !rt.first_lsn.is_zero() {
+                low = low.min(Lsn(rt.first_lsn.0.saturating_sub(1)));
+            }
+        }
+        low
+    }
+
+    // ---- CPU scheduling ----
+
+    fn schedule_cpu(&mut self, ctx: &mut Ctx<'_>, conn: u64, cost: SimDuration) {
+        let now = ctx.now();
+        let (idx, free) = self
+            .vcpu_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, t)| (i, *t))
+            .unwrap();
+        let start = if free > now { free } else { now };
+        let end = start + cost;
+        self.vcpu_free[idx] = end;
+        ctx.set_timer(end - now, TAG_CPU_BASE + conn);
+    }
+
+    // ---- log staging / shipping ----
+
+    /// Seal a mini-transaction: allocate LSNs, thread backlinks, stage the
+    /// records, stamp cached pages. Returns (first, last) LSNs.
+    fn seal_mtr(&mut self, txn: TxnId, bodies: Vec<RecordBody>) -> Result<(Lsn, Lsn), ()> {
+        if bodies.is_empty() {
+            return Ok((Lsn::ZERO, Lsn::ZERO));
+        }
+        let mut b = MtrBuilder::new();
+        for body in bodies {
+            b.push(txn, body);
+        }
+        let layout = self.cfg.layout.clone();
+        let records = match b.finish(
+            &mut self.alloc,
+            |p| layout.pg_of(p),
+            &mut self.chain_tails,
+            self.cfg.cpl_mode,
+        ) {
+            Ok(r) => r,
+            Err(_) => return Err(()), // LAL back-pressure
+        };
+        let first = records.first().unwrap().lsn;
+        let last = records.last().unwrap().lsn;
+        for rec in &records {
+            if let Some(page) = rec.page() {
+                self.pool.set_lsn(page, rec.lsn);
+            }
+            if rec.is_cpl {
+                self.staging_cpl = Some(rec.lsn);
+            }
+            if !self.staging_pgs.contains(&rec.pg) {
+                self.staging_pgs.push(rec.pg);
+            }
+        }
+        self.staging.extend(records);
+        Ok((first, last))
+    }
+
+    /// §2.2: "The PGs that constitute a volume are allocated as the volume
+    /// grows." When staged records touch a protection group beyond the
+    /// provisioned set, mint its membership (striped over the same storage
+    /// nodes, preserving the 2-per-AZ layout), wire gossip peers, and tell
+    /// the control plane.
+    fn ensure_memberships(&mut self, ctx: &mut Ctx<'_>) {
+        let new_pgs: Vec<PgId> = self
+            .staging_pgs
+            .iter()
+            .filter(|pg| self.cfg.memberships.iter().all(|m| m.pg != **pg))
+            .copied()
+            .collect();
+        for pg in new_pgs {
+            // stripe like the original allocation: reuse the slot->node
+            // pattern of an existing PG, rotated by the new PG's index so
+            // load spreads across the fleet
+            let template = self.cfg.memberships[pg.0 as usize % self.cfg.memberships.len()].clone();
+            let m = PgMembership::new(pg, template.slots.clone());
+            for (replica, node) in m.slots.iter().enumerate() {
+                ctx.send(
+                    *node,
+                    swire::SegmentPeers {
+                        segment: SegmentId::new(pg, replica as u8),
+                        peers: m.peers_of(replica as u8),
+                    },
+                );
+            }
+            if let Some(control) = self.cfg.control {
+                ctx.send(
+                    control,
+                    swire::MembershipUpdate {
+                        membership: m.clone(),
+                    },
+                );
+            }
+            self.cfg.memberships.push(m);
+            self.cfg.layout.grow_to_cover(aurora_log::PageId(
+                (pg.0 as u64 + 1) * self.cfg.layout.pages_per_pg - 1,
+            ));
+            ctx.inc("engine.volume_growths", 1);
+        }
+    }
+
+    fn flush_staging(&mut self, ctx: &mut Ctx<'_>) {
+        if self.staging.is_empty() {
+            return;
+        }
+        self.ensure_memberships(ctx);
+        let records = std::mem::take(&mut self.staging);
+        let cpl = self.staging_cpl.take();
+        let pgs = std::mem::take(&mut self.staging_pgs);
+        let batch_end = records.last().unwrap().lsn;
+        self.tracker.register(batch_end, cpl, &pgs);
+        let vdl = self.tracker.vdl();
+        let pgmrpl = self.pgmrpl();
+        // shard by PG (§5) and ship to all six replicas of each PG
+        let mut by_pg: HashMap<PgId, Vec<LogRecord>> = HashMap::new();
+        for r in &records {
+            by_pg.entry(r.pg).or_default().push(r.clone());
+        }
+        for (pg, recs) in &by_pg {
+            let m = self.membership(*pg).clone();
+            for (slot, node) in m.slots.iter().enumerate() {
+                ctx.send(
+                    *node,
+                    swire::WriteBatch {
+                        segment: SegmentId::new(*pg, slot as u8),
+                        records: recs.clone(),
+                        batch_end,
+                        epoch: self.epoch,
+                        vdl,
+                        pgmrpl,
+                    },
+                );
+                ctx.inc("engine.log_write_ios", 1);
+            }
+        }
+        self.outstanding.insert(
+            batch_end,
+            OutBatch {
+                by_pg,
+                acked: HashSet::new(),
+                last_sent: ctx.now(),
+            },
+        );
+        // stream to read replicas (not part of the commit path)
+        let now = ctx.now();
+        for replica in self.cfg.replicas.clone() {
+            ctx.send(
+                replica,
+                LogStream {
+                    records: records.clone(),
+                    vdl,
+                    sent_at: now,
+                },
+            );
+        }
+        ctx.inc("engine.batches", 1);
+        ctx.inc("engine.records_shipped", records.len() as u64);
+    }
+
+    fn maybe_flush(&mut self, ctx: &mut Ctx<'_>) {
+        if self.staging.len() >= self.cfg.max_batch_records {
+            self.flush_staging(ctx);
+        }
+    }
+
+    // ---- VDL advance reactions ----
+
+    fn on_vdl_advance(&mut self, ctx: &mut Ctx<'_>, vdl: Lsn) {
+        self.alloc.advance_vdl(vdl);
+        // complete asynchronous commits (§4.2.2)
+        let ready: Vec<Lsn> = self.commit_waiters.range(..=vdl).map(|(l, _)| *l).collect();
+        let now = ctx.now();
+        for lsn in ready {
+            for pc in self.commit_waiters.remove(&lsn).unwrap() {
+                let latency = now.since(pc.issued_at).nanos();
+                ctx.record("engine.txn_ns", latency);
+                if pc.is_write {
+                    ctx.record("engine.commit_ns", latency);
+                }
+                ctx.inc("engine.commits", 1);
+                ctx.send(
+                    pc.client,
+                    ClientResponse {
+                        conn: pc.conn,
+                        result: TxnResult::Committed(pc.results),
+                        issued_at: pc.issued_at,
+                    },
+                );
+            }
+        }
+        // retry stalled cache inserts (eviction was blocked on durability)
+        if !self.pending_inserts.is_empty() {
+            let pending = std::mem::take(&mut self.pending_inserts);
+            for (id, page) in pending {
+                if let Err(p) = self.pool.insert(id, page, vdl) {
+                    self.pending_inserts.push((id, p));
+                }
+            }
+        }
+        // trim any bootstrap overshoot
+        self.pool.shrink_to_capacity(vdl);
+        // wake LAL waiters
+        let waiters: Vec<u64> = self.lal_waiters.drain(..).collect();
+        for conn in waiters {
+            if self.running.contains_key(&conn) {
+                self.exec_current_op(ctx, conn);
+            }
+        }
+        // tell replicas even when no records flowed
+        for replica in self.cfg.replicas.clone() {
+            ctx.send(replica, VdlUpdate { vdl, sent_at: now });
+        }
+    }
+
+    // ---- transaction execution ----
+
+    fn begin_request(&mut self, ctx: &mut Ctx<'_>, client: NodeId, req: ClientRequest) {
+        if self.status == EngineStatus::Patching {
+            self.patch_queue.push((client, req));
+            return;
+        }
+        if self.status == EngineStatus::Recovering || self.status == EngineStatus::Standby {
+            ctx.send(
+                client,
+                ClientResponse {
+                    conn: req.conn,
+                    result: TxnResult::Aborted("recovering".into()),
+                    issued_at: req.issued_at,
+                },
+            );
+            return;
+        }
+        debug_assert!(req.conn < CONN_SYNTHETIC_BASE, "reserved conn space");
+        self.known_conns.insert(req.conn);
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let conn = req.conn;
+        let rt = RunningTxn {
+            conn,
+            client,
+            issued_at: req.issued_at,
+            spec: req.txn,
+            pc: 0,
+            results: Vec::new(),
+            txn,
+            phase: Phase::Cpu,
+            op_started: ctx.now(),
+            undo_ops: Vec::new(),
+            first_lsn: Lsn::ZERO,
+            wrote: false,
+            rollback: false,
+        };
+        self.running.insert(conn, rt);
+        self.start_op(ctx, conn);
+    }
+
+    /// Charge CPU for the current op; its body runs when the slice ends.
+    fn start_op(&mut self, ctx: &mut Ctx<'_>, conn: u64) {
+        let Some(rt) = self.running.get_mut(&conn) else {
+            return;
+        };
+        rt.op_started = ctx.now();
+        rt.phase = Phase::Cpu;
+        let cost = if rt.pc >= rt.spec.ops.len() {
+            self.cfg.cpu_per_commit
+        } else if rt.spec.ops[rt.pc].is_read() {
+            self.cfg.cpu_per_read
+        } else {
+            self.cfg.cpu_per_op
+        };
+        self.schedule_cpu(ctx, conn, cost);
+    }
+
+    /// Execute the op at `pc` (after its CPU slice, a page arrival, a lock
+    /// grant, or a LAL release).
+    fn exec_current_op(&mut self, ctx: &mut Ctx<'_>, conn: u64) {
+        let Some(rt) = self.running.get(&conn) else {
+            return;
+        };
+        if rt.pc >= rt.spec.ops.len() {
+            self.finish_txn(ctx, conn);
+            return;
+        }
+        let op = rt.spec.ops[rt.pc].clone();
+        let txn = rt.txn;
+
+        // --- lock acquisition for writes ---
+        if let Some(key) = op.write_key() {
+            match self.locks.acquire(key, txn) {
+                LockOutcome::Granted => {}
+                LockOutcome::Queued => {
+                    ctx.inc("engine.lock_waits", 1);
+                    let now = ctx.now();
+                    if let Some(rt) = self.running.get_mut(&conn) {
+                        rt.phase = Phase::LockWait { key, since: now };
+                    }
+                    return;
+                }
+            }
+        }
+
+        match self.try_exec_op(conn, &op) {
+            Ok(result) => {
+                let kind = match &op {
+                    Op::Get(_) => "engine.select_ns",
+                    Op::Scan(_, _) => "engine.scan_ns",
+                    Op::Insert(_, _) => "engine.insert_ns",
+                    Op::Update(_, _) | Op::Upsert(_, _) => "engine.update_ns",
+                    Op::Delete(_) => "engine.delete_ns",
+                };
+                let rt = self.running.get_mut(&conn).unwrap();
+                let elapsed = ctx.now().since(rt.op_started).nanos();
+                rt.results.push(result);
+                rt.pc += 1;
+                ctx.record(kind, elapsed);
+                self.maybe_flush(ctx);
+                self.start_op(ctx, conn);
+            }
+            Err(ExecStall::Miss(page)) => {
+                if let Some(rt) = self.running.get_mut(&conn) {
+                    rt.phase = Phase::PageWait(page);
+                }
+                self.request_page(ctx, page, conn);
+            }
+            Err(ExecStall::Lal) => {
+                if let Some(rt) = self.running.get_mut(&conn) {
+                    rt.phase = Phase::LalWait;
+                }
+                self.lal_waiters.push_back(conn);
+                ctx.inc("engine.lal_stalls", 1);
+            }
+            Err(ExecStall::Abort(reason)) => {
+                self.abort_txn(ctx, conn, reason);
+            }
+        }
+    }
+
+    fn try_exec_op(&mut self, conn: u64, op: &Op) -> Result<OpResult, ExecStall> {
+        let txn = self.running.get(&conn).expect("running txn").txn;
+        let tree = self.tree;
+        match op {
+            Op::Get(k) => {
+                let mut p = EngineProvider::new(&mut self.pool);
+                match tree.get(&mut p, *k) {
+                    Ok(row) => Ok(OpResult::Row(row)),
+                    Err(e) => Err(stall_from(e)),
+                }
+            }
+            Op::Scan(k, n) => {
+                let mut p = EngineProvider::new(&mut self.pool);
+                match tree.scan(&mut p, *k, *n) {
+                    Ok(rows) => Ok(OpResult::Rows(rows)),
+                    Err(e) => Err(stall_from(e)),
+                }
+            }
+            Op::Insert(k, v) => self.write_op(txn, conn, *k, WriteKind::Insert(v.clone())),
+            Op::Update(k, v) => self.write_op(txn, conn, *k, WriteKind::Update(v.clone())),
+            Op::Upsert(k, v) => self.write_op(txn, conn, *k, WriteKind::Upsert(v.clone())),
+            Op::Delete(k) => self.write_op(txn, conn, *k, WriteKind::Delete),
+        }
+    }
+
+    /// Run structural splits (SYSTEM MTRs) until `key`'s leaf has room.
+    fn ensure_leaf_room(&mut self, key: u64) -> Result<(), ExecStall> {
+        let tree = self.tree;
+        loop {
+            let needs = {
+                let mut p = EngineProvider::new(&mut self.pool);
+                tree.needs_split(&mut p, key)
+            };
+            match needs {
+                Ok(false) => return Ok(()),
+                Ok(true) => {
+                    let bodies = {
+                        let mut p = EngineProvider::new(&mut self.pool);
+                        match tree.prepare_split(&mut p, key) {
+                            Ok(()) => p.bodies,
+                            Err(e) => return Err(stall_from(e)),
+                        }
+                    };
+                    if self.seal_mtr(TxnId::SYSTEM, bodies).is_err() {
+                        return Err(ExecStall::Lal);
+                    }
+                }
+                Err(e) => return Err(stall_from(e)),
+            }
+        }
+    }
+
+    fn write_op(
+        &mut self,
+        txn: TxnId,
+        conn: u64,
+        key: u64,
+        kind: WriteKind,
+    ) -> Result<OpResult, ExecStall> {
+        let tree = self.tree;
+        let row_size = self.cfg.row_size;
+        // Phase 1: read the old row (may miss; nothing mutated yet).
+        let old = {
+            let mut p = EngineProvider::new(&mut self.pool);
+            match tree.get(&mut p, key) {
+                Ok(v) => v,
+                Err(e) => return Err(stall_from(e)),
+            }
+        };
+        enum Act {
+            Ins(Vec<u8>),
+            Upd(Vec<u8>),
+            Del,
+        }
+        let (inverse, action) = match (&kind, old) {
+            (WriteKind::Insert(row), None) => {
+                (Op::Delete(key), Act::Ins(fit_row(row, row_size)))
+            }
+            (WriteKind::Insert(_), Some(_)) => {
+                return Err(ExecStall::Abort(format!("duplicate key {key}")))
+            }
+            (WriteKind::Update(row), Some(old)) => {
+                (Op::Update(key, old), Act::Upd(fit_row(row, row_size)))
+            }
+            (WriteKind::Update(_), None) => {
+                return Err(ExecStall::Abort(format!("key {key} not found")))
+            }
+            (WriteKind::Upsert(row), Some(old)) => {
+                (Op::Update(key, old), Act::Upd(fit_row(row, row_size)))
+            }
+            (WriteKind::Upsert(row), None) => {
+                (Op::Delete(key), Act::Ins(fit_row(row, row_size)))
+            }
+            (WriteKind::Delete, Some(old)) => (Op::Insert(key, old), Act::Del),
+            (WriteKind::Delete, None) => {
+                return Err(ExecStall::Abort(format!("key {key} not found")))
+            }
+        };
+
+        // Phase 2: structural preparation as SYSTEM mini-transactions, so
+        // user MTRs only touch row bytes (undo never reverts tree shape).
+        if matches!(action, Act::Ins(_)) {
+            self.ensure_leaf_room(key)?;
+        }
+
+        // Phase 3: the row change + its logical undo record, one user MTR.
+        let mut bodies = {
+            let mut p = EngineProvider::new(&mut self.pool);
+            let r = match &action {
+                Act::Ins(row) => tree.insert_no_split(&mut p, key, row),
+                Act::Upd(row) => tree.update(&mut p, key, row),
+                Act::Del => tree.delete(&mut p, key),
+            };
+            match r {
+                Ok(()) => p.bodies,
+                Err(e) => return Err(stall_from(e)),
+            }
+        };
+        bodies.push(RecordBody::Undo {
+            data: encode_undo(txn, &inverse),
+        });
+        let rt = self.running.get_mut(&conn).unwrap();
+        let first_write = !rt.wrote;
+        let log_begin = first_write && !rt.rollback;
+        let mut all = Vec::with_capacity(bodies.len() + 1);
+        if log_begin {
+            all.push(RecordBody::TxnBegin);
+        }
+        all.extend(bodies);
+        match self.seal_mtr(txn, all) {
+            Ok((first, _last)) => {
+                let rt = self.running.get_mut(&conn).unwrap();
+                if first_write {
+                    rt.first_lsn = first;
+                    rt.wrote = true;
+                }
+                rt.undo_ops.push(inverse);
+                Ok(OpResult::Done)
+            }
+            Err(()) => Err(ExecStall::Lal),
+        }
+    }
+
+    fn finish_txn(&mut self, ctx: &mut Ctx<'_>, conn: u64) {
+        let rt = self.running.remove(&conn).expect("running txn");
+        if rt.rollback {
+            // synthetic rollback: end with a durable TxnAbort, free locks
+            let _ = self.seal_mtr(rt.txn, vec![RecordBody::TxnAbort]);
+            self.locks.release_all(rt.txn);
+            self.resume_lock_waiters(ctx);
+            self.flush_staging(ctx);
+            ctx.inc("engine.rollbacks_completed", 1);
+            self.after_txn_end(ctx);
+            return;
+        }
+        if !rt.wrote {
+            // read-only: respond immediately, nothing to make durable
+            ctx.inc("engine.read_txns", 1);
+            ctx.inc("engine.commits", 1);
+            ctx.record("engine.txn_ns", ctx.now().since(rt.issued_at).nanos());
+            ctx.send(
+                rt.client,
+                ClientResponse {
+                    conn: rt.conn,
+                    result: TxnResult::Committed(rt.results),
+                    issued_at: rt.issued_at,
+                },
+            );
+            self.after_txn_end(ctx);
+            return;
+        }
+        // write txn: log the commit record; ack when VDL covers it
+        match self.seal_mtr(rt.txn, vec![RecordBody::TxnCommit]) {
+            Ok((_, commit_lsn)) => {
+                ctx.inc("engine.write_txns", 1);
+                // early lock release is safe: the VDL advances in LSN
+                // order, so a dependent commit can never out-run this one
+                self.locks.release_all(rt.txn);
+                self.resume_lock_waiters(ctx);
+                self.commit_waiters
+                    .entry(commit_lsn)
+                    .or_default()
+                    .push(PendingCommit {
+                        conn: rt.conn,
+                        client: rt.client,
+                        issued_at: rt.issued_at,
+                        results: rt.results,
+                        is_write: true,
+                    });
+                // the group-commit window (flush timer / batch cap) ships
+                // this; forcing a flush here would defeat batching
+                self.maybe_flush(ctx);
+                self.after_txn_end(ctx);
+            }
+            Err(()) => {
+                self.running.insert(conn, rt);
+                if let Some(rt) = self.running.get_mut(&conn) {
+                    rt.phase = Phase::LalWait;
+                }
+                self.lal_waiters.push_back(conn);
+            }
+        }
+    }
+
+    fn abort_txn(&mut self, ctx: &mut Ctx<'_>, conn: u64, reason: String) {
+        let Some(rt) = self.running.remove(&conn) else {
+            return;
+        };
+        if rt.rollback {
+            // a rollback op failed (should not happen) — drop it, free locks
+            ctx.inc("engine.rollback_errors", 1);
+            self.locks.release_all(rt.txn);
+            self.resume_lock_waiters(ctx);
+            return;
+        }
+        ctx.inc("engine.aborts", 1);
+        ctx.send(
+            rt.client,
+            ClientResponse {
+                conn: rt.conn,
+                result: TxnResult::Aborted(reason),
+                issued_at: rt.issued_at,
+            },
+        );
+        if !rt.wrote {
+            self.locks.release_all(rt.txn);
+            self.resume_lock_waiters(ctx);
+            self.after_txn_end(ctx);
+            return;
+        }
+        // logical rollback as a synthetic transaction reusing the same
+        // TxnId (so it already owns every needed lock), newest first
+        let inverse_ops: Vec<Op> = rt.undo_ops.iter().rev().cloned().collect();
+        self.spawn_rollback(ctx, rt.txn, inverse_ops);
+    }
+
+    fn spawn_rollback(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, inverse_ops: Vec<Op>) {
+        let conn = self.next_synthetic_conn;
+        self.next_synthetic_conn += 1;
+        let rt = RunningTxn {
+            conn,
+            client: aurora_sim::sim::EXTERNAL,
+            issued_at: ctx.now(),
+            spec: TxnSpec { ops: inverse_ops },
+            pc: 0,
+            results: Vec::new(),
+            txn,
+            phase: Phase::Cpu,
+            op_started: ctx.now(),
+            undo_ops: Vec::new(),
+            first_lsn: Lsn::ZERO,
+            wrote: true, // suppress TxnBegin; the forward txn logged it
+            rollback: true,
+        };
+        self.running.insert(conn, rt);
+        self.start_op(ctx, conn);
+    }
+
+    fn resume_lock_waiters(&mut self, ctx: &mut Ctx<'_>) {
+        let resumable: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|(_, rt)| {
+                matches!(rt.phase, Phase::LockWait { key, .. }
+                    if self.locks.owner(key) == Some(rt.txn))
+            })
+            .map(|(c, _)| *c)
+            .collect();
+        for conn in resumable {
+            self.exec_current_op(ctx, conn);
+        }
+    }
+
+    fn after_txn_end(&mut self, ctx: &mut Ctx<'_>) {
+        if self.zdp.is_some() && self.running.is_empty() && self.status == EngineStatus::Ready {
+            self.apply_zdp(ctx);
+        }
+    }
+
+    fn apply_zdp(&mut self, ctx: &mut Ctx<'_>) {
+        let (requester, version) = self.zdp.take().unwrap();
+        // §7.4: spool sessions, swap the engine, reload — requests arriving
+        // during the swap are queued, never dropped
+        self.status = EngineStatus::Patching;
+        self.engine_version = version;
+        ctx.set_timer(self.cfg.zdp_pause, TAG_ZDP_RESUME);
+        ctx.inc("engine.zdp_patches", 1);
+        ctx.send(
+            requester,
+            ZdpDone {
+                version,
+                sessions_preserved: self.known_conns.len() as u64,
+                connections_dropped: 0,
+            },
+        );
+    }
+
+    // ---- storage reads ----
+
+    fn request_page(&mut self, ctx: &mut Ctx<'_>, page: PageId, conn: u64) {
+        if let Some(req_id) = self.page_waits.get(&page) {
+            if let Some(pr) = self.reads.get_mut(req_id) {
+                if !pr.conns.contains(&conn) {
+                    pr.conns.push(conn);
+                }
+                return;
+            }
+        }
+        let read_point = self.tracker.vdl();
+        let pg = self.cfg.layout.pg_of(page);
+        let target = self.pick_segment(ctx, pg, read_point, None);
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.page_waits.insert(page, req_id);
+        self.reads.insert(
+            req_id,
+            PendingRead {
+                page,
+                read_point,
+                conns: vec![conn],
+                sent_at: ctx.now(),
+                target,
+                attempts: 1,
+            },
+        );
+        let node = self.membership(pg).slots[target.replica as usize];
+        ctx.inc("engine.page_fetches", 1);
+        ctx.send(
+            node,
+            swire::ReadPageReq {
+                req_id,
+                segment: target,
+                page,
+                read_point,
+            },
+        );
+    }
+
+    /// §4.2.3: choose a segment whose SCL covers the read point — no
+    /// quorum read needed in the normal path. The SCL is a *per-PG* LSN,
+    /// so the bar is the newest record this engine ever wrote to the PG
+    /// (its chain tail), clamped by the read point: a segment holding the
+    /// full PG chain is complete with respect to any global read point.
+    fn pick_segment(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        pg: PgId,
+        read_point: Lsn,
+        avoid: Option<u8>,
+    ) -> SegmentId {
+        let bar = self
+            .chain_tails
+            .get(&pg)
+            .copied()
+            .unwrap_or(Lsn::ZERO)
+            .min(read_point);
+        let slots = self.membership(pg).slots.len() as u8;
+        let candidates: Vec<u8> = (0..slots)
+            .filter(|r| Some(*r) != avoid)
+            .filter(|r| {
+                self.scls
+                    .get(&SegmentId::new(pg, *r))
+                    .is_some_and(|scl| *scl >= bar)
+            })
+            .collect();
+        if !candidates.is_empty() {
+            let pick = candidates[ctx.rng().index(candidates.len())];
+            return SegmentId::new(pg, pick);
+        }
+        // cold path (post-recovery): highest known SCL, else slot 0
+        let best = (0..slots)
+            .filter(|r| Some(*r) != avoid)
+            .max_by_key(|r| self.scls.get(&SegmentId::new(pg, *r)).copied())
+            .unwrap_or(0);
+        SegmentId::new(pg, best)
+    }
+
+    fn on_page_resp(&mut self, ctx: &mut Ctx<'_>, resp: swire::ReadPageResp) {
+        let Some(pr) = self.reads.remove(&resp.req_id) else {
+            return; // stale retry
+        };
+        self.page_waits.remove(&pr.page);
+        ctx.record("engine.page_fetch_ns", ctx.now().since(pr.sent_at).nanos());
+        let vdl = self.tracker.vdl();
+        if let Err(page) = self.pool.insert(resp.page_id, resp.page, vdl) {
+            self.pending_inserts.push((resp.page_id, page));
+        }
+        for conn in pr.conns {
+            if self.running.contains_key(&conn) {
+                self.exec_current_op(ctx, conn);
+            }
+        }
+    }
+
+    // ---- periodic sweep: lock timeouts, read retries, retransmits ----
+
+    fn sweep(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.retransmit_stale(ctx, now);
+        let timed_out: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|(_, rt)| {
+                matches!(rt.phase, Phase::LockWait { since, .. }
+                    if now.since(since) > self.cfg.lock_wait_timeout)
+            })
+            .map(|(c, _)| *c)
+            .collect();
+        for conn in timed_out {
+            ctx.inc("engine.lock_timeouts", 1);
+            self.abort_txn(ctx, conn, "lock wait timeout".into());
+        }
+        let expired: Vec<u64> = self
+            .reads
+            .iter()
+            .filter(|(_, pr)| now.since(pr.sent_at) > self.cfg.read_timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        for req_id in expired {
+            let (page, read_point, avoid) = {
+                let pr = self.reads.get(&req_id).unwrap();
+                (pr.page, pr.read_point, pr.target.replica)
+            };
+            let pg = self.cfg.layout.pg_of(page);
+            let target = self.pick_segment(ctx, pg, read_point, Some(avoid));
+            let node = self.membership(pg).slots[target.replica as usize];
+            let pr = self.reads.get_mut(&req_id).unwrap();
+            pr.sent_at = now;
+            pr.target = target;
+            pr.attempts += 1;
+            ctx.inc("engine.read_retries", 1);
+            ctx.send(
+                node,
+                swire::ReadPageReq {
+                    req_id,
+                    segment: target,
+                    page,
+                    read_point,
+                },
+            );
+        }
+    }
+
+    /// Re-ship batches that have waited too long without reaching
+    /// durability — covers storage nodes that were down (an AZ outage) or
+    /// lost the delivery. Idempotent at the receiver (duplicate records
+    /// are ignored; the ack is regenerated).
+    fn retransmit_stale(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        let retry_after = SimDuration::from_millis(15);
+        let stale: Vec<Lsn> = self
+            .outstanding
+            .iter()
+            .filter(|(_, b)| now.since(b.last_sent) > retry_after)
+            .map(|(l, _)| *l)
+            .take(32)
+            .collect();
+        for batch_end in stale {
+            let vdl = self.tracker.vdl();
+            let pgmrpl = self.pgmrpl();
+            let epoch = self.epoch;
+            let Some(ob) = self.outstanding.get(&batch_end) else {
+                continue;
+            };
+            let mut sends: Vec<(NodeId, swire::WriteBatch)> = Vec::new();
+            for (pg, recs) in &ob.by_pg {
+                let m = self.membership(*pg);
+                for (slot, node) in m.slots.iter().enumerate() {
+                    if ob.acked.contains(&(pg.0, slot as u8)) {
+                        continue;
+                    }
+                    sends.push((
+                        *node,
+                        swire::WriteBatch {
+                            segment: SegmentId::new(*pg, slot as u8),
+                            records: recs.clone(),
+                            batch_end,
+                            epoch,
+                            vdl,
+                            pgmrpl,
+                        },
+                    ));
+                }
+            }
+            for (node, wb) in sends {
+                ctx.inc("engine.log_write_retransmits", 1);
+                ctx.send(node, wb);
+            }
+            self.outstanding.get_mut(&batch_end).unwrap().last_sent = now;
+        }
+    }
+
+    // ---- bootstrap ----
+
+    fn bootstrap(&mut self, ctx: &mut Ctx<'_>) {
+        let tree = self.tree;
+        {
+            self.pool.insert_unchecked(PageId(0), Page::new());
+            let mut p = EngineProvider::new(&mut self.pool);
+            tree.create(&mut p).expect("create never misses");
+            let bodies = p.bodies;
+            self.seal_mtr(TxnId::SYSTEM, bodies).expect("LAL headroom");
+        }
+        self.bootstrap_next = 0;
+        self.bootstrap_chunk(ctx);
+    }
+
+    /// Load rows in chunks so acknowledgements, coalescing and GC on the
+    /// storage fleet interleave with the load (keeps memory bounded for
+    /// the out-of-cache experiments).
+    fn bootstrap_chunk(&mut self, ctx: &mut Ctx<'_>) {
+        const CHUNK: u64 = 4_000;
+        let rows = self.cfg.bootstrap_rows;
+        let row_size = self.cfg.row_size;
+        let tree = self.tree;
+        let end = (self.bootstrap_next + CHUNK).min(rows);
+        for k in self.bootstrap_next..end {
+            self.ensure_leaf_room(k)
+                .unwrap_or_else(|_| panic!("bootstrap split failed at {k}"));
+            let bodies = {
+                let mut p = EngineProvider::new(&mut self.pool);
+                let row = bootstrap_row(k, row_size);
+                tree.insert_no_split(&mut p, k, &row)
+                    .expect("bootstrap insert");
+                p.bodies
+            };
+            self.seal_mtr(TxnId::SYSTEM, bodies).expect("LAL");
+            if self.staging.len() >= 512 {
+                self.flush_staging(ctx);
+            }
+        }
+        self.flush_staging(ctx);
+        self.bootstrap_next = end;
+        if end < rows {
+            ctx.set_timer(SimDuration::from_millis(2), TAG_BOOTSTRAP);
+        } else {
+            self.status = EngineStatus::Ready;
+            ctx.inc("engine.bootstrap_rows", rows);
+        }
+    }
+
+    // ---- recovery (§4.3) ----
+
+    fn start_recovery(&mut self, ctx: &mut Ctx<'_>) {
+        self.status = EngineStatus::Recovering;
+        let rec = RecoveryState {
+            started: ctx.now(),
+            ..Default::default()
+        };
+        for m in self.cfg.memberships.clone() {
+            for (slot, node) in m.slots.iter().enumerate() {
+                ctx.send(
+                    *node,
+                    swire::SegmentStateReq {
+                        req_id: 0,
+                        segment: SegmentId::new(m.pg, slot as u8),
+                    },
+                );
+            }
+        }
+        self.recovery = Some(rec);
+        ctx.set_timer(SimDuration::from_millis(50), TAG_RECOVERY_RESEND);
+    }
+
+    fn recovery_step(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(rec) = self.recovery.as_mut() else {
+            return;
+        };
+        let read_quorum = self.cfg.quorum.read_quorum as usize;
+        let write_quorum = self.cfg.quorum.write_quorum as usize;
+        let pgs: Vec<u32> = self.cfg.memberships.iter().map(|m| m.pg.0).collect();
+
+        // Phase 1 -> 2: every PG has a read quorum of SCLs.
+        if rec.vcl.is_none() {
+            if !pgs
+                .iter()
+                .all(|pg| rec.scls.get(pg).is_some_and(|m| m.len() >= read_quorum))
+            {
+                return;
+            }
+            // Per PG, the max SCL across a read quorum bounds every record
+            // that could have reached a write quorum (any 3 of 6 intersect
+            // any 4 of 6); volume completeness is the min across PGs.
+            // PGs that are provably empty (nothing ever received) are
+            // vacuously complete and do not cap the VCL.
+            let vcl = pgs
+                .iter()
+                .filter_map(|pg| {
+                    let m = &rec.scls[pg];
+                    if m.values().all(|(_, highest)| highest.is_zero()) {
+                        None
+                    } else {
+                        m.values().map(|(scl, _)| *scl).max()
+                    }
+                })
+                .min()
+                .unwrap_or(Lsn::ZERO);
+            rec.vcl = Some(vcl);
+            let reqs: Vec<(NodeId, swire::CplBelowReq)> = self
+                .cfg
+                .memberships
+                .iter()
+                .map(|m| {
+                    let best = rec.scls[&m.pg.0]
+                        .iter()
+                        .max_by_key(|(_, (scl, _))| *scl)
+                        .map(|(r, _)| *r)
+                        .unwrap_or(0);
+                    (
+                        m.slots[best as usize],
+                        swire::CplBelowReq {
+                            req_id: 0,
+                            segment: SegmentId::new(m.pg, best),
+                            at: vcl,
+                        },
+                    )
+                })
+                .collect();
+            for (node, req) in reqs {
+                ctx.send(node, req);
+            }
+            return;
+        }
+
+        // Phase 2 -> 3: all CPL answers in => compute VDL, truncate.
+        if rec.vdl.is_none() {
+            if rec.cpls.len() < pgs.len() {
+                return;
+            }
+            let vdl = rec.cpls.values().copied().max().unwrap_or(Lsn::ZERO);
+            rec.vdl = Some(vdl);
+            let new_epoch = rec.max_epoch.next();
+            // provably above any LSN the dead incarnation could have issued
+            let ceiling = Lsn(vdl.0 + self.cfg.lal + LAL_DEFAULT);
+            let range = TruncationRange {
+                epoch: new_epoch,
+                above: vdl,
+                ceiling,
+            };
+            for m in self.cfg.memberships.clone() {
+                for (slot, node) in m.slots.iter().enumerate() {
+                    ctx.send(
+                        *node,
+                        swire::Truncate {
+                            segment: SegmentId::new(m.pg, slot as u8),
+                            range,
+                        },
+                    );
+                }
+            }
+            // durably record the truncation in the control plane (§4.3:
+            // "written durably to the storage service so that there is no
+            // confusion … in case recovery is interrupted and restarted")
+            if let Some(control) = self.cfg.control {
+                ctx.send(
+                    control,
+                    swire::Truncate {
+                        segment: SegmentId::new(PgId(0), 0),
+                        range,
+                    },
+                );
+            }
+            self.epoch = new_epoch;
+            return;
+        }
+
+        // Phase 3 -> 4: truncation at write quorum everywhere => txn scan.
+        if !rec.truncated {
+            if !pgs.iter().all(|pg| {
+                rec.truncate_acks
+                    .get(pg)
+                    .is_some_and(|s| s.len() >= write_quorum)
+            }) {
+                return;
+            }
+            rec.truncated = true;
+            let vdl = rec.vdl.unwrap();
+            let m0 = self.cfg.memberships[0].clone();
+            let best = rec.scls[&m0.pg.0]
+                .iter()
+                .max_by_key(|(_, (scl, _))| *scl)
+                .map(|(r, _)| *r)
+                .unwrap_or(0);
+            ctx.send(
+                m0.slots[best as usize],
+                swire::TxnScanReq {
+                    req_id: 0,
+                    segment: SegmentId::new(m0.pg, best),
+                    upto: vdl,
+                },
+            );
+            return;
+        }
+
+        // Phase 4 -> 5: in-flight set + all undo scans in => finish.
+        let Some(in_flight) = rec.in_flight.clone() else {
+            return;
+        };
+        if rec.undo_replies < pgs.len() {
+            return;
+        }
+
+        let vdl = rec.vdl.unwrap();
+        let undo_records = std::mem::take(&mut rec.undo_records);
+        let max_txn = rec.max_txn_seen;
+        let started = rec.started;
+        let mut tails = HashMap::new();
+        for m in &self.cfg.memberships {
+            let pg_scl = rec.scls[&m.pg.0]
+                .values()
+                .map(|(scl, _)| *scl)
+                .max()
+                .unwrap_or(Lsn::ZERO);
+            tails.insert(m.pg, pg_scl.min(vdl));
+        }
+        self.recovery = None;
+
+        self.alloc = LsnAllocator::new(vdl, self.cfg.lal);
+        self.tracker.reset(vdl);
+        self.chain_tails = tails;
+        self.next_txn = max_txn + 1;
+        self.status = EngineStatus::Ready;
+
+        // Logical undo, grouped per transaction, newest-first within each.
+        let mut per_txn: HashMap<TxnId, Vec<(Lsn, Op)>> = HashMap::new();
+        for r in &undo_records {
+            if let RecordBody::Undo { data } = &r.body {
+                if let Some((t, op)) = decode_undo(data) {
+                    if in_flight.contains(&t) {
+                        per_txn.entry(t).or_default().push((r.lsn, op));
+                    }
+                }
+            }
+        }
+        let mut n_undone = 0usize;
+        let mut txn_ids: Vec<TxnId> = per_txn.keys().copied().collect();
+        txn_ids.sort();
+        for t in txn_ids {
+            let mut ops = per_txn.remove(&t).unwrap();
+            ops.sort_by(|a, b| b.0.cmp(&a.0)); // newest first
+            ops.dedup_by_key(|(l, _)| *l);
+            n_undone += ops.len();
+            let inverse_ops: Vec<Op> = ops.into_iter().map(|(_, op)| op).collect();
+            self.spawn_rollback(ctx, t, inverse_ops);
+        }
+        // in-flight txns that never logged an undo record (begin-only)
+        for t in in_flight {
+            if self.running.values().all(|rt| rt.txn != t) {
+                let _ = self.seal_mtr(t, vec![RecordBody::TxnAbort]);
+            }
+        }
+        self.flush_staging(ctx);
+        ctx.inc("engine.recoveries", 1);
+        ctx.inc("engine.recovery_undone_ops", n_undone as u64);
+        ctx.record("engine.recovery_ns", ctx.now().since(started).nanos());
+    }
+
+    fn on_storage_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<swire::WriteAck>() {
+            Ok(ack) => {
+                self.scls.insert(ack.segment, ack.scl);
+                if let Some(ob) = self.outstanding.get_mut(&ack.batch_end) {
+                    ob.acked.insert((ack.segment.pg.0, ack.segment.replica));
+                }
+                match self
+                    .tracker
+                    .ack(ack.batch_end, ack.segment.pg, ack.segment.replica)
+                {
+                    AckOutcome::VdlAdvanced(vdl) => self.on_vdl_advance(ctx, vdl),
+                    AckOutcome::Pending | AckOutcome::QuorumReached => {}
+                }
+                // drop fully durable batches from the retransmit window
+                let durable_to = self.tracker.durable_to();
+                while let Some((&first, _)) = self.outstanding.iter().next() {
+                    if first <= durable_to {
+                        self.outstanding.remove(&first);
+                    } else {
+                        break;
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<swire::WriteFenced>() {
+            Ok(f) => {
+                if f.epoch > self.epoch && self.status == EngineStatus::Ready {
+                    // a newer writer owns the volume: step down immediately;
+                    // in-flight transactions will never be acknowledged
+                    ctx.inc("engine.fenced", 1);
+                    self.status = EngineStatus::Standby;
+                    let conns: Vec<u64> = self.running.keys().copied().collect();
+                    for conn in conns {
+                        if let Some(rt) = self.running.remove(&conn) {
+                            if rt.client != aurora_sim::sim::EXTERNAL {
+                                ctx.send(
+                                    rt.client,
+                                    ClientResponse {
+                                        conn: rt.conn,
+                                        result: TxnResult::Aborted(
+                                            "fenced: a newer writer owns the volume".into(),
+                                        ),
+                                        issued_at: rt.issued_at,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    self.commit_waiters.clear();
+                    self.outstanding.clear();
+                    self.staging.clear();
+                    self.staging_cpl = None;
+                    self.staging_pgs.clear();
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<swire::ReadPageResp>() {
+            Ok(resp) => {
+                self.on_page_resp(ctx, resp);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<swire::MembershipUpdate>() {
+            Ok(mu) => {
+                if let Some(m) = self
+                    .cfg
+                    .memberships
+                    .iter_mut()
+                    .find(|m| m.pg == mu.membership.pg)
+                {
+                    *m = mu.membership;
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<swire::SegmentStateResp>() {
+            Ok(resp) => {
+                if self.recovery.is_some() {
+                    let rec = self.recovery.as_mut().unwrap();
+                    rec.scls
+                        .entry(resp.segment.pg.0)
+                        .or_default()
+                        .insert(resp.segment.replica, (resp.scl, resp.highest));
+                    if resp.epoch > rec.max_epoch {
+                        rec.max_epoch = resp.epoch;
+                    }
+                    self.recovery_step(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<swire::CplBelowResp>() {
+            Ok(resp) => {
+                if let Some(rec) = self.recovery.as_mut() {
+                    rec.cpls.insert(resp.segment.pg.0, resp.cpl);
+                    self.recovery_step(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<swire::TruncateAck>() {
+            Ok(ack) => {
+                if let Some(rec) = self.recovery.as_mut() {
+                    rec.truncate_acks
+                        .entry(ack.segment.pg.0)
+                        .or_default()
+                        .insert(ack.segment.replica);
+                    self.recovery_step(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<swire::TxnScanResp>() {
+            Ok(resp) => {
+                let reqs: Vec<(NodeId, swire::UndoScanReq)> = if let Some(rec) =
+                    self.recovery.as_mut()
+                {
+                    if rec.in_flight.is_some() {
+                        Vec::new() // duplicate scan response
+                    } else {
+                        let finished: HashSet<TxnId> = resp.finished.iter().copied().collect();
+                        let in_flight: Vec<TxnId> = resp
+                            .begun
+                            .iter()
+                            .filter(|t| !finished.contains(t))
+                            .copied()
+                            .collect();
+                        rec.max_txn_seen = resp
+                            .begun
+                            .iter()
+                            .chain(resp.finished.iter())
+                            .map(|t| t.0)
+                            .max()
+                            .unwrap_or(0);
+                        rec.in_flight = Some(in_flight.clone());
+                        let vdl = rec.vdl.unwrap();
+                        self.cfg
+                            .memberships
+                            .iter()
+                            .map(|m| {
+                                let best = rec.scls[&m.pg.0]
+                                    .iter()
+                                    .max_by_key(|(_, (scl, _))| *scl)
+                                    .map(|(r, _)| *r)
+                                    .unwrap_or(0);
+                                (
+                                    m.slots[best as usize],
+                                    swire::UndoScanReq {
+                                        req_id: 0,
+                                        segment: SegmentId::new(m.pg, best),
+                                        txns: in_flight.clone(),
+                                        upto: vdl,
+                                    },
+                                )
+                            })
+                            .collect()
+                    }
+                } else {
+                    Vec::new()
+                };
+                for (node, req) in reqs {
+                    ctx.send(node, req);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(resp) = msg.downcast::<swire::UndoScanResp>() {
+            if let Some(rec) = self.recovery.as_mut() {
+                rec.undo_records.extend(resp.records);
+                rec.undo_replies += 1;
+                self.recovery_step(ctx);
+            }
+        }
+    }
+}
+
+impl Actor for EngineActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ActorEvent) {
+        match ev {
+            ActorEvent::Start => {
+                if self.cfg.standby {
+                    self.status = EngineStatus::Standby;
+                    return;
+                }
+                self.bootstrap(ctx);
+                ctx.set_timer(self.cfg.flush_interval, TAG_FLUSH);
+                ctx.set_timer(SimDuration::from_millis(5), TAG_SWEEP);
+            }
+            ActorEvent::Restarted => {
+                if self.cfg.standby && self.status == EngineStatus::Standby {
+                    return; // unpromoted standby: still idle after a blip
+                }
+                self.start_recovery(ctx);
+                ctx.set_timer(self.cfg.flush_interval, TAG_FLUSH);
+                ctx.set_timer(SimDuration::from_millis(5), TAG_SWEEP);
+            }
+            ActorEvent::Timer { tag } => match tag {
+                TAG_FLUSH => {
+                    self.flush_staging(ctx);
+                    ctx.set_timer(self.cfg.flush_interval, TAG_FLUSH);
+                }
+                TAG_SWEEP => {
+                    self.sweep(ctx);
+                    ctx.set_timer(SimDuration::from_millis(5), TAG_SWEEP);
+                }
+                TAG_ZDP_RESUME => {
+                    self.status = EngineStatus::Ready;
+                    let queued = std::mem::take(&mut self.patch_queue);
+                    for (client, req) in queued {
+                        self.begin_request(ctx, client, req);
+                    }
+                }
+                TAG_BOOTSTRAP => {
+                    if self.status == EngineStatus::Bootstrapping {
+                        self.bootstrap_chunk(ctx);
+                    }
+                }
+                TAG_RECOVERY_RESEND => {
+                    if let Some(rec) = self.recovery.as_ref() {
+                        let resend: Vec<(NodeId, swire::SegmentStateReq)> = self
+                            .cfg
+                            .memberships
+                            .iter()
+                            .flat_map(|m| {
+                                let have = rec.scls.get(&m.pg.0);
+                                m.slots.iter().enumerate().filter_map(move |(slot, node)| {
+                                    let answered =
+                                        have.is_some_and(|h| h.contains_key(&(slot as u8)));
+                                    if answered {
+                                        None
+                                    } else {
+                                        Some((
+                                            *node,
+                                            swire::SegmentStateReq {
+                                                req_id: 0,
+                                                segment: SegmentId::new(m.pg, slot as u8),
+                                            },
+                                        ))
+                                    }
+                                })
+                            })
+                            .collect();
+                        for (node, req) in resend {
+                            ctx.send(node, req);
+                        }
+                        ctx.set_timer(SimDuration::from_millis(50), TAG_RECOVERY_RESEND);
+                    }
+                }
+                t if t >= TAG_CPU_BASE => {
+                    let conn = t - TAG_CPU_BASE;
+                    self.exec_current_op(ctx, conn);
+                }
+                _ => {}
+            },
+            ActorEvent::Message { from, msg } => {
+                let msg = match msg.downcast::<ClientRequest>() {
+                    Ok(req) => {
+                        self.begin_request(ctx, from, req);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                let msg = match msg.downcast::<Promote>() {
+                    Ok(_) => {
+                        if self.status == EngineStatus::Standby {
+                            // take over the volume: recovery doubles as the
+                            // fence (epoch bump annuls the old writer's
+                            // unacknowledged tail and rejects its future
+                            // writes)
+                            self.start_recovery(ctx);
+                            ctx.set_timer(self.cfg.flush_interval, TAG_FLUSH);
+                            ctx.set_timer(SimDuration::from_millis(5), TAG_SWEEP);
+                        }
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                let msg = match msg.downcast::<ZdpPatch>() {
+                    Ok(p) => {
+                        self.zdp = Some((from, p.version));
+                        if self.running.is_empty() && self.status == EngineStatus::Ready {
+                            self.apply_zdp(ctx);
+                        }
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                self.on_storage_msg(ctx, msg);
+            }
+            ActorEvent::DiskDone { .. } => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // everything except configuration is volatile; a crashed engine is
+        // not Ready until recovery completes
+        self.status = EngineStatus::Recovering;
+        self.pool.clear();
+        self.staging.clear();
+        self.staging_cpl = None;
+        self.staging_pgs.clear();
+        self.commit_waiters.clear();
+        self.locks = LockTable::new();
+        self.running.clear();
+        self.lal_waiters.clear();
+        self.scls.clear();
+        self.reads.clear();
+        self.page_waits.clear();
+        self.pending_inserts.clear();
+        self.outstanding.clear();
+        self.recovery = None;
+        self.zdp = None;
+        self.patch_queue.clear();
+        let vcpus = self.cfg.instance.vcpus as usize;
+        self.vcpu_free = vec![SimTime::ZERO; vcpus];
+        self.tracker.reset(Lsn::ZERO);
+        self.alloc = LsnAllocator::new(Lsn::ZERO, self.cfg.lal);
+        self.chain_tails.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undo_codec_roundtrip() {
+        for op in [
+            Op::Insert(42, vec![1, 2, 3]),
+            Op::Update(7, vec![9; 16]),
+            Op::Delete(u64::MAX),
+        ] {
+            let data = encode_undo(TxnId(99), &op);
+            let (txn, back) = decode_undo(&data).expect("decodes");
+            assert_eq!(txn, TxnId(99));
+            assert_eq!(back, op);
+        }
+    }
+
+    #[test]
+    fn undo_codec_rejects_short_input() {
+        assert!(decode_undo(&[]).is_none());
+        assert!(decode_undo(&[0u8; 8]).is_none());
+        assert!(decode_undo(&[0u8; 16]).is_none());
+    }
+
+    #[test]
+    fn undo_codec_rejects_bad_tag() {
+        let mut data = encode_undo(TxnId(1), &Op::Delete(5)).to_vec();
+        data[8] = 99;
+        assert!(decode_undo(&data).is_none());
+    }
+
+    #[test]
+    fn bootstrap_rows_are_deterministic_and_key_tagged() {
+        let a = bootstrap_row(123, 96);
+        let b = bootstrap_row(123, 96);
+        assert_eq!(a, b);
+        assert_eq!(&a[..8], &123u64.to_le_bytes());
+        assert_ne!(bootstrap_row(124, 96), a);
+        assert_eq!(a.len(), 96);
+    }
+
+    #[test]
+    fn fit_row_pads_and_truncates() {
+        assert_eq!(fit_row(b"ab", 4), vec![b'a', b'b', 0, 0]);
+        assert_eq!(fit_row(b"abcdef", 4), b"abcd".to_vec());
+    }
+
+    #[test]
+    fn r3_family_doubles() {
+        let fam = InstanceSpec::r3_family();
+        assert_eq!(fam.len(), 5);
+        for w in fam.windows(2) {
+            assert_eq!(w[1].vcpus, w[0].vcpus * 2);
+        }
+        assert_eq!(fam[4].vcpus, 32);
+    }
+
+    #[test]
+    fn synthetic_conn_space_is_disjoint() {
+        assert!(CONN_SYNTHETIC_BASE > u32::MAX as u64);
+        assert!(TAG_CPU_BASE > CONN_SYNTHETIC_BASE);
+    }
+}

@@ -1,0 +1,189 @@
+//! Row-level locking.
+//!
+//! §5: "the actual concurrency control protocols are executed in the
+//! database engine exactly as though the database pages and undo segments
+//! are organized in local storage" — locking is entirely an engine-local
+//! affair; the storage service never participates.
+//!
+//! Exclusive row locks with FIFO waiter queues. Deadlocks are broken by
+//! the engine's lock-wait timeout (as in InnoDB's
+//! `innodb_lock_wait_timeout`), which aborts the waiting transaction.
+
+use std::collections::{HashMap, VecDeque};
+
+use aurora_log::TxnId;
+
+/// Result of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// Lock acquired (or already held by this transaction).
+    Granted,
+    /// Another transaction holds it; the requester was queued.
+    Queued,
+}
+
+#[derive(Debug)]
+struct LockState {
+    owner: TxnId,
+    waiters: VecDeque<TxnId>,
+}
+
+/// Exclusive row-lock table keyed by row key.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<u64, LockState>,
+    /// keys locked per transaction (for release-all at commit/abort)
+    held: HashMap<TxnId, Vec<u64>>,
+    /// Total number of times any request had to wait (contention metric).
+    pub wait_events: u64,
+}
+
+impl LockTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request an exclusive lock on `key` for `txn`.
+    pub fn acquire(&mut self, key: u64, txn: TxnId) -> LockOutcome {
+        match self.locks.get_mut(&key) {
+            None => {
+                self.locks.insert(
+                    key,
+                    LockState {
+                        owner: txn,
+                        waiters: VecDeque::new(),
+                    },
+                );
+                self.held.entry(txn).or_default().push(key);
+                LockOutcome::Granted
+            }
+            Some(state) if state.owner == txn => LockOutcome::Granted,
+            Some(state) => {
+                if !state.waiters.contains(&txn) {
+                    state.waiters.push_back(txn);
+                    self.wait_events += 1;
+                }
+                LockOutcome::Queued
+            }
+        }
+    }
+
+    /// Release every lock held by `txn`. Returns `(key, next_owner)` for
+    /// each lock handed to a waiter so the engine can resume it.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(u64, TxnId)> {
+        let mut resumed = Vec::new();
+        let keys = self.held.remove(&txn).unwrap_or_default();
+        for key in keys {
+            let Some(state) = self.locks.get_mut(&key) else {
+                continue;
+            };
+            if state.owner != txn {
+                continue;
+            }
+            match state.waiters.pop_front() {
+                Some(next) => {
+                    state.owner = next;
+                    self.held.entry(next).or_default().push(key);
+                    resumed.push((key, next));
+                }
+                None => {
+                    self.locks.remove(&key);
+                }
+            }
+        }
+        // Also leave any wait queues this txn sits in (timeout aborts).
+        for state in self.locks.values_mut() {
+            state.waiters.retain(|w| *w != txn);
+        }
+        resumed
+    }
+
+    /// Is `txn` currently waiting for any lock?
+    pub fn is_waiting(&self, txn: TxnId) -> bool {
+        self.locks.values().any(|s| s.waiters.contains(&txn))
+    }
+
+    /// Who owns `key`, if locked.
+    pub fn owner(&self, key: u64) -> Option<TxnId> {
+        self.locks.get(&key).map(|s| s.owner)
+    }
+
+    /// Number of currently locked keys.
+    pub fn locked_keys(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+    const T3: TxnId = TxnId(3);
+
+    #[test]
+    fn grant_and_reentrant() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.acquire(7, T1), LockOutcome::Granted);
+        assert_eq!(lt.acquire(7, T1), LockOutcome::Granted);
+        assert_eq!(lt.owner(7), Some(T1));
+        assert_eq!(lt.locked_keys(), 1);
+    }
+
+    #[test]
+    fn conflict_queues_fifo() {
+        let mut lt = LockTable::new();
+        lt.acquire(7, T1);
+        assert_eq!(lt.acquire(7, T2), LockOutcome::Queued);
+        assert_eq!(lt.acquire(7, T3), LockOutcome::Queued);
+        assert!(lt.is_waiting(T2));
+        assert_eq!(lt.wait_events, 2);
+        // duplicate waits don't duplicate the queue entry
+        assert_eq!(lt.acquire(7, T2), LockOutcome::Queued);
+        assert_eq!(lt.wait_events, 2);
+
+        let resumed = lt.release_all(T1);
+        assert_eq!(resumed, vec![(7, T2)]);
+        assert_eq!(lt.owner(7), Some(T2));
+        assert!(!lt.is_waiting(T2));
+        assert!(lt.is_waiting(T3));
+
+        let resumed = lt.release_all(T2);
+        assert_eq!(resumed, vec![(7, T3)]);
+        let resumed = lt.release_all(T3);
+        assert!(resumed.is_empty());
+        assert_eq!(lt.locked_keys(), 0);
+    }
+
+    #[test]
+    fn release_multiple_keys() {
+        let mut lt = LockTable::new();
+        lt.acquire(1, T1);
+        lt.acquire(2, T1);
+        lt.acquire(2, T2);
+        let resumed = lt.release_all(T1);
+        assert_eq!(resumed, vec![(2, T2)]);
+        assert_eq!(lt.owner(1), None);
+        assert_eq!(lt.owner(2), Some(T2));
+    }
+
+    #[test]
+    fn aborting_waiter_leaves_queue() {
+        let mut lt = LockTable::new();
+        lt.acquire(7, T1);
+        lt.acquire(7, T2);
+        // T2 times out and aborts: release_all must pull it out of queues
+        let resumed = lt.release_all(T2);
+        assert!(resumed.is_empty());
+        let resumed = lt.release_all(T1);
+        assert!(resumed.is_empty(), "T2 must not inherit after aborting");
+        assert_eq!(lt.locked_keys(), 0);
+    }
+
+    #[test]
+    fn release_unknown_txn_is_noop() {
+        let mut lt = LockTable::new();
+        assert!(lt.release_all(T1).is_empty());
+    }
+}

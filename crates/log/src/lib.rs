@@ -1,0 +1,40 @@
+//! # aurora-log — "the log is the database"
+//!
+//! Core data model of the Aurora reproduction: log sequence numbers, redo
+//! log records, the log applicator, and the per-segment log with gap
+//! tracking.
+//!
+//! The paper's §3 thesis is that the *only* thing a database needs to write
+//! across the network is the redo log: a log record is "the difference
+//! between the after-image and the before-image of the page that was
+//! modified", and "any pages that the storage system materializes are
+//! simply a cache of log applications". This crate owns that model:
+//!
+//! * [`Lsn`] — monotonically increasing log sequence numbers, and the
+//!   allocator with the paper's LSN Allocation Limit (LAL) back-pressure,
+//! * [`LogRecord`] — redo records carrying byte-range page patches with
+//!   both before- and after-images (before-images power undo/rollback),
+//!   per-PG backlinks, and the CPL (Consistency Point LSN) tag that
+//!   delimits mini-transactions,
+//! * [`apply_record`]/[`unapply_record`] — the log applicator, used
+//!   identically by the database engine (replica cache apply) and by the
+//!   storage nodes (page materialization), exactly as §4.3 prescribes,
+//! * [`SegmentLog`] — a storage segment's slice of the log with its SCL
+//!   (Segment Complete LSN) and the hole detection that drives gossip,
+//! * [`codec`] — a CRC-protected binary encoding used to size network
+//!   messages and to scrub stored records (Fig. 4, step 8).
+
+pub mod applicator;
+pub mod codec;
+pub mod lsn;
+pub mod mtr;
+pub mod page;
+pub mod record;
+pub mod segment_log;
+
+pub use applicator::{apply_record, unapply_record, ApplyError};
+pub use lsn::{Lsn, LsnAllocator, PgId, SegmentId, TxnId, LAL_DEFAULT};
+pub use mtr::MtrBuilder;
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use record::{LogRecord, Patch, RecordBody};
+pub use segment_log::SegmentLog;

@@ -1,0 +1,234 @@
+//! Mini-transactions (MTRs).
+//!
+//! §4.1 gives the contract: "Each database-level transaction is broken up
+//! into multiple mini-transactions (MTRs) that are ordered and must be
+//! performed atomically. Each mini-transaction is composed of multiple
+//! contiguous log records. The final log record in a mini-transaction is a
+//! CPL." A B+-tree page split that touches a leaf, its sibling and their
+//! parent is the canonical MTR.
+//!
+//! [`MtrBuilder`] accumulates record bodies, then [`MtrBuilder::finish`]
+//! allocates a contiguous LSN range (honouring LAL back-pressure), threads
+//! the per-PG backlinks, and tags the CPL.
+
+use std::collections::HashMap;
+
+use crate::lsn::{LalExceeded, Lsn, LsnAllocator, PgId, TxnId};
+use crate::page::PageId;
+use crate::record::{LogRecord, RecordBody};
+
+/// How CPLs are assigned — §4.1 notes a client "can simply mark every log
+/// record as a CPL"; the cost is explored in the CPL-granularity ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CplMode {
+    /// Only the final record of the MTR is a CPL (the real design).
+    #[default]
+    LastOnly,
+    /// Every record is a CPL.
+    Every,
+}
+
+/// Accumulates the records of one mini-transaction.
+#[derive(Debug, Default)]
+pub struct MtrBuilder {
+    entries: Vec<(TxnId, RecordBody)>,
+}
+
+impl MtrBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record body owned by `txn`.
+    pub fn push(&mut self, txn: TxnId, body: RecordBody) -> &mut Self {
+        self.entries.push((txn, body));
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Seal the MTR: allocate LSNs, route each record to its PG via
+    /// `pg_of_page` (txn-control records go to PG 0, which always exists),
+    /// thread backlinks through `chain_tails` (the per-PG last-LSN map the
+    /// log manager owns), and tag CPLs.
+    ///
+    /// On LAL back-pressure nothing is consumed — the caller may retry the
+    /// same builder after VDL advances.
+    pub fn finish(
+        self,
+        alloc: &mut LsnAllocator,
+        mut pg_of_page: impl FnMut(PageId) -> PgId,
+        chain_tails: &mut HashMap<PgId, Lsn>,
+        cpl_mode: CplMode,
+    ) -> Result<Vec<LogRecord>, (MtrBuilder, LalExceeded)> {
+        if self.entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = self.entries.len() as u64;
+        let first = match alloc.alloc(n) {
+            Ok(l) => l,
+            Err(e) => return Err((self, e)),
+        };
+        let count = self.entries.len();
+        let mut out = Vec::with_capacity(count);
+        for (i, (txn, body)) in self.entries.into_iter().enumerate() {
+            let lsn = first.plus(i as u64);
+            let pg = match body.page() {
+                Some(p) => pg_of_page(p),
+                None => PgId(0),
+            };
+            let tail = chain_tails.entry(pg).or_insert(Lsn::ZERO);
+            let prev_in_pg = *tail;
+            *tail = lsn;
+            let is_cpl = match cpl_mode {
+                CplMode::LastOnly => i + 1 == count,
+                CplMode::Every => true,
+            };
+            out.push(LogRecord {
+                lsn,
+                prev_in_pg,
+                pg,
+                txn,
+                is_cpl,
+                body,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsn::LAL_DEFAULT;
+    use bytes::Bytes;
+
+    fn body(page: u64) -> RecordBody {
+        RecordBody::PageFormat {
+            page: PageId(page),
+            init: Bytes::from_static(b"x"),
+        }
+    }
+
+    #[test]
+    fn empty_mtr_produces_nothing() {
+        let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
+        let mut tails = HashMap::new();
+        let recs = MtrBuilder::new()
+            .finish(&mut alloc, |_| PgId(0), &mut tails, CplMode::LastOnly)
+            .map_err(|_| ())
+            .unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(alloc.highest_allocated(), Lsn::ZERO);
+    }
+
+    #[test]
+    fn contiguous_lsns_and_cpl_on_last() {
+        let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
+        let mut tails = HashMap::new();
+        let mut b = MtrBuilder::new();
+        b.push(TxnId(1), body(0));
+        b.push(TxnId(1), body(1));
+        b.push(TxnId(1), body(2));
+        let recs = b
+            .finish(&mut alloc, |p| PgId(p.0 as u32 % 2), &mut tails, CplMode::LastOnly)
+            .map_err(|_| ())
+            .unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].lsn, Lsn(1));
+        assert_eq!(recs[1].lsn, Lsn(2));
+        assert_eq!(recs[2].lsn, Lsn(3));
+        assert_eq!(
+            recs.iter().map(|r| r.is_cpl).collect::<Vec<_>>(),
+            vec![false, false, true]
+        );
+    }
+
+    #[test]
+    fn backlinks_thread_per_pg() {
+        let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
+        let mut tails = HashMap::new();
+        let mut b = MtrBuilder::new();
+        // pages 0,2 -> PG0; page 1 -> PG1
+        b.push(TxnId(1), body(0));
+        b.push(TxnId(1), body(1));
+        b.push(TxnId(1), body(2));
+        let recs = b
+            .finish(&mut alloc, |p| PgId((p.0 % 2) as u32), &mut tails, CplMode::LastOnly)
+            .map_err(|_| ())
+            .unwrap();
+        // PG0 chain: lsn1 (prev 0) then lsn3 (prev 1); PG1: lsn2 (prev 0)
+        assert_eq!(recs[0].prev_in_pg, Lsn::ZERO);
+        assert_eq!(recs[1].prev_in_pg, Lsn::ZERO);
+        assert_eq!(recs[2].prev_in_pg, Lsn(1));
+        assert_eq!(tails[&PgId(0)], Lsn(3));
+        assert_eq!(tails[&PgId(1)], Lsn(2));
+
+        // A second MTR continues the chains.
+        let mut b2 = MtrBuilder::new();
+        b2.push(TxnId(2), body(0));
+        let recs2 = b2
+            .finish(&mut alloc, |p| PgId((p.0 % 2) as u32), &mut tails, CplMode::LastOnly)
+            .map_err(|_| ())
+            .unwrap();
+        assert_eq!(recs2[0].lsn, Lsn(4));
+        assert_eq!(recs2[0].prev_in_pg, Lsn(3));
+    }
+
+    #[test]
+    fn txn_control_goes_to_pg0() {
+        let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
+        let mut tails = HashMap::new();
+        let mut b = MtrBuilder::new();
+        b.push(TxnId(9), RecordBody::TxnCommit);
+        let recs = b
+            .finish(&mut alloc, |_| PgId(7), &mut tails, CplMode::LastOnly)
+            .map_err(|_| ())
+            .unwrap();
+        assert_eq!(recs[0].pg, PgId(0));
+        assert!(recs[0].is_cpl);
+    }
+
+    #[test]
+    fn cpl_every_mode() {
+        let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
+        let mut tails = HashMap::new();
+        let mut b = MtrBuilder::new();
+        b.push(TxnId(1), body(0));
+        b.push(TxnId(1), body(1));
+        let recs = b
+            .finish(&mut alloc, |_| PgId(0), &mut tails, CplMode::Every)
+            .map_err(|_| ())
+            .unwrap();
+        assert!(recs.iter().all(|r| r.is_cpl));
+    }
+
+    #[test]
+    fn lal_back_pressure_returns_builder_intact() {
+        let mut alloc = LsnAllocator::new(Lsn::ZERO, 2);
+        let mut tails = HashMap::new();
+        let mut b = MtrBuilder::new();
+        b.push(TxnId(1), body(0));
+        b.push(TxnId(1), body(1));
+        b.push(TxnId(1), body(2));
+        let (b, err) = b
+            .finish(&mut alloc, |_| PgId(0), &mut tails, CplMode::LastOnly)
+            .unwrap_err();
+        assert_eq!(err.requested, 3);
+        assert_eq!(b.len(), 3, "builder returned for retry");
+        assert!(tails.is_empty(), "no side effects on failure");
+        // after VDL advances, the same MTR succeeds
+        alloc.advance_vdl(Lsn(10));
+        let recs = b
+            .finish(&mut alloc, |_| PgId(0), &mut tails, CplMode::LastOnly)
+            .map_err(|_| ())
+            .unwrap();
+        assert_eq!(recs.len(), 3);
+    }
+}

@@ -1,0 +1,276 @@
+//! A storage segment's slice of the redo log.
+//!
+//! §4.2.1: "each segment of each PG only sees a subset of log records in
+//! the volume … Each log record contains a backlink that identifies the
+//! previous log record for that PG. These backlinks can be used to track
+//! the point of completeness of the log records that have reached each
+//! segment to establish a Segment Complete LSN (SCL) … The SCL is used by
+//! the storage nodes when they gossip with each other in order to find and
+//! exchange log records that they are missing."
+//!
+//! [`SegmentLog`] keeps a segment's received records, maintains the SCL by
+//! chasing backlinks, reports holes for the gossip protocol, supports the
+//! recovery-time truncation of records above the new VDL, and garbage
+//! collection below the PGMRPL once records are materialized into pages.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::lsn::Lsn;
+use crate::record::LogRecord;
+
+/// Per-segment log state. All contents are *durable* in the simulation's
+/// sense: a storage node keeps its `SegmentLog`s across crash/restart.
+#[derive(Debug, Default, Clone)]
+pub struct SegmentLog {
+    records: BTreeMap<Lsn, LogRecord>,
+    /// chain index: prev_in_pg -> lsn (the chain is a linked list, so the
+    /// mapping is injective within one PG).
+    by_prev: HashMap<Lsn, Lsn>,
+    /// Segment Complete LSN: every chain record at or below this is present
+    /// (or was present before being garbage-collected).
+    scl: Lsn,
+}
+
+impl SegmentLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one record. Returns `true` if it was new. Records at or
+    /// below the SCL (duplicates, or already GC'd territory) are ignored.
+    pub fn insert(&mut self, rec: LogRecord) -> bool {
+        if rec.lsn <= self.scl || self.records.contains_key(&rec.lsn) {
+            return false;
+        }
+        self.by_prev.insert(rec.prev_in_pg, rec.lsn);
+        self.records.insert(rec.lsn, rec);
+        self.advance_scl();
+        true
+    }
+
+    fn advance_scl(&mut self) {
+        while let Some(&next) = self.by_prev.get(&self.scl) {
+            if next <= self.scl {
+                break; // defensive: malformed chain
+            }
+            self.scl = next;
+        }
+    }
+
+    /// The Segment Complete LSN.
+    pub fn scl(&self) -> Lsn {
+        self.scl
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Highest LSN held (may be above the SCL if there are holes).
+    pub fn highest(&self) -> Lsn {
+        self.records
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(self.scl)
+    }
+
+    /// Does the segment hold stranded records above its SCL (i.e. it knows
+    /// it is missing something)? This is what triggers a gossip pull.
+    pub fn has_gap(&self) -> bool {
+        self.highest() > self.scl
+    }
+
+    /// Look up a record.
+    pub fn get(&self, lsn: Lsn) -> Option<&LogRecord> {
+        self.records.get(&lsn)
+    }
+
+    /// Records in `(from, to]`, in LSN order — the gossip response payload.
+    /// Empty (never panics) when the range is empty or inverted.
+    pub fn range(&self, from_exclusive: Lsn, to_inclusive: Lsn) -> Vec<LogRecord> {
+        if from_exclusive >= to_inclusive {
+            return Vec::new();
+        }
+        self.records
+            .range(from_exclusive.next()..=to_inclusive)
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// All records in LSN order (recovery / coalescing scans).
+    pub fn iter(&self) -> impl Iterator<Item = &LogRecord> {
+        self.records.values()
+    }
+
+    /// Recovery truncation (§4.1): remove every record with LSN greater
+    /// than `vdl`. Returns how many records were dropped.
+    pub fn truncate_above(&mut self, vdl: Lsn) -> usize {
+        let doomed: Vec<Lsn> = self
+            .records
+            .range(vdl.next()..)
+            .map(|(l, _)| *l)
+            .collect();
+        for lsn in &doomed {
+            if let Some(r) = self.records.remove(lsn) {
+                self.by_prev.remove(&r.prev_in_pg);
+            }
+        }
+        if self.scl > vdl {
+            self.scl = vdl;
+        }
+        doomed.len()
+    }
+
+    /// Garbage collection (Fig. 4 step 7): once every record at or below
+    /// `upto` has been coalesced into materialized pages and the database
+    /// has advanced the PGMRPL past it, the log prefix can be dropped. The
+    /// SCL does not move backwards — completeness was already established.
+    /// Records above the SCL are never GC'd (they may still be needed to
+    /// fill peers' holes). Returns how many records were dropped.
+    pub fn gc_upto(&mut self, upto: Lsn) -> usize {
+        let limit = if upto < self.scl { upto } else { self.scl };
+        let doomed: Vec<Lsn> = self.records.range(..=limit).map(|(l, _)| *l).collect();
+        for lsn in &doomed {
+            if let Some(r) = self.records.remove(lsn) {
+                self.by_prev.remove(&r.prev_in_pg);
+            }
+        }
+        doomed.len()
+    }
+
+    /// Total payload bytes held (capacity accounting / GC pressure).
+    pub fn bytes(&self) -> usize {
+        self.records.values().map(|r| r.wire_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsn::{PgId, TxnId};
+    use crate::record::RecordBody;
+
+    /// Build a chain record: lsn with explicit backlink.
+    fn rec(lsn: u64, prev: u64) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            prev_in_pg: Lsn(prev),
+            pg: PgId(0),
+            txn: TxnId(1),
+            is_cpl: true,
+            body: RecordBody::TxnBegin,
+        }
+    }
+
+    #[test]
+    fn scl_advances_through_contiguous_chain() {
+        let mut s = SegmentLog::new();
+        assert_eq!(s.scl(), Lsn::ZERO);
+        s.insert(rec(1, 0));
+        s.insert(rec(2, 1));
+        s.insert(rec(3, 2));
+        assert_eq!(s.scl(), Lsn(3));
+        assert!(!s.has_gap());
+    }
+
+    #[test]
+    fn gap_stalls_scl_and_fill_resumes() {
+        let mut s = SegmentLog::new();
+        s.insert(rec(1, 0));
+        s.insert(rec(3, 2)); // 2 missing
+        assert_eq!(s.scl(), Lsn(1));
+        assert!(s.has_gap());
+        assert_eq!(s.highest(), Lsn(3));
+        s.insert(rec(2, 1)); // hole filled
+        assert_eq!(s.scl(), Lsn(3));
+        assert!(!s.has_gap());
+    }
+
+    #[test]
+    fn sparse_pg_chain_lsns() {
+        // A segment only sees its PG's records, so LSNs are sparse: chain
+        // 5 -> 9 -> 20 with backlinks 0, 5, 9.
+        let mut s = SegmentLog::new();
+        s.insert(rec(5, 0));
+        s.insert(rec(20, 9));
+        assert_eq!(s.scl(), Lsn(5));
+        s.insert(rec(9, 5));
+        assert_eq!(s.scl(), Lsn(20));
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut s = SegmentLog::new();
+        assert!(s.insert(rec(1, 0)));
+        assert!(!s.insert(rec(1, 0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn range_is_exclusive_inclusive() {
+        let mut s = SegmentLog::new();
+        for (l, p) in [(1, 0), (2, 1), (3, 2), (4, 3)] {
+            s.insert(rec(l, p));
+        }
+        let got: Vec<u64> = s.range(Lsn(1), Lsn(3)).iter().map(|r| r.lsn.0).collect();
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn truncate_above_drops_and_rewinds_scl() {
+        let mut s = SegmentLog::new();
+        for (l, p) in [(1, 0), (2, 1), (3, 2), (5, 4)] {
+            s.insert(rec(l, p));
+        }
+        assert_eq!(s.scl(), Lsn(3));
+        let dropped = s.truncate_above(Lsn(2));
+        assert_eq!(dropped, 2);
+        assert_eq!(s.scl(), Lsn(2));
+        assert_eq!(s.highest(), Lsn(2));
+        // re-inserting after truncation works (new epoch writes)
+        assert!(s.insert(rec(3, 2)));
+        assert_eq!(s.scl(), Lsn(3));
+    }
+
+    #[test]
+    fn gc_drops_prefix_but_never_above_scl() {
+        let mut s = SegmentLog::new();
+        for (l, p) in [(1, 0), (2, 1), (3, 2), (7, 5)] {
+            s.insert(rec(l, p));
+        }
+        assert_eq!(s.scl(), Lsn(3));
+        // asking to GC beyond the SCL only drops the complete prefix
+        let dropped = s.gc_upto(Lsn(100));
+        assert_eq!(dropped, 3);
+        assert_eq!(s.len(), 1); // the stranded record at 7 remains
+        assert_eq!(s.scl(), Lsn(3), "SCL survives GC");
+        // late duplicate of a GC'd record is ignored
+        assert!(!s.insert(rec(2, 1)));
+    }
+
+    #[test]
+    fn gc_partial_prefix() {
+        let mut s = SegmentLog::new();
+        for (l, p) in [(1, 0), (2, 1), (3, 2)] {
+            s.insert(rec(l, p));
+        }
+        assert_eq!(s.gc_upto(Lsn(1)), 1);
+        assert_eq!(s.len(), 2);
+        assert!(s.get(Lsn(1)).is_none());
+        assert!(s.get(Lsn(2)).is_some());
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut s = SegmentLog::new();
+        assert_eq!(s.bytes(), 0);
+        s.insert(rec(1, 0));
+        assert!(s.bytes() > 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Quorum configurations.
+//!
+//! §2.1 recalls Gifford's weighted voting: with V copies, a read quorum
+//! V_r and write quorum V_w must satisfy `V_r + V_w > V` (reads see the
+//! newest write) and `V_w > V/2` (writes don't conflict). Aurora layers an
+//! AZ-awareness requirement on top: copies are spread `copies_per_az` per
+//! AZ so that quorum survives the paper's correlated failures.
+
+use std::fmt;
+
+/// A replication/quorum scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumConfig {
+    /// Total copies V.
+    pub copies: u8,
+    /// Write quorum V_w.
+    pub write_quorum: u8,
+    /// Read quorum V_r.
+    pub read_quorum: u8,
+    /// Number of availability zones the copies span.
+    pub azs: u8,
+    /// Copies placed in each AZ (`copies = azs * copies_per_az`).
+    pub copies_per_az: u8,
+}
+
+/// Violations of the quorum consistency rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `V_r + V_w <= V`: a read might miss the newest write.
+    ReadsMayMissWrites,
+    /// `V_w <= V/2`: two conflicting writes could both reach quorum.
+    ConflictingWrites,
+    /// Layout mismatch: `azs * copies_per_az != copies`.
+    BadLayout,
+    /// Degenerate parameters (zero copies or quorum larger than V).
+    Degenerate,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ReadsMayMissWrites => write!(f, "Vr + Vw must exceed V"),
+            ConfigError::ConflictingWrites => write!(f, "Vw must exceed V/2"),
+            ConfigError::BadLayout => write!(f, "azs * copies_per_az must equal V"),
+            ConfigError::Degenerate => write!(f, "degenerate quorum parameters"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl QuorumConfig {
+    /// Aurora's design point: 6 copies, 4/6 writes, 3/6 reads, 2 per AZ
+    /// across 3 AZs (§2.1).
+    pub const fn aurora() -> QuorumConfig {
+        QuorumConfig {
+            copies: 6,
+            write_quorum: 4,
+            read_quorum: 3,
+            azs: 3,
+            copies_per_az: 2,
+        }
+    }
+
+    /// The "common approach" the paper argues against: 3 copies, 2/3
+    /// writes and reads, one copy per AZ.
+    pub const fn two_of_three() -> QuorumConfig {
+        QuorumConfig {
+            copies: 3,
+            write_quorum: 2,
+            read_quorum: 2,
+            azs: 3,
+            copies_per_az: 1,
+        }
+    }
+
+    /// The mirrored-MySQL data path viewed as a quorum (§3.1: "this model
+    /// can be viewed as having a 4/4 write quorum"). Two AZs, two copies
+    /// each (EBS primary+mirror per side).
+    pub const fn mirrored_four_of_four() -> QuorumConfig {
+        QuorumConfig {
+            copies: 4,
+            write_quorum: 4,
+            read_quorum: 1,
+            azs: 2,
+            copies_per_az: 2,
+        }
+    }
+
+    /// Validate Gifford's rules and the AZ layout.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.copies == 0
+            || self.write_quorum == 0
+            || self.read_quorum == 0
+            || self.write_quorum > self.copies
+            || self.read_quorum > self.copies
+        {
+            return Err(ConfigError::Degenerate);
+        }
+        if (self.read_quorum as u16 + self.write_quorum as u16) <= self.copies as u16 {
+            return Err(ConfigError::ReadsMayMissWrites);
+        }
+        if (self.write_quorum as u16 * 2) <= self.copies as u16 {
+            return Err(ConfigError::ConflictingWrites);
+        }
+        if self.azs as u16 * self.copies_per_az as u16 != self.copies as u16 {
+            return Err(ConfigError::BadLayout);
+        }
+        Ok(())
+    }
+
+    /// The AZ a replica slot lives in (slots are striped across AZs:
+    /// slot 0 → AZ0, slot 1 → AZ1, …, wrapping).
+    pub fn az_of_replica(&self, replica: u8) -> u8 {
+        replica % self.azs
+    }
+
+    /// Can a write quorum still be assembled when the given replica slots
+    /// are unavailable?
+    pub fn write_available(&self, down: &[u8]) -> bool {
+        let alive = self.copies as usize - down.len().min(self.copies as usize);
+        alive >= self.write_quorum as usize
+    }
+
+    /// Can a read quorum still be assembled?
+    pub fn read_available(&self, down: &[u8]) -> bool {
+        let alive = self.copies as usize - down.len().min(self.copies as usize);
+        alive >= self.read_quorum as usize
+    }
+
+    /// Replica slots located in `az`.
+    pub fn replicas_in_az(&self, az: u8) -> Vec<u8> {
+        (0..self.copies)
+            .filter(|r| self.az_of_replica(*r) == az)
+            .collect()
+    }
+
+    /// Paper claim (a): can we lose a whole AZ **plus one more node**
+    /// without losing read availability (and hence the ability to rebuild)?
+    pub fn tolerates_az_plus_one_for_reads(&self) -> bool {
+        let worst_down = self.copies_per_az as usize + 1;
+        self.copies as usize - worst_down >= self.read_quorum as usize
+    }
+
+    /// Paper claim (b): can we lose a whole AZ without losing write
+    /// availability?
+    pub fn tolerates_az_for_writes(&self) -> bool {
+        let down = self.copies_per_az as usize;
+        self.copies as usize - down >= self.write_quorum as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        QuorumConfig::aurora().validate().unwrap();
+        QuorumConfig::two_of_three().validate().unwrap();
+        QuorumConfig::mirrored_four_of_four().validate().unwrap();
+    }
+
+    #[test]
+    fn gifford_rule_violations() {
+        let mut c = QuorumConfig::aurora();
+        c.read_quorum = 2; // 2+4 = 6, not > 6
+        assert_eq!(c.validate(), Err(ConfigError::ReadsMayMissWrites));
+
+        let mut c = QuorumConfig::aurora();
+        c.write_quorum = 3;
+        c.read_quorum = 4;
+        assert_eq!(c.validate(), Err(ConfigError::ConflictingWrites));
+
+        let mut c = QuorumConfig::aurora();
+        c.copies_per_az = 3;
+        assert_eq!(c.validate(), Err(ConfigError::BadLayout));
+
+        let mut c = QuorumConfig::aurora();
+        c.write_quorum = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Degenerate));
+        let mut c = QuorumConfig::aurora();
+        c.read_quorum = 9;
+        assert_eq!(c.validate(), Err(ConfigError::Degenerate));
+    }
+
+    #[test]
+    fn aurora_tolerates_az_plus_one_two_of_three_does_not() {
+        let a = QuorumConfig::aurora();
+        assert!(a.tolerates_az_plus_one_for_reads());
+        assert!(a.tolerates_az_for_writes());
+
+        // §2.1: in a 2/3 scheme an AZ failure plus one concurrent node
+        // failure breaks quorum entirely. (A bare AZ loss still leaves 2/3
+        // writes possible — the inadequacy is the AZ+1 case.)
+        let t = QuorumConfig::two_of_three();
+        assert!(!t.tolerates_az_plus_one_for_reads());
+        assert!(t.tolerates_az_for_writes());
+    }
+
+    #[test]
+    fn mirrored_mysql_cannot_lose_anything() {
+        let m = QuorumConfig::mirrored_four_of_four();
+        assert!(!m.write_available(&[0]));
+        assert!(m.read_available(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn availability_with_down_slots() {
+        let a = QuorumConfig::aurora();
+        assert!(a.write_available(&[0, 1]));
+        assert!(!a.write_available(&[0, 1, 2]));
+        assert!(a.read_available(&[0, 1, 2]));
+        assert!(!a.read_available(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn az_striping() {
+        let a = QuorumConfig::aurora();
+        assert_eq!(a.replicas_in_az(0), vec![0, 3]);
+        assert_eq!(a.replicas_in_az(1), vec![1, 4]);
+        assert_eq!(a.replicas_in_az(2), vec![2, 5]);
+        // losing AZ0 and node 1: reads still possible (3 alive)
+        assert!(a.read_available(&[0, 3, 1]));
+        // but writes are not (only 3 alive < 4)
+        assert!(!a.write_available(&[0, 3, 1]));
+    }
+}

@@ -1,0 +1,281 @@
+//! Asynchronous durability tracking — the paper's replacement for 2PC.
+//!
+//! §4.1: "we maintain points of consistency and durability, and continually
+//! advance these points as we receive acknowledgements for outstanding
+//! storage requests." The writer forms volume-level batches of log records,
+//! shards each batch into per-PG shipments (§5: batches are "sharded by
+//! the PGs each log record belongs to"), and ships every shipment to all
+//! six replicas of its PG. A batch is *durable* once **every** PG it
+//! touches has a write quorum of acks; the **VDL** (Volume Durable LSN) is
+//! the highest CPL inside the gapless prefix of durable batches.
+//!
+//! [`DurabilityTracker`] implements exactly that bookkeeping. It is
+//! protocol-agnostic: the engine crate feeds it `register`/`ack` calls and
+//! reacts to the returned VDL advances (commit acknowledgements, cache
+//! eviction, LAL release).
+
+use std::collections::BTreeMap;
+
+use aurora_log::{Lsn, PgId};
+
+use crate::config::QuorumConfig;
+
+/// Result of recording one segment acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// The batch is still short of quorum.
+    Pending,
+    /// The batch reached quorum but an earlier batch is still outstanding,
+    /// so the VDL cannot move yet.
+    QuorumReached,
+    /// The durable prefix advanced; the new VDL is enclosed (it may equal
+    /// the old one if the prefix contained no CPL).
+    VdlAdvanced(Lsn),
+}
+
+#[derive(Debug)]
+struct Batch {
+    /// Per touched PG: bitmask of replica slots that acked.
+    acks: Vec<(PgId, u64)>,
+    /// Highest CPL inside the batch, if any.
+    highest_cpl: Option<Lsn>,
+    quorum: bool,
+}
+
+/// Tracks outstanding batches and advances the VDL.
+#[derive(Debug)]
+pub struct DurabilityTracker {
+    cfg: QuorumConfig,
+    /// Outstanding batches keyed by their last LSN (batches are created in
+    /// LSN order by the log manager, so map order == log order).
+    batches: BTreeMap<Lsn, Batch>,
+    /// End of the gapless durable prefix (a batch-end LSN).
+    durable_to: Lsn,
+    vdl: Lsn,
+}
+
+impl DurabilityTracker {
+    /// Start tracking from `start` (both the durable prefix and VDL).
+    pub fn new(cfg: QuorumConfig, start: Lsn) -> Self {
+        DurabilityTracker {
+            cfg,
+            batches: BTreeMap::new(),
+            durable_to: start,
+            vdl: start,
+        }
+    }
+
+    /// Current Volume Durable LSN.
+    pub fn vdl(&self) -> Lsn {
+        self.vdl
+    }
+
+    /// End of the gapless durable prefix (every record at or below this
+    /// reached a write quorum — the in-operation analogue of VCL).
+    pub fn durable_to(&self) -> Lsn {
+        self.durable_to
+    }
+
+    /// Number of batches not yet folded into the durable prefix.
+    pub fn outstanding(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Register a shipped batch ending at `end_lsn` whose highest CPL is
+    /// `highest_cpl` and which was sharded to the given PGs. Batches must
+    /// be registered in increasing `end_lsn` order.
+    pub fn register(&mut self, end_lsn: Lsn, highest_cpl: Option<Lsn>, pgs: &[PgId]) {
+        debug_assert!(end_lsn > self.durable_to, "batch already durable");
+        debug_assert!(!pgs.is_empty());
+        debug_assert!(
+            self.batches.keys().next_back().is_none_or(|k| *k < end_lsn),
+            "batches must register in order"
+        );
+        self.batches.insert(
+            end_lsn,
+            Batch {
+                acks: pgs.iter().map(|pg| (*pg, 0u64)).collect(),
+                highest_cpl,
+                quorum: false,
+            },
+        );
+    }
+
+    /// Record an acknowledgement from replica slot `replica` of `pg` for
+    /// the batch ending at `end_lsn`. Duplicate and unknown acks are
+    /// tolerated (the network may duplicate; recovery may have truncated).
+    pub fn ack(&mut self, end_lsn: Lsn, pg: PgId, replica: u8) -> AckOutcome {
+        let write_quorum = self.cfg.write_quorum as u32;
+        let Some(batch) = self.batches.get_mut(&end_lsn) else {
+            return AckOutcome::Pending;
+        };
+        if batch.quorum {
+            return AckOutcome::QuorumReached;
+        }
+        let Some(entry) = batch.acks.iter_mut().find(|(p, _)| *p == pg) else {
+            return AckOutcome::Pending;
+        };
+        entry.1 |= 1u64 << (replica % 64);
+        if !batch
+            .acks
+            .iter()
+            .all(|(_, mask)| mask.count_ones() >= write_quorum)
+        {
+            return AckOutcome::Pending;
+        }
+        batch.quorum = true;
+        // Try to extend the gapless prefix.
+        let mut advanced = false;
+        while let Some((&first_end, b)) = self.batches.iter().next() {
+            if !b.quorum {
+                break;
+            }
+            if let Some(cpl) = b.highest_cpl {
+                if cpl > self.vdl {
+                    self.vdl = cpl;
+                }
+            }
+            self.durable_to = first_end;
+            self.batches.remove(&first_end);
+            advanced = true;
+        }
+        if advanced {
+            AckOutcome::VdlAdvanced(self.vdl)
+        } else {
+            AckOutcome::QuorumReached
+        }
+    }
+
+    /// Drop all outstanding batches (crash recovery rebuilds state from the
+    /// storage fleet instead).
+    pub fn reset(&mut self, start: Lsn) {
+        self.batches.clear();
+        self.durable_to = start;
+        self.vdl = start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PG0: PgId = PgId(0);
+    const PG1: PgId = PgId(1);
+
+    fn tracker() -> DurabilityTracker {
+        DurabilityTracker::new(QuorumConfig::aurora(), Lsn::ZERO)
+    }
+
+    #[test]
+    fn quorum_of_four_required() {
+        let mut t = tracker();
+        t.register(Lsn(10), Some(Lsn(10)), &[PG0]);
+        assert_eq!(t.ack(Lsn(10), PG0, 0), AckOutcome::Pending);
+        assert_eq!(t.ack(Lsn(10), PG0, 1), AckOutcome::Pending);
+        assert_eq!(t.ack(Lsn(10), PG0, 2), AckOutcome::Pending);
+        assert_eq!(t.ack(Lsn(10), PG0, 3), AckOutcome::VdlAdvanced(Lsn(10)));
+        assert_eq!(t.vdl(), Lsn(10));
+        assert_eq!(t.durable_to(), Lsn(10));
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn duplicate_acks_do_not_count() {
+        let mut t = tracker();
+        t.register(Lsn(5), Some(Lsn(5)), &[PG0]);
+        for _ in 0..10 {
+            assert_eq!(t.ack(Lsn(5), PG0, 0), AckOutcome::Pending);
+        }
+        assert_eq!(t.vdl(), Lsn::ZERO);
+    }
+
+    #[test]
+    fn multi_pg_batch_needs_quorum_in_every_pg() {
+        let mut t = tracker();
+        t.register(Lsn(10), Some(Lsn(10)), &[PG0, PG1]);
+        for r in 0..6 {
+            t.ack(Lsn(10), PG0, r); // all six of PG0
+        }
+        assert_eq!(t.vdl(), Lsn::ZERO, "PG1 has no acks yet");
+        for r in 0..3 {
+            assert_eq!(t.ack(Lsn(10), PG1, r), AckOutcome::Pending);
+        }
+        assert_eq!(t.ack(Lsn(10), PG1, 3), AckOutcome::VdlAdvanced(Lsn(10)));
+    }
+
+    #[test]
+    fn out_of_order_quorum_waits_for_prefix() {
+        let mut t = tracker();
+        t.register(Lsn(10), Some(Lsn(9)), &[PG0]);
+        t.register(Lsn(20), Some(Lsn(20)), &[PG0]);
+        // Batch 2 reaches quorum first…
+        for r in 0..4 {
+            t.ack(Lsn(20), PG0, r);
+        }
+        assert_eq!(t.vdl(), Lsn::ZERO, "gap: batch 1 not yet durable");
+        assert_eq!(t.outstanding(), 2);
+        // …then batch 1 completes and both fold in.
+        for r in 0..3 {
+            assert_eq!(t.ack(Lsn(10), PG0, r), AckOutcome::Pending);
+        }
+        assert_eq!(t.ack(Lsn(10), PG0, 3), AckOutcome::VdlAdvanced(Lsn(20)));
+        assert_eq!(t.durable_to(), Lsn(20));
+    }
+
+    #[test]
+    fn vdl_skips_batches_without_cpl() {
+        let mut t = tracker();
+        t.register(Lsn(10), None, &[PG0]); // mid-MTR batch
+        t.register(Lsn(20), Some(Lsn(20)), &[PG0]);
+        for r in 0..4 {
+            t.ack(Lsn(10), PG0, r);
+        }
+        // durable but VDL unchanged — no CPL yet (MTR incomplete)
+        assert_eq!(t.durable_to(), Lsn(10));
+        assert_eq!(t.vdl(), Lsn::ZERO);
+        for r in 0..4 {
+            t.ack(Lsn(20), PG0, r);
+        }
+        assert_eq!(t.vdl(), Lsn(20));
+    }
+
+    #[test]
+    fn unknown_batch_or_pg_ack_is_harmless() {
+        let mut t = tracker();
+        assert_eq!(t.ack(Lsn(99), PG0, 0), AckOutcome::Pending);
+        t.register(Lsn(5), None, &[PG0]);
+        assert_eq!(t.ack(Lsn(5), PG1, 0), AckOutcome::Pending);
+    }
+
+    #[test]
+    fn acks_beyond_quorum_still_report_quorum() {
+        let mut t = tracker();
+        t.register(Lsn(10), None, &[PG0]);
+        t.register(Lsn(20), Some(Lsn(20)), &[PG0]);
+        for r in 0..4 {
+            t.ack(Lsn(20), PG0, r);
+        }
+        assert_eq!(t.ack(Lsn(20), PG0, 4), AckOutcome::QuorumReached);
+        assert_eq!(t.ack(Lsn(20), PG0, 4), AckOutcome::QuorumReached);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = tracker();
+        t.register(Lsn(10), Some(Lsn(10)), &[PG0]);
+        t.ack(Lsn(10), PG0, 0);
+        t.reset(Lsn(100));
+        assert_eq!(t.vdl(), Lsn(100));
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn mirrored_config_needs_all_four() {
+        let mut t = DurabilityTracker::new(QuorumConfig::mirrored_four_of_four(), Lsn::ZERO);
+        t.register(Lsn(1), Some(Lsn(1)), &[PG0]);
+        for r in 0..3 {
+            assert_eq!(t.ack(Lsn(1), PG0, r), AckOutcome::Pending);
+        }
+        assert_eq!(t.ack(Lsn(1), PG0, 3), AckOutcome::VdlAdvanced(Lsn(1)));
+    }
+}

@@ -1,0 +1,188 @@
+//! Latency distributions.
+//!
+//! The paper's central performance argument is about *tails*: "the
+//! performance of the outlier storage node, disk or network path can
+//! dominate response time" (§1). To reproduce that, every modeled resource
+//! samples its service time from a [`Dist`], which can be a constant, a
+//! uniform band, a log-normal (heavy right tail — a good stand-in for
+//! datacenter network/disk latencies), or a base distribution with a rare
+//! large outlier mixed in (for the slow-node ablations).
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A distribution over durations.
+#[derive(Debug, Clone)]
+pub enum Dist {
+    /// Always exactly this duration.
+    Constant(SimDuration),
+    /// Uniform between the two bounds (inclusive of low, exclusive of high).
+    Uniform(SimDuration, SimDuration),
+    /// Log-normal specified by its *median* and the sigma of the underlying
+    /// normal. Median parameterization keeps configs readable.
+    LogNormal {
+        median: SimDuration,
+        sigma: f64,
+    },
+    /// With probability `p`, sample from `outlier`; otherwise from `base`.
+    /// Used to inject slow nodes / gray failures.
+    Mix {
+        base: Box<Dist>,
+        outlier: Box<Dist>,
+        p: f64,
+    },
+    /// Base distribution plus a fixed floor (e.g. propagation delay plus a
+    /// sampled queueing component).
+    Shifted {
+        floor: SimDuration,
+        rest: Box<Dist>,
+    },
+}
+
+impl Dist {
+    /// Convenience constructor: constant microseconds.
+    pub fn const_micros(us: u64) -> Dist {
+        Dist::Constant(SimDuration::from_micros(us))
+    }
+
+    /// Convenience constructor: constant milliseconds.
+    pub fn const_millis(ms: u64) -> Dist {
+        Dist::Constant(SimDuration::from_millis(ms))
+    }
+
+    /// Log-normal with median in microseconds and the given sigma.
+    pub fn lognormal_micros(median_us: u64, sigma: f64) -> Dist {
+        Dist::LogNormal {
+            median: SimDuration::from_micros(median_us),
+            sigma,
+        }
+    }
+
+    /// Wrap `self` so that with probability `p` the sample is drawn from
+    /// `outlier` instead.
+    pub fn with_outlier(self, outlier: Dist, p: f64) -> Dist {
+        Dist::Mix {
+            base: Box::new(self),
+            outlier: Box::new(outlier),
+            p,
+        }
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            Dist::Constant(d) => *d,
+            Dist::Uniform(lo, hi) => {
+                if hi.nanos() <= lo.nanos() {
+                    *lo
+                } else {
+                    SimDuration::from_nanos(rng.range_u64(lo.nanos(), hi.nanos()))
+                }
+            }
+            Dist::LogNormal { median, sigma } => {
+                // median of lognormal(mu, sigma) is exp(mu)
+                let mu = (median.nanos().max(1) as f64).ln();
+                SimDuration::from_nanos(rng.log_normal(mu, *sigma) as u64)
+            }
+            Dist::Mix { base, outlier, p } => {
+                if rng.chance(*p) {
+                    outlier.sample(rng)
+                } else {
+                    base.sample(rng)
+                }
+            }
+            Dist::Shifted { floor, rest } => *floor + rest.sample(rng),
+        }
+    }
+
+    /// The distribution's median, used for coarse capacity planning in the
+    /// harness (exact for constant/uniform/lognormal; approximate for mixes).
+    pub fn median(&self) -> SimDuration {
+        match self {
+            Dist::Constant(d) => *d,
+            Dist::Uniform(lo, hi) => SimDuration::from_nanos((lo.nanos() + hi.nanos()) / 2),
+            Dist::LogNormal { median, .. } => *median,
+            Dist::Mix { base, .. } => base.median(),
+            Dist::Shifted { floor, rest } => *floor + rest.median(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(1234)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::const_micros(500);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r).micros(), 500);
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let d = Dist::Uniform(SimDuration::from_micros(100), SimDuration::from_micros(200));
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = d.sample(&mut r).micros();
+            assert!((100..200).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform() {
+        let d = Dist::Uniform(SimDuration::from_micros(100), SimDuration::from_micros(100));
+        assert_eq!(d.sample(&mut rng()).micros(), 100);
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let d = Dist::lognormal_micros(1000, 0.5);
+        let mut r = rng();
+        let mut samples: Vec<u64> = (0..20_001).map(|_| d.sample(&mut r).micros()).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        assert!((800..1200).contains(&median), "median {median}");
+        // Heavy right tail: p99 well above the median.
+        let p99 = samples[samples.len() * 99 / 100];
+        assert!(p99 > median * 2, "p99 {p99} median {median}");
+    }
+
+    #[test]
+    fn mix_injects_outliers() {
+        let d = Dist::const_micros(100).with_outlier(Dist::const_millis(50), 0.1);
+        let mut r = rng();
+        let slow = (0..10_000)
+            .filter(|_| d.sample(&mut r).millis() >= 50)
+            .count();
+        assert!((800..1200).contains(&slow), "slow {slow}");
+    }
+
+    #[test]
+    fn shifted_adds_floor() {
+        let d = Dist::Shifted {
+            floor: SimDuration::from_micros(1000),
+            rest: Box::new(Dist::const_micros(5)),
+        };
+        assert_eq!(d.sample(&mut rng()).micros(), 1005);
+        assert_eq!(d.median().micros(), 1005);
+    }
+
+    #[test]
+    fn medians() {
+        assert_eq!(Dist::const_micros(7).median().micros(), 7);
+        assert_eq!(
+            Dist::Uniform(SimDuration::from_micros(10), SimDuration::from_micros(20))
+                .median()
+                .micros(),
+            15
+        );
+        assert_eq!(Dist::lognormal_micros(42, 1.0).median().micros(), 42);
+    }
+}

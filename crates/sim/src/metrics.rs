@@ -1,0 +1,334 @@
+//! Counters and histograms for the simulation.
+//!
+//! The experiment harness reads everything it reports — throughput, network
+//! IOs per transaction, P50/P95 latencies, replica lag — out of this
+//! registry. Histograms are log-bucketed (HDR-style: power-of-two buckets
+//! each split into 16 linear sub-buckets), which keeps relative error under
+//! ~6% across the nanosecond-to-minute range we record.
+
+use std::collections::HashMap;
+
+/// A log-bucketed histogram of `u64` values (we record nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// counts[bucket][sub]; bucket = floor(log2(v)) clamped, 16 sub-buckets.
+    counts: Vec<[u64; 16]>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const BUCKETS: usize = 64;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![[0u64; 16]; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn locate(value: u64) -> (usize, usize) {
+        if value < 16 {
+            // values 0..16 go to bucket 0, sub = value
+            return (0, value as usize);
+        }
+        let bucket = 63 - value.leading_zeros() as usize; // floor(log2)
+        // sub-bucket: next 4 bits below the leading one
+        let sub = ((value >> (bucket - 4)) & 0xF) as usize;
+        (bucket.min(BUCKETS - 1), sub)
+    }
+
+    fn bucket_value(bucket: usize, sub: usize) -> u64 {
+        if bucket == 0 {
+            return sub as u64;
+        }
+        // representative value: midpoint of the sub-bucket
+        let base = 1u64 << bucket;
+        let step = base >> 4;
+        base + step * sub as u64 + step / 2
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let (b, s) = Self::locate(value);
+        self.counts[b][s] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (0 if empty). Approximate to the
+    /// sub-bucket representative value; exact min/max are used at the ends.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, subs) in self.counts.iter().enumerate() {
+            for (s, &c) in subs.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return Self::bucket_value(b, s).clamp(self.min, self.max);
+                }
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for common percentiles.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, subs) in other.counts.iter().enumerate() {
+            for (s, &c) in subs.iter().enumerate() {
+                self.counts[b][s] += c;
+            }
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Reset to empty (used for warm-up windows).
+    pub fn clear(&mut self) {
+        for subs in self.counts.iter_mut() {
+            *subs = [0; 16];
+        }
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+/// Registry of named counters and histograms, keyed by `(owner, name)`.
+/// `owner` is a node id in practice; `u32::MAX` is used for global metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: HashMap<(u32, &'static str), u64>,
+    histograms: HashMap<(u32, &'static str), Histogram>,
+}
+
+/// Owner id used for simulation-global metrics.
+pub const GLOBAL: u32 = u32::MAX;
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to a counter.
+    pub fn inc(&mut self, owner: u32, name: &'static str, v: u64) {
+        *self.counters.entry((owner, name)).or_insert(0) += v;
+    }
+
+    /// Read a counter (0 if never written).
+    pub fn counter(&self, owner: u32, name: &'static str) -> u64 {
+        self.counters.get(&(owner, name)).copied().unwrap_or(0)
+    }
+
+    /// Sum of a counter across all owners.
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((_, n), _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Record into a histogram.
+    pub fn record(&mut self, owner: u32, name: &'static str, value: u64) {
+        self.histograms
+            .entry((owner, name))
+            .or_default()
+            .record(value);
+    }
+
+    /// Read a histogram, if any values were recorded.
+    pub fn histogram(&self, owner: u32, name: &'static str) -> Option<&Histogram> {
+        self.histograms.get(&(owner, name))
+    }
+
+    /// Merged histogram across all owners with this name.
+    pub fn histogram_total(&self, name: &'static str) -> Histogram {
+        let mut out = Histogram::new();
+        for ((_, n), h) in self.histograms.iter() {
+            if *n == name {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Clear every metric (warm-up boundary).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+
+    /// All counter names currently present (sorted, deduped) — handy for
+    /// debugging experiments.
+    pub fn counter_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.counters.keys().map(|(_, n)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.count(), 16);
+    }
+
+    #[test]
+    fn quantiles_reasonable() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000); // 1k .. 10M
+        }
+        let p50 = h.p50();
+        assert!((4_500_000..5_700_000).contains(&p50), "p50 {p50}");
+        let p95 = h.p95();
+        assert!((9_000_000..10_100_000).contains(&p95), "p95 {p95}");
+        assert_eq!(h.quantile(0.0), 1000);
+        assert_eq!(h.quantile(1.0), 10_000_000);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = Histogram::new();
+        let v = 123_456_789u64;
+        h.record(v);
+        let got = h.p50();
+        let err = (got as f64 - v as f64).abs() / v as f64;
+        assert!(err < 0.07, "err {err}");
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 300);
+        a.clear();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.max(), 0);
+    }
+
+    #[test]
+    fn registry_counters() {
+        let mut m = MetricsRegistry::new();
+        m.inc(1, "ios", 3);
+        m.inc(2, "ios", 4);
+        m.inc(1, "txns", 1);
+        assert_eq!(m.counter(1, "ios"), 3);
+        assert_eq!(m.counter(3, "ios"), 0);
+        assert_eq!(m.counter_total("ios"), 7);
+        assert_eq!(m.counter_names(), vec!["ios", "txns"]);
+        m.clear();
+        assert_eq!(m.counter_total("ios"), 0);
+    }
+
+    #[test]
+    fn registry_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.record(1, "lat", 10);
+        m.record(2, "lat", 1000);
+        assert_eq!(m.histogram(1, "lat").unwrap().count(), 1);
+        assert!(m.histogram(9, "lat").is_none());
+        let total = m.histogram_total("lat");
+        assert_eq!(total.count(), 2);
+        assert_eq!(total.min(), 10);
+    }
+
+    #[test]
+    fn mean_accumulates() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Seeded randomness for the simulation.
+//!
+//! A single [`SimRng`] lives in the simulator world and drives every random
+//! choice — latency samples, loss decisions, workload key selection — so a
+//! run is fully reproducible from its seed. The type is a thin wrapper over
+//! a small, fast PRNG from the `rand` crate plus a few domain helpers (e.g.
+//! a hand-rolled log-normal sample, since `rand_distr` is not in the
+//! approved dependency set).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic simulation RNG.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create an RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child RNG (e.g. one per workload connection)
+    /// whose stream will not be perturbed by unrelated draws.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.next_u64())
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform index in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn std_normal(&mut self) -> f64 {
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal sample with the given parameters of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.std_normal()).exp()
+    }
+
+    /// Fill a buffer with deterministic pseudo-random bytes.
+    pub fn bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// Exponential sample with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.f64();
+        -mean * u.ln()
+    }
+
+    /// A Zipf-like skewed index in `[0, n)`: used for hot-row workloads
+    /// (Table 5's TPC-C variant). `theta` in `(0,1)`; higher is more skewed.
+    /// Uses the classic Gray et al. self-similar approximation, which is
+    /// cheap and adequate for generating contention.
+    pub fn skewed_index(&mut self, n: usize, theta: f64) -> usize {
+        debug_assert!(n > 0);
+        let h = theta.clamp(0.01, 0.99);
+        // self-similar: a fraction h of accesses hit the lower half, applied
+        // recursively, so small indices are hot.
+        let mut lo = 0usize;
+        let mut span = n;
+        // Recurse ~log2(n) times choosing the hot or cold half.
+        while span > 1 {
+            let hot = self.f64() < h;
+            let half = span / 2;
+            if hot {
+                span = half.max(1);
+            } else {
+                lo += half;
+                span = span - half;
+            }
+        }
+        lo.min(n - 1)
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(7);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-5.0));
+        assert!(r.chance(5.0));
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut r = SimRng::new(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.std_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn skewed_index_is_skewed_and_in_range() {
+        let mut r = SimRng::new(13);
+        let n = 1024;
+        let mut low_half = 0;
+        for _ in 0..10_000 {
+            let i = r.skewed_index(n, 0.8);
+            assert!(i < n);
+            if i < n / 2 {
+                low_half += 1;
+            }
+        }
+        // With theta=0.8 the low half should absorb well over half the mass.
+        assert!(low_half > 7_000, "low_half {low_half}");
+    }
+
+    #[test]
+    fn skewed_index_handles_n_one() {
+        let mut r = SimRng::new(17);
+        assert_eq!(r.skewed_index(1, 0.5), 0);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut a = SimRng::new(5);
+        let mut c1 = a.fork();
+        let mut c2 = a.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,188 @@
+//! Virtual time. The simulator's clock is a nanosecond counter that only
+//! advances when events are dispatched, so "30 minutes" of SysBench (the
+//! paper's Table 1 run length) executes in seconds of wall time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since simulation start.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since simulation start.
+    #[inline]
+    pub fn millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since simulation start, as a float.
+    #[inline]
+    pub fn secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    #[inline]
+    pub const fn from_nanos(n: u64) -> Self {
+        SimDuration(n)
+    }
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+    /// Build from fractional seconds (negative values clamp to zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e9) as u64)
+    }
+    #[inline]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    #[inline]
+    pub fn millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    #[inline]
+    pub fn secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Scale by a float factor, clamping at zero.
+    pub fn mul_f64(self, f: f64) -> Self {
+        SimDuration((self.0 as f64 * f).max(0.0) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimDuration::from_secs(2).nanos(), 2_000_000_000);
+        assert_eq!(SimDuration::from_millis(3).micros(), 3_000);
+        assert_eq!(SimDuration::from_micros(5).nanos(), 5_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).millis(), 500);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime(1_000) + SimDuration::from_nanos(500);
+        assert_eq!(t, SimTime(1_500));
+        assert_eq!(t - SimTime(1_000), SimDuration(500));
+        // subtraction saturates rather than panicking
+        assert_eq!(SimTime(10) - SimTime(20), SimDuration::ZERO);
+        assert_eq!(SimTime(10).since(SimTime(4)), SimDuration(6));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(SimDuration::from_secs(1).mul_f64(0.25).millis(), 250);
+        assert_eq!(SimDuration::from_secs(1).mul_f64(-3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{:?}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{:?}", SimDuration::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{:?}", SimDuration::from_micros(2)), "2.000us");
+        assert_eq!(format!("{:?}", SimDuration::from_nanos(2)), "2ns");
+    }
+}

@@ -1,0 +1,307 @@
+//! The storage control plane.
+//!
+//! The paper (§5) runs this on RDS agents, Amazon DynamoDB (volume
+//! metadata, "so that there is no confusion over the durability of
+//! truncations"), and the Simple Workflow Service ("orchestrating
+//! long-running operations, e.g. … a repair (re-replication) operation
+//! following a storage node failure"). Here it is a single actor:
+//!
+//! * collects heartbeats from storage nodes and detects failures,
+//! * orchestrates segment repair: picks a spare node in the lost replica's
+//!   AZ, asks a healthy peer to ship the segment, installs it, and bumps
+//!   the PG membership,
+//! * broadcasts membership updates to the database instances and the PG's
+//!   members (refreshing gossip peer lists),
+//! * durably remembers the latest truncation range and periodically
+//!   re-delivers it, so segments that were down during a recovery still
+//!   learn about annulled LSN ranges.
+
+use std::collections::HashMap;
+
+use aurora_log::SegmentId;
+use aurora_quorum::TruncationRange;
+use aurora_sim::{Actor, ActorEvent, Ctx, NodeId, SimDuration, SimTime, Tag, Zone};
+
+use crate::volume::PgMembership;
+use crate::wire::*;
+
+const TAG_SWEEP: Tag = 1;
+
+/// Control plane configuration.
+#[derive(Debug, Clone)]
+pub struct ControlConfig {
+    /// How often to sweep for dead nodes / re-deliver truncations.
+    pub sweep_interval: SimDuration,
+    /// A node is presumed failed after this much heartbeat silence.
+    pub failure_timeout: SimDuration,
+    /// Spare storage nodes per zone, consumed by repairs.
+    pub spares: Vec<(NodeId, Zone)>,
+    /// Nodes (database instances) that must learn about membership changes.
+    pub watchers: Vec<NodeId>,
+    /// Zone of every storage node (for AZ-aware spare selection).
+    pub zones: HashMap<NodeId, Zone>,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            sweep_interval: SimDuration::from_millis(200),
+            failure_timeout: SimDuration::from_millis(600),
+            spares: Vec::new(),
+            watchers: Vec::new(),
+            zones: HashMap::new(),
+        }
+    }
+}
+
+struct RepairJob {
+    segment: SegmentId,
+    replacement: NodeId,
+}
+
+/// The control plane actor.
+pub struct ControlPlane {
+    cfg: ControlConfig,
+    memberships: Vec<PgMembership>,
+    last_seen: HashMap<NodeId, SimTime>,
+    in_repair: Vec<RepairJob>,
+    truncation: Option<TruncationRange>,
+    started_at: SimTime,
+    /// Count of repairs completed (inspection).
+    pub repairs_completed: u64,
+}
+
+impl ControlPlane {
+    pub fn new(cfg: ControlConfig, memberships: Vec<PgMembership>) -> Self {
+        ControlPlane {
+            cfg,
+            memberships,
+            last_seen: HashMap::new(),
+            in_repair: Vec::new(),
+            truncation: None,
+            started_at: SimTime::ZERO,
+            repairs_completed: 0,
+        }
+    }
+
+    /// Inspection: current membership of a PG.
+    pub fn membership(&self, pg: aurora_log::PgId) -> Option<&PgMembership> {
+        self.memberships.iter().find(|m| m.pg == pg)
+    }
+
+    /// All storage nodes currently holding any replica.
+    fn member_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .memberships
+            .iter()
+            .flat_map(|m| m.slots.iter().copied())
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    fn broadcast_membership(&self, ctx: &mut Ctx<'_>, pg: aurora_log::PgId) {
+        let Some(m) = self.membership(pg) else { return };
+        for w in &self.cfg.watchers {
+            ctx.send(*w, MembershipUpdate {
+                membership: m.clone(),
+            });
+        }
+        // refresh gossip peer lists on every member
+        for (replica, node) in m.slots.iter().enumerate() {
+            ctx.send(
+                *node,
+                SegmentPeers {
+                    segment: SegmentId::new(pg, replica as u8),
+                    peers: m.peers_of(replica as u8),
+                },
+            );
+        }
+    }
+
+    fn sweep(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // Grace period at startup before declaring anything dead.
+        if now.since(self.started_at) < self.cfg.failure_timeout {
+            return;
+        }
+        let dead: Vec<NodeId> = self
+            .member_nodes()
+            .into_iter()
+            .filter(|n| {
+                let seen = self.last_seen.get(n).copied().unwrap_or(self.started_at);
+                now.since(seen) > self.cfg.failure_timeout
+            })
+            .collect();
+        for node in dead {
+            self.repair_node(ctx, node);
+        }
+        // Re-deliver the durable truncation range (segments that were down
+        // during recovery must still learn it).
+        if let Some(range) = self.truncation {
+            for m in self.memberships.clone() {
+                for (replica, node) in m.slots.iter().enumerate() {
+                    ctx.send(
+                        *node,
+                        Truncate {
+                            segment: SegmentId::new(m.pg, replica as u8),
+                            range,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-replicate every segment hosted by a failed node onto spares
+    /// (§2.3: "the quorum will be quickly repaired by migration to some
+    /// other colder node in the fleet").
+    fn repair_node(&mut self, ctx: &mut Ctx<'_>, failed: NodeId) {
+        let failed_zone = self.cfg.zones.get(&failed).copied();
+        let mut jobs: Vec<(SegmentId, SegmentId, NodeId, NodeId)> = Vec::new();
+        for m in self.memberships.iter_mut() {
+            let Some(slot) = m.slot_of(failed) else { continue };
+            let segment = SegmentId::new(m.pg, slot);
+            if self.in_repair.iter().any(|j| j.segment == segment) {
+                continue;
+            }
+            // pick a spare, preferring the failed replica's AZ so the
+            // layout invariant (2 per AZ) is preserved
+            let spare_idx = self
+                .cfg
+                .spares
+                .iter()
+                .position(|(_, z)| Some(*z) == failed_zone)
+                .or_else(|| {
+                    if self.cfg.spares.is_empty() {
+                        None
+                    } else {
+                        Some(0)
+                    }
+                });
+            let Some(idx) = spare_idx else { continue };
+            let (replacement, _) = self.cfg.spares.remove(idx);
+            // healthy peer to copy from: any other alive slot
+            let now = ctx.now();
+            let donor = m
+                .slots
+                .iter()
+                .copied()
+                .filter(|n| *n != failed)
+                .find(|n| {
+                    let seen = self.last_seen.get(n).copied().unwrap_or(self.started_at);
+                    now.since(seen) <= self.cfg.failure_timeout
+                });
+            let Some(donor) = donor else {
+                // no live donor; return the spare and hope the next sweep
+                // finds one (the PG is in serious trouble)
+                self.cfg.spares.push((replacement, failed_zone.unwrap_or(Zone(0))));
+                continue;
+            };
+            let donor_slot = m.slot_of(donor).expect("donor is a member");
+            // optimistic membership update (installed on RepairDone)
+            self.in_repair.push(RepairJob {
+                segment,
+                replacement,
+            });
+            jobs.push((SegmentId::new(m.pg, donor_slot), segment, donor, replacement));
+        }
+        for (src_segment, dest_segment, donor, replacement) in jobs {
+            ctx.inc("control.repairs_started", 1);
+            ctx.send(
+                donor,
+                RepairFetchReq {
+                    src_segment,
+                    dest_segment,
+                    dest: replacement,
+                },
+            );
+        }
+    }
+
+    fn on_repair_done(&mut self, ctx: &mut Ctx<'_>, from: NodeId, segment: SegmentId) {
+        let Some(pos) = self
+            .in_repair
+            .iter()
+            .position(|j| j.segment == segment && j.replacement == from)
+        else {
+            return;
+        };
+        self.in_repair.remove(pos);
+        if let Some(m) = self.memberships.iter_mut().find(|m| m.pg == segment.pg) {
+            m.slots[segment.replica as usize] = from;
+        }
+        self.repairs_completed += 1;
+        ctx.inc("control.repairs_completed", 1);
+        self.last_seen.insert(from, ctx.now());
+        self.broadcast_membership(ctx, segment.pg);
+    }
+}
+
+impl Actor for ControlPlane {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ActorEvent) {
+        match ev {
+            ActorEvent::Start | ActorEvent::Restarted => {
+                self.started_at = ctx.now();
+                // Push initial peer lists to every member.
+                for m in self.memberships.clone() {
+                    self.broadcast_membership(ctx, m.pg);
+                }
+                ctx.set_timer(self.cfg.sweep_interval, TAG_SWEEP);
+            }
+            ActorEvent::Timer { tag: TAG_SWEEP } => {
+                self.sweep(ctx);
+                ctx.set_timer(self.cfg.sweep_interval, TAG_SWEEP);
+            }
+            ActorEvent::Timer { .. } => {}
+            ActorEvent::Message { from, msg } => {
+                let msg = match msg.downcast::<Heartbeat>() {
+                    Ok(_) => {
+                        self.last_seen.insert(from, ctx.now());
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                let msg = match msg.downcast::<RepairDone>() {
+                    Ok(done) => {
+                        self.on_repair_done(ctx, from, done.segment);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                let msg = match msg.downcast::<MembershipUpdate>() {
+                    Ok(mu) => {
+                        // volume growth: adopt (or update) the PG's membership
+                        match self
+                            .memberships
+                            .iter_mut()
+                            .find(|m| m.pg == mu.membership.pg)
+                        {
+                            Some(m) => *m = mu.membership,
+                            None => self.memberships.push(mu.membership),
+                        }
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                // Database instances durably record the recovery truncation
+                // here (the paper's DynamoDB role).
+                if let Ok(t) = msg.downcast::<Truncate>() {
+                    if self
+                        .truncation
+                        .is_none_or(|cur| t.range.epoch > cur.epoch)
+                    {
+                        self.truncation = Some(t.range);
+                    }
+                }
+            }
+            ActorEvent::DiskDone { .. } => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Control state is durable in the paper (DynamoDB); keep it all.
+        self.last_seen.clear();
+    }
+}

@@ -1,0 +1,867 @@
+//! The storage node actor — Fig. 4 of the paper.
+//!
+//! "Let's examine the various activities on the storage node … (1) receive
+//! log record and add to an in-memory queue, (2) persist record on disk
+//! and acknowledge, (3) organize records and identify gaps in the log …
+//! (4) gossip with peers to fill in gaps, (5) coalesce log records into
+//! new data pages, (6) periodically stage log and new pages to S3, (7)
+//! periodically garbage collect old versions, and finally (8) periodically
+//! validate CRC codes on pages. Note that not only are each of the steps
+//! above asynchronous, only steps (1) and (2) are in the foreground path
+//! potentially impacting latency."
+//!
+//! The actor reproduces that split precisely: a `WriteBatch` costs one
+//! simulated disk write before the ack goes out; everything else runs on
+//! timers and is skipped while the foreground queue is deep (§3.3:
+//! "background processing has negative correlation with foreground
+//! processing").
+
+use std::collections::HashMap;
+
+use aurora_log::{
+    apply_record, codec, ApplyError, LogRecord, Lsn, Page, PageId, SegmentId, SegmentLog,
+};
+use aurora_quorum::TruncationGuard;
+use aurora_sim::{Actor, ActorEvent, Ctx, NodeId, SimDuration, SimTime, Tag};
+
+use crate::object_store::{ObjectStore, SegmentBackup};
+use crate::wire::*;
+
+const TAG_GOSSIP: Tag = 1;
+const TAG_COALESCE: Tag = 2;
+const TAG_BACKUP: Tag = 3;
+const TAG_SCRUB: Tag = 4;
+const TAG_HEARTBEAT: Tag = 5;
+/// Disk-op tags start here so they never collide with timer tags.
+const TAG_OP_BASE: Tag = 1 << 20;
+
+/// Tunables for a storage node.
+#[derive(Debug, Clone)]
+pub struct StorageNodeConfig {
+    pub gossip_interval: SimDuration,
+    pub coalesce_interval: SimDuration,
+    /// 0 disables backups.
+    pub backup_interval: SimDuration,
+    /// 0 disables scrubbing.
+    pub scrub_interval: SimDuration,
+    /// 0 disables heartbeats.
+    pub heartbeat_interval: SimDuration,
+    /// Control plane node (heartbeat destination).
+    pub control: Option<NodeId>,
+    /// Object store for backups (None disables).
+    pub store: Option<ObjectStore>,
+    /// Every k-th backup increment includes a full page snapshot.
+    pub snapshot_every: u32,
+    /// Cap on records per gossip push.
+    pub gossip_batch_limit: usize,
+    /// Background work is deferred while more foreground ops than this are
+    /// in flight.
+    pub busy_threshold: usize,
+}
+
+impl Default for StorageNodeConfig {
+    fn default() -> Self {
+        StorageNodeConfig {
+            gossip_interval: SimDuration::from_millis(50),
+            coalesce_interval: SimDuration::from_millis(20),
+            backup_interval: SimDuration::from_secs(2),
+            scrub_interval: SimDuration::from_secs(10),
+            heartbeat_interval: SimDuration::from_millis(100),
+            control: None,
+            store: None,
+            snapshot_every: 4,
+            gossip_batch_limit: 512,
+            busy_threshold: 32,
+        }
+    }
+}
+
+/// Durable per-segment state.
+struct SegmentState {
+    log: SegmentLog,
+    /// Materialized pages — "simply a cache of log applications" (§3.2),
+    /// but durable on this node's disk.
+    pages: HashMap<PageId, Page>,
+    /// Per-page LSN index into the log, for on-demand materialization.
+    page_index: HashMap<PageId, Vec<Lsn>>,
+    guard: TruncationGuard,
+    /// All records at or below this have been coalesced into `pages`.
+    applied_upto: Lsn,
+    /// Piggybacked watermarks from the writer.
+    vdl_hint: Lsn,
+    pgmrpl_hint: Lsn,
+    /// Gossip peers (the PG's other five replicas).
+    peers: Vec<NodeId>,
+    /// Backup bookkeeping.
+    archived_upto: Lsn,
+    backup_count: u32,
+}
+
+impl SegmentState {
+    fn new() -> Self {
+        SegmentState {
+            log: SegmentLog::new(),
+            pages: HashMap::new(),
+            page_index: HashMap::new(),
+            guard: TruncationGuard::new(),
+            applied_upto: Lsn::ZERO,
+            vdl_hint: Lsn::ZERO,
+            pgmrpl_hint: Lsn::ZERO,
+            peers: Vec::new(),
+            archived_upto: Lsn::ZERO,
+            backup_count: 0,
+        }
+    }
+
+    fn ingest(&mut self, rec: LogRecord) -> bool {
+        let page = rec.page();
+        let lsn = rec.lsn;
+        if self.log.insert(rec) {
+            if let Some(p) = page {
+                // Keep the index LSN-sorted: gossip and retransmissions
+                // fill holes out of arrival order, and materialization
+                // must apply records in LSN order.
+                let idx = self.page_index.entry(p).or_default();
+                match idx.binary_search(&lsn) {
+                    Ok(_) => {}
+                    Err(pos) => idx.insert(pos, lsn),
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Materialize a page image as of `read_point`.
+    fn materialize(&self, page_id: PageId, read_point: Lsn) -> Page {
+        let mut page = self.pages.get(&page_id).cloned().unwrap_or_default();
+        if let Some(lsns) = self.page_index.get(&page_id) {
+            // index is kept LSN-sorted by `ingest`
+            for &lsn in lsns {
+                if lsn > read_point {
+                    break;
+                }
+                if lsn <= page.lsn {
+                    continue;
+                }
+                if let Some(rec) = self.log.get(lsn) {
+                    // AlreadyApplied can't happen (filtered); other errors
+                    // indicate a malformed chain and are surfaced by tests.
+                    let _ = apply_record(&mut page, rec);
+                }
+            }
+        }
+        page
+    }
+
+    /// Coalesce (Fig. 4 step 5): fold records up to min(SCL, VDL) into the
+    /// materialized pages. Returns (records applied, dirty pages).
+    fn coalesce(&mut self) -> (usize, usize) {
+        let target = self.log.scl().min(self.vdl_hint);
+        if target <= self.applied_upto {
+            return (0, 0);
+        }
+        let mut applied = 0;
+        let mut dirty = std::collections::HashSet::new();
+        let records: Vec<LogRecord> = self.log.range(self.applied_upto, target);
+        for rec in &records {
+            if let Some(page_id) = rec.page() {
+                let page = self.pages.entry(page_id).or_default();
+                match apply_record(page, rec) {
+                    Ok(()) => {
+                        applied += 1;
+                        dirty.insert(page_id);
+                    }
+                    Err(ApplyError::AlreadyApplied { .. }) => {}
+                    Err(_) => {}
+                }
+            }
+        }
+        self.applied_upto = target;
+        (applied, dirty.len())
+    }
+
+    /// GC (Fig. 4 step 7): drop log below min(PGMRPL, applied point), and
+    /// never beyond what the backup archiver has staged to the object
+    /// store (`archive_floor`) — continuous backup must see every record.
+    fn gc(&mut self, archive_floor: Option<Lsn>) -> usize {
+        let mut upto = self.pgmrpl_hint.min(self.applied_upto);
+        if let Some(floor) = archive_floor {
+            upto = upto.min(floor);
+        }
+        let dropped = self.log.gc_upto(upto);
+        if dropped > 0 {
+            // rebuild the page index lazily: prune entries below upto
+            for lsns in self.page_index.values_mut() {
+                lsns.retain(|l| *l > upto);
+            }
+            self.page_index.retain(|_, v| !v.is_empty());
+        }
+        dropped
+    }
+
+    fn truncate(&mut self, range: aurora_quorum::TruncationRange) {
+        use aurora_quorum::epoch::GuardOutcome;
+        if self.guard.offer(range) == GuardOutcome::StaleEpoch {
+            return;
+        }
+        let dropped_above = range.above;
+        self.log.truncate_above(dropped_above);
+        for lsns in self.page_index.values_mut() {
+            lsns.retain(|l| *l <= dropped_above);
+        }
+        self.page_index.retain(|_, v| !v.is_empty());
+        if self.applied_upto > dropped_above {
+            // Materialized pages may include annulled records. Since
+            // coalescing is bounded by the VDL hint and truncation is
+            // always above the final VDL, this only happens if hints ran
+            // ahead of a recovery decision; rebuild pages from scratch.
+            self.pages.clear();
+            self.applied_upto = Lsn::ZERO;
+            self.page_index.clear();
+            for rec in self.log.iter() {
+                if let Some(p) = rec.page() {
+                    self.page_index.entry(p).or_default().push(rec.lsn);
+                }
+            }
+        }
+        if self.vdl_hint > dropped_above {
+            self.vdl_hint = dropped_above;
+        }
+    }
+}
+
+/// In-flight foreground operations (volatile: lost on crash).
+enum PendingOp {
+    PersistBatch {
+        from: NodeId,
+        segment: SegmentId,
+        records: Vec<LogRecord>,
+        batch_end: Lsn,
+        received_at: SimTime,
+    },
+    PersistGossip {
+        segment: SegmentId,
+        records: Vec<LogRecord>,
+    },
+    ReadPage {
+        from: NodeId,
+        req_id: u64,
+        segment: SegmentId,
+        page: PageId,
+        read_point: Lsn,
+    },
+    PersistTruncate {
+        from: NodeId,
+        segment: SegmentId,
+        range: aurora_quorum::TruncationRange,
+    },
+    PersistRepair {
+        segment: SegmentId,
+        pages: Vec<(PageId, Page)>,
+        records: Vec<LogRecord>,
+        applied_upto: Lsn,
+    },
+    Background,
+}
+
+/// The storage node actor.
+pub struct StorageNode {
+    cfg: StorageNodeConfig,
+    /// Durable state (survives crashes).
+    segments: HashMap<SegmentId, SegmentState>,
+    /// Volatile.
+    pending: HashMap<Tag, PendingOp>,
+    next_op: Tag,
+}
+
+impl StorageNode {
+    pub fn new(cfg: StorageNodeConfig) -> Self {
+        StorageNode {
+            cfg,
+            segments: HashMap::new(),
+            pending: HashMap::new(),
+            next_op: TAG_OP_BASE,
+        }
+    }
+
+    /// Test/inspection: the SCL of a hosted segment.
+    pub fn scl(&self, segment: SegmentId) -> Option<Lsn> {
+        self.segments.get(&segment).map(|s| s.log.scl())
+    }
+
+    /// Test/inspection: materialize a page image at a read point.
+    pub fn page_at(&self, segment: SegmentId, page: PageId, read_point: Lsn) -> Option<Page> {
+        self.segments
+            .get(&segment)
+            .map(|s| s.materialize(page, read_point))
+    }
+
+    /// Test/inspection: log records currently held for a segment.
+    pub fn log_len(&self, segment: SegmentId) -> usize {
+        self.segments.get(&segment).map_or(0, |s| s.log.len())
+    }
+
+    /// Test/inspection: hosted segments.
+    pub fn hosted(&self) -> Vec<SegmentId> {
+        let mut v: Vec<SegmentId> = self.segments.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// This node's replica of the given PG (a node hosts at most one
+    /// replica of any PG — the placement invariant of §2.2).
+    fn segment_id_for_pg(&self, pg: aurora_log::PgId) -> Option<SegmentId> {
+        self.segments.keys().find(|s| s.pg == pg).copied()
+    }
+
+    fn segment_for_pg(&self, pg: aurora_log::PgId) -> Option<&SegmentState> {
+        self.segment_id_for_pg(pg).and_then(|id| self.segments.get(&id))
+    }
+
+    fn op(&mut self, op: PendingOp) -> Tag {
+        let tag = self.next_op;
+        self.next_op += 1;
+        self.pending.insert(tag, op);
+        tag
+    }
+
+    fn schedule_all_timers(&self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.cfg.gossip_interval, TAG_GOSSIP);
+        ctx.set_timer(self.cfg.coalesce_interval, TAG_COALESCE);
+        if self.cfg.backup_interval > SimDuration::ZERO && self.cfg.store.is_some() {
+            ctx.set_timer(self.cfg.backup_interval, TAG_BACKUP);
+        }
+        if self.cfg.scrub_interval > SimDuration::ZERO {
+            ctx.set_timer(self.cfg.scrub_interval, TAG_SCRUB);
+        }
+        if self.cfg.heartbeat_interval > SimDuration::ZERO && self.cfg.control.is_some() {
+            ctx.set_timer(self.cfg.heartbeat_interval, TAG_HEARTBEAT);
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.pending.len() > self.cfg.busy_threshold
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: aurora_sim::Msg) {
+        // Foreground path: write batches and page reads.
+        let msg = match msg.downcast::<WriteBatch>() {
+            Ok(wb) => {
+                ctx.inc("storage.batches_in", 1);
+                let seg = self.segments.entry(wb.segment).or_insert_with(SegmentState::new);
+                if wb.vdl > seg.vdl_hint {
+                    seg.vdl_hint = wb.vdl;
+                }
+                if wb.pgmrpl > seg.pgmrpl_hint {
+                    seg.pgmrpl_hint = wb.pgmrpl;
+                }
+                // Fence zombie writers from a previous epoch whose records
+                // were annulled. A fenced batch is NOT acknowledged — the
+                // stale writer must never assemble a quorum — and the
+                // rejection tells it to step down.
+                let had_records = !wb.records.is_empty();
+                let admitted: Vec<LogRecord> = wb
+                    .records
+                    .into_iter()
+                    .filter(|r| seg.guard.admits(r.lsn, wb.epoch))
+                    .collect();
+                if had_records && admitted.is_empty() {
+                    ctx.inc("storage.fenced_batches", 1);
+                    let epoch = seg.guard.epoch();
+                    ctx.send(
+                        from,
+                        WriteFenced {
+                            segment: wb.segment,
+                            batch_end: wb.batch_end,
+                            epoch,
+                        },
+                    );
+                    return;
+                }
+                let bytes: usize = admitted.iter().map(|r| r.wire_size()).sum();
+                let tag = self.op(PendingOp::PersistBatch {
+                    from,
+                    segment: wb.segment,
+                    records: admitted,
+                    batch_end: wb.batch_end,
+                    received_at: ctx.now(),
+                });
+                // Step (2): persist on disk, ack on completion.
+                ctx.disk_write(bytes.max(64), tag);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ReadPageReq>() {
+            Ok(req) => {
+                ctx.inc("storage.page_reads", 1);
+                let Some(seg) = self.segments.get(&req.segment) else {
+                    return; // not hosted (repair in progress): engine retries
+                };
+                // The engine directs reads only to segments it knows are
+                // complete (§4.2.3), so serving is the default. Reject only
+                // when this segment *knows* it has a hole below the read
+                // point (stranded records past a gap) — the engine's
+                // timeout will redirect to a complete peer.
+                if seg.log.has_gap()
+                    && seg.log.scl() < req.read_point
+                    && seg.applied_upto < req.read_point
+                {
+                    ctx.inc("storage.read_rejected", 1);
+                    return;
+                }
+                let tag = self.op(PendingOp::ReadPage {
+                    from,
+                    req_id: req.req_id,
+                    segment: req.segment,
+                    page: req.page,
+                    read_point: req.read_point,
+                });
+                ctx.disk_read(aurora_log::PAGE_SIZE, tag);
+                return;
+            }
+            Err(m) => m,
+        };
+        // Background / control path.
+        let msg = match msg.downcast::<GossipPull>() {
+            Ok(pull) => {
+                if let Some(seg) = self.segment_for_pg(pull.pg) {
+                    let my_scl = seg.log.scl();
+                    if my_scl > pull.scl {
+                        let mut records = seg.log.range(pull.scl, my_scl);
+                        records.truncate(self.cfg.gossip_batch_limit);
+                        if !records.is_empty() {
+                            ctx.inc("storage.gossip_served", records.len() as u64);
+                            ctx.send(
+                                from,
+                                GossipPush {
+                                    pg: pull.pg,
+                                    records,
+                                    epoch: seg.guard.epoch(),
+                                },
+                            );
+                        }
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<GossipPush>() {
+            Ok(push) => {
+                let Some(segment) = self.segment_id_for_pg(push.pg) else {
+                    return; // we no longer host this PG
+                };
+                let seg = self.segments.get_mut(&segment).expect("just looked up");
+                let admitted: Vec<LogRecord> = push
+                    .records
+                    .into_iter()
+                    .filter(|r| seg.guard.admits(r.lsn, push.epoch))
+                    .collect();
+                if !admitted.is_empty() {
+                    let bytes: usize = admitted.iter().map(|r| r.wire_size()).sum();
+                    let tag = self.op(PendingOp::PersistGossip {
+                        segment,
+                        records: admitted,
+                    });
+                    ctx.disk_write(bytes, tag);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SegmentStateReq>() {
+            Ok(req) => {
+                // an unknown segment is an empty segment: recovery must be
+                // able to establish that a PG was simply never written
+                let (scl, highest, epoch) = match self.segments.get(&req.segment) {
+                    Some(seg) => (
+                        seg.log.scl().max(seg.applied_upto),
+                        seg.log.highest().max(seg.applied_upto),
+                        seg.guard.epoch(),
+                    ),
+                    None => (Lsn::ZERO, Lsn::ZERO, Default::default()),
+                };
+                ctx.send(
+                    from,
+                    SegmentStateResp {
+                        req_id: req.req_id,
+                        segment: req.segment,
+                        scl,
+                        highest,
+                        epoch,
+                    },
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<CplBelowReq>() {
+            Ok(req) => {
+                let cpl = self
+                    .segments
+                    .get(&req.segment)
+                    .and_then(|seg| {
+                        seg.log
+                            .iter()
+                            .filter(|r| r.is_cpl && r.lsn <= req.at)
+                            .map(|r| r.lsn)
+                            .last()
+                    })
+                    .unwrap_or(Lsn::ZERO);
+                ctx.send(
+                    from,
+                    CplBelowResp {
+                        req_id: req.req_id,
+                        segment: req.segment,
+                        cpl,
+                    },
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<TxnScanReq>() {
+            Ok(req) => {
+                use aurora_log::RecordBody;
+                let mut begun = Vec::new();
+                let mut finished = Vec::new();
+                if let Some(seg) = self.segments.get(&req.segment) {
+                    for r in seg.log.iter().filter(|r| r.lsn <= req.upto) {
+                        match r.body {
+                            RecordBody::TxnBegin => begun.push(r.txn),
+                            RecordBody::TxnCommit | RecordBody::TxnAbort => finished.push(r.txn),
+                            _ => {}
+                        }
+                    }
+                }
+                ctx.send(
+                    from,
+                    TxnScanResp {
+                        req_id: req.req_id,
+                        segment: req.segment,
+                        begun,
+                        finished,
+                    },
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<UndoScanReq>() {
+            Ok(req) => {
+                let records: Vec<LogRecord> = self
+                    .segments
+                    .get(&req.segment)
+                    .map(|seg| {
+                        seg.log
+                            .iter()
+                            .filter(|r| r.lsn <= req.upto && req.txns.contains(&r.txn))
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                ctx.send(
+                    from,
+                    UndoScanResp {
+                        req_id: req.req_id,
+                        segment: req.segment,
+                        records,
+                    },
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Truncate>() {
+            Ok(t) => {
+                let _ = self
+                    .segments
+                    .entry(t.segment)
+                    .or_insert_with(SegmentState::new);
+                let tag = self.op(PendingOp::PersistTruncate {
+                    from,
+                    segment: t.segment,
+                    range: t.range,
+                });
+                ctx.disk_write(64, tag);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SegmentPeers>() {
+            Ok(sp) => {
+                let seg = self
+                    .segments
+                    .entry(sp.segment)
+                    .or_insert_with(SegmentState::new);
+                seg.peers = sp.peers;
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RepairFetchReq>() {
+            Ok(req) => {
+                if let Some(seg) = self.segments.get(&req.src_segment) {
+                    ctx.inc("storage.repair_served", 1);
+                    ctx.send(
+                        req.dest,
+                        RepairFetchResp {
+                            segment: req.dest_segment,
+                            pages: seg.pages.iter().map(|(k, v)| (*k, v.clone())).collect(),
+                            records: seg.log.iter().cloned().collect(),
+                            applied_upto: seg.applied_upto,
+                        },
+                    );
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<RepairFetchResp>() {
+            Ok(resp) => {
+                let bytes = aurora_sim::Payload::wire_size(&resp);
+                let tag = self.op(PendingOp::PersistRepair {
+                    segment: resp.segment,
+                    pages: resp.pages,
+                    records: resp.records,
+                    applied_upto: resp.applied_upto,
+                });
+                ctx.disk_write(bytes, tag);
+            }
+            Err(_) => {
+                // Unknown message: ignore (forward compatibility).
+            }
+        }
+    }
+
+    fn on_disk_done(&mut self, ctx: &mut Ctx<'_>, tag: Tag) {
+        let Some(op) = self.pending.remove(&tag) else {
+            return;
+        };
+        match op {
+            PendingOp::PersistBatch {
+                from,
+                segment,
+                records,
+                batch_end,
+                received_at,
+            } => {
+                let seg = self.segments.entry(segment).or_insert_with(SegmentState::new);
+                for r in records {
+                    seg.ingest(r);
+                }
+                let scl = seg.log.scl();
+                ctx.record("storage.persist_ns", ctx.now().since(received_at).nanos());
+                ctx.send(
+                    from,
+                    WriteAck {
+                        segment,
+                        batch_end,
+                        scl,
+                    },
+                );
+            }
+            PendingOp::PersistGossip { segment, records } => {
+                let seg = self.segments.entry(segment).or_insert_with(SegmentState::new);
+                let mut n = 0;
+                for r in records {
+                    if seg.ingest(r) {
+                        n += 1;
+                    }
+                }
+                ctx.inc("storage.gossip_filled", n);
+            }
+            PendingOp::ReadPage {
+                from,
+                req_id,
+                segment,
+                page,
+                read_point,
+            } => {
+                if let Some(seg) = self.segments.get(&segment) {
+                    let image = seg.materialize(page, read_point);
+                    ctx.send(
+                        from,
+                        ReadPageResp {
+                            req_id,
+                            segment,
+                            page_id: page,
+                            page: image,
+                        },
+                    );
+                }
+            }
+            PendingOp::PersistTruncate {
+                from,
+                segment,
+                range,
+            } => {
+                if let Some(seg) = self.segments.get_mut(&segment) {
+                    seg.truncate(range);
+                    ctx.send(
+                        from,
+                        TruncateAck {
+                            segment,
+                            epoch: range.epoch,
+                        },
+                    );
+                }
+            }
+            PendingOp::PersistRepair {
+                segment,
+                pages,
+                records,
+                applied_upto,
+            } => {
+                let mut seg = SegmentState::new();
+                for (id, p) in pages {
+                    seg.pages.insert(id, p);
+                }
+                for r in records {
+                    seg.ingest(r);
+                }
+                seg.applied_upto = applied_upto;
+                self.segments.insert(segment, seg);
+                ctx.inc("storage.repairs_installed", 1);
+                if let Some(control) = self.cfg.control {
+                    ctx.send(control, RepairDone { segment });
+                }
+            }
+            PendingOp::Background => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: Tag) {
+        match tag {
+            TAG_GOSSIP => {
+                if !self.busy() {
+                    // Collect pulls first to satisfy the borrow checker.
+                    let mut pulls: Vec<(NodeId, GossipPull)> = Vec::new();
+                    for (id, seg) in self.segments.iter() {
+                        if seg.peers.is_empty() {
+                            continue;
+                        }
+                        let peer = seg.peers[ctx.rng().index(seg.peers.len())];
+                        pulls.push((
+                            peer,
+                            GossipPull {
+                                pg: id.pg,
+                                scl: seg.log.scl(),
+                            },
+                        ));
+                    }
+                    for (peer, pull) in pulls {
+                        ctx.send(peer, pull);
+                    }
+                }
+                ctx.set_timer(self.cfg.gossip_interval, TAG_GOSSIP);
+            }
+            TAG_COALESCE => {
+                if !self.busy() {
+                    let mut total_applied = 0usize;
+                    let mut total_dirty = 0usize;
+                    let mut total_gc = 0usize;
+                    let archiving = self.cfg.store.is_some();
+                    for seg in self.segments.values_mut() {
+                        let (applied, dirty) = seg.coalesce();
+                        total_applied += applied;
+                        total_dirty += dirty;
+                        total_gc += seg.gc(archiving.then_some(seg.archived_upto));
+                    }
+                    if total_dirty > 0 {
+                        // Background page materialization IO (never on the
+                        // foreground path).
+                        let tag = self.op(PendingOp::Background);
+                        ctx.disk_write(total_dirty * aurora_log::PAGE_SIZE, tag);
+                    }
+                    ctx.inc("storage.coalesced", total_applied as u64);
+                    ctx.inc("storage.gc_records", total_gc as u64);
+                }
+                ctx.set_timer(self.cfg.coalesce_interval, TAG_COALESCE);
+            }
+            TAG_BACKUP => {
+                if !self.busy() {
+                    if let Some(store) = self.cfg.store.clone() {
+                        for (id, seg) in self.segments.iter_mut() {
+                            let upto = seg.applied_upto.max(seg.log.scl());
+                            let records: Vec<LogRecord> =
+                                seg.log.range(seg.archived_upto, upto);
+                            let snapshot = seg.backup_count % self.cfg.snapshot_every.max(1) == 0;
+                            if records.is_empty() && !snapshot {
+                                continue;
+                            }
+                            let pages = if snapshot {
+                                seg.pages.iter().map(|(k, v)| (*k, v.clone())).collect()
+                            } else {
+                                Vec::new()
+                            };
+                            store.put(SegmentBackup {
+                                segment: *id,
+                                pages,
+                                snapshot_lsn: seg.applied_upto,
+                                records,
+                            });
+                            seg.archived_upto = upto;
+                            seg.backup_count += 1;
+                            ctx.inc("storage.backups", 1);
+                        }
+                    }
+                }
+                ctx.set_timer(self.cfg.backup_interval, TAG_BACKUP);
+            }
+            TAG_SCRUB => {
+                if !self.busy() {
+                    let mut pages = 0u64;
+                    let mut records = 0u64;
+                    for seg in self.segments.values() {
+                        for p in seg.pages.values() {
+                            let _ = p.crc();
+                            pages += 1;
+                        }
+                        // validate the codec on a sample of records
+                        if let Some(r) = seg.log.iter().next() {
+                            let buf = codec::encode(r);
+                            debug_assert!(codec::decode(&buf).is_ok());
+                            records += 1;
+                        }
+                    }
+                    ctx.inc("storage.scrubbed_pages", pages);
+                    ctx.inc("storage.scrubbed_records", records);
+                }
+                ctx.set_timer(self.cfg.scrub_interval, TAG_SCRUB);
+            }
+            TAG_HEARTBEAT => {
+                if let Some(control) = self.cfg.control {
+                    ctx.send(
+                        control,
+                        Heartbeat {
+                            hosted: self.hosted(),
+                        },
+                    );
+                }
+                ctx.set_timer(self.cfg.heartbeat_interval, TAG_HEARTBEAT);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for StorageNode {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ActorEvent) {
+        match ev {
+            ActorEvent::Start | ActorEvent::Restarted => self.schedule_all_timers(ctx),
+            ActorEvent::Message { from, msg } => self.on_message(ctx, from, msg),
+            ActorEvent::Timer { tag } => self.on_timer(ctx, tag),
+            ActorEvent::DiskDone { tag, .. } => self.on_disk_done(ctx, tag),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Volatile: in-flight (unacked) operations vanish; durable segment
+        // state — log, pages, truncation guard — survives.
+        self.pending.clear();
+    }
+}

@@ -1,0 +1,151 @@
+//! Segmented volumes and protection-group membership.
+//!
+//! §2.2: "we … partition the database volume into small fixed size
+//! segments … each replicated 6 ways into Protection Groups (PGs) so that
+//! each PG consists of six 10GB segments, organized across three AZs, with
+//! two segments in each AZ. A storage volume is a concatenated set of PGs
+//! … The PGs that constitute a volume are allocated as the volume grows."
+//!
+//! [`VolumeLayout`] maps pages to PGs by concatenation and supports growth
+//! by appending PGs; [`PgMembership`] records which storage node hosts each
+//! of a PG's six replica slots.
+
+use aurora_log::{PageId, PgId};
+use aurora_quorum::QuorumConfig;
+use aurora_sim::NodeId;
+
+/// Which node hosts each replica slot of one PG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PgMembership {
+    pub pg: PgId,
+    /// `slots[replica]` = hosting node. Slot index determines the AZ via
+    /// [`QuorumConfig::az_of_replica`].
+    pub slots: Vec<NodeId>,
+}
+
+impl PgMembership {
+    pub fn new(pg: PgId, slots: Vec<NodeId>) -> Self {
+        PgMembership { pg, slots }
+    }
+
+    /// Replica slot hosted by `node`, if any.
+    pub fn slot_of(&self, node: NodeId) -> Option<u8> {
+        self.slots.iter().position(|n| *n == node).map(|i| i as u8)
+    }
+
+    /// Peers of a given slot (the other replicas).
+    pub fn peers_of(&self, replica: u8) -> Vec<NodeId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != replica as usize)
+            .map(|(_, n)| *n)
+            .collect()
+    }
+}
+
+/// Page-to-PG mapping for one volume.
+#[derive(Debug, Clone)]
+pub struct VolumeLayout {
+    /// Pages per protection group (the scale stand-in for "10GB segments").
+    pub pages_per_pg: u64,
+    /// Number of allocated PGs.
+    pgs: u32,
+    /// Quorum scheme shared by every PG.
+    pub quorum: QuorumConfig,
+}
+
+impl VolumeLayout {
+    /// A volume with `pgs` protection groups of `pages_per_pg` pages each.
+    pub fn new(pages_per_pg: u64, pgs: u32, quorum: QuorumConfig) -> Self {
+        assert!(pages_per_pg > 0 && pgs > 0);
+        VolumeLayout {
+            pages_per_pg,
+            pgs,
+            quorum,
+        }
+    }
+
+    /// The PG a page lives in (concatenated layout).
+    pub fn pg_of(&self, page: PageId) -> PgId {
+        PgId((page.0 / self.pages_per_pg) as u32)
+    }
+
+    /// Number of allocated PGs.
+    pub fn pg_count(&self) -> u32 {
+        self.pgs
+    }
+
+    /// Total page capacity.
+    pub fn capacity_pages(&self) -> u64 {
+        self.pages_per_pg * self.pgs as u64
+    }
+
+    /// Does the volume currently cover this page?
+    pub fn covers(&self, page: PageId) -> bool {
+        page.0 < self.capacity_pages()
+    }
+
+    /// Grow by appending PGs until `page` is covered; returns the new PGs
+    /// that must be provisioned (empty if already covered).
+    pub fn grow_to_cover(&mut self, page: PageId) -> Vec<PgId> {
+        let mut added = Vec::new();
+        while !self.covers(page) {
+            added.push(PgId(self.pgs));
+            self.pgs += 1;
+        }
+        added
+    }
+
+    /// First and last page of a PG.
+    pub fn page_range(&self, pg: PgId) -> (PageId, PageId) {
+        let first = pg.0 as u64 * self.pages_per_pg;
+        (PageId(first), PageId(first + self.pages_per_pg - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> VolumeLayout {
+        VolumeLayout::new(100, 4, QuorumConfig::aurora())
+    }
+
+    #[test]
+    fn concatenated_mapping() {
+        let l = layout();
+        assert_eq!(l.pg_of(PageId(0)), PgId(0));
+        assert_eq!(l.pg_of(PageId(99)), PgId(0));
+        assert_eq!(l.pg_of(PageId(100)), PgId(1));
+        assert_eq!(l.pg_of(PageId(399)), PgId(3));
+        assert_eq!(l.capacity_pages(), 400);
+        assert!(l.covers(PageId(399)));
+        assert!(!l.covers(PageId(400)));
+    }
+
+    #[test]
+    fn growth_appends_pgs() {
+        let mut l = layout();
+        let added = l.grow_to_cover(PageId(650));
+        assert_eq!(added, vec![PgId(4), PgId(5), PgId(6)]);
+        assert_eq!(l.pg_count(), 7);
+        assert!(l.covers(PageId(650)));
+        assert!(l.grow_to_cover(PageId(0)).is_empty());
+    }
+
+    #[test]
+    fn page_ranges() {
+        let l = layout();
+        assert_eq!(l.page_range(PgId(2)), (PageId(200), PageId(299)));
+    }
+
+    #[test]
+    fn membership_helpers() {
+        let m = PgMembership::new(PgId(0), vec![10, 11, 12, 13, 14, 15]);
+        assert_eq!(m.slot_of(12), Some(2));
+        assert_eq!(m.slot_of(99), None);
+        assert_eq!(m.peers_of(0), vec![11, 12, 13, 14, 15]);
+        assert_eq!(m.peers_of(5), vec![10, 11, 12, 13, 14]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Continuous backup and point-in-time restore (Fig. 4 step 6, §5).
+//!
+//! Storage nodes stage log and page snapshots to the object store in the
+//! background ("backups … do not interfere with foreground processing");
+//! a volume can then be reconstructed *as of any LSN* from the archive.
+//!
+//! ```text
+//! cargo run --release --example backup_restore
+//! ```
+
+use aurora::core::cluster::{Cluster, ClusterConfig};
+use aurora::core::wire::{Op, TxnSpec};
+use aurora::log::{apply_record, Lsn, Page, PageId, SegmentId};
+use aurora::sim::SimDuration;
+use aurora::storage::ObjectStore;
+
+fn main() {
+    let store = ObjectStore::new();
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 41,
+        pgs: 1,
+        pages_per_pg: 4_000,
+        storage_nodes: 6,
+        // start empty: bootstrap-row hashes would confuse the byte scan
+        bootstrap_rows: 0,
+        store: Some(store.clone()),
+        ..Default::default()
+    });
+    cluster.sim.run_for(SimDuration::from_millis(500));
+
+    // Write in two phases with a known LSN boundary between them.
+    for i in 0..50u64 {
+        cluster.submit(i, TxnSpec::single(Op::Upsert(i, vec![0xAA; 4])));
+    }
+    cluster.sim.run_for(SimDuration::from_secs(1));
+    let boundary = cluster.engine_actor().vdl();
+    println!("phase 1 done; restore point = LSN {boundary}");
+
+    for i in 0..50u64 {
+        cluster.submit(100 + i, TxnSpec::single(Op::Upsert(i, vec![0xBB; 4])));
+    }
+    // give the background backup timers time to archive everything
+    cluster.sim.run_for(SimDuration::from_secs(5));
+
+    let seg = SegmentId::new(aurora::log::PgId(0), 0);
+    println!(
+        "object store: {} increments, {} bytes archived",
+        store.increments(seg),
+        store.total_bytes()
+    );
+
+    // Point-in-time restore of the segment as of the phase-1 boundary.
+    let (pages, records) = store
+        .restore(seg, boundary)
+        .expect("archive covers the restore point");
+    println!(
+        "restore to LSN {boundary}: {} snapshot pages + {} archived records to replay",
+        pages.len(),
+        records.len()
+    );
+
+    // Materialize one page and verify it reflects phase 1, not phase 2:
+    // rows written in phase 2 (0xBB) must not appear.
+    let mut by_id: std::collections::HashMap<PageId, Page> =
+        pages.into_iter().collect();
+    for rec in &records {
+        if let Some(pid) = rec.page() {
+            let page = by_id.entry(pid).or_default();
+            let _ = apply_record(page, rec);
+        }
+    }
+    // whole-row runs only: single bytes occur innocently in headers
+    let mut phase2_rows = 0usize;
+    let mut phase1_rows = 0usize;
+    for page in by_id.values() {
+        phase1_rows += page.bytes().windows(4).filter(|w| w == &[0xAA; 4]).count();
+        phase2_rows += page.bytes().windows(4).filter(|w| w == &[0xBB; 4]).count();
+    }
+    println!("restored volume: {phase1_rows} phase-1 rows, {phase2_rows} phase-2 rows");
+    assert!(phase1_rows > 0, "phase 1 data must be present");
+    assert_eq!(phase2_rows, 0, "phase 2 data must be absent at the restore point");
+    println!("PITR verified: the restored image is exactly the pre-phase-2 state");
+    let _ = Lsn::ZERO;
+}

@@ -1,0 +1,96 @@
+//! Failover without data loss — the headline of the paper's abstract.
+//!
+//! Because "the log is the database", a writer holds no unique state: a
+//! standby in another AZ takes over by running volume recovery against
+//! the storage fleet. The recovery epoch simultaneously *fences* the old
+//! writer — if it comes back as a zombie, its writes can never reach a
+//! quorum again, and it steps down on the first rejection.
+//!
+//! ```text
+//! cargo run --release --example failover
+//! ```
+
+use aurora::core::cluster::{Cluster, ClusterConfig};
+use aurora::core::engine::{EngineActor, EngineStatus};
+use aurora::core::wire::{Op, OpResult, TxnResult, TxnSpec};
+use aurora::sim::SimDuration;
+
+fn main() {
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 71,
+        pgs: 2,
+        pages_per_pg: 4_000,
+        storage_nodes: 6,
+        bootstrap_rows: 500,
+        with_standby: true,
+        ..Default::default()
+    });
+    cluster.sim.run_for(SimDuration::from_millis(300));
+
+    // Commit work on the primary.
+    for i in 0..30u64 {
+        cluster.submit(i, TxnSpec::single(Op::Insert(9_000 + i, vec![0x5A; 4])));
+    }
+    cluster.sim.run_for(SimDuration::from_millis(300));
+    println!("primary committed {} transactions", cluster.responses().len());
+
+    // The primary is partitioned away (it doesn't know it's dead).
+    let old = cluster.engine;
+    for &s in &cluster.storage.clone() {
+        cluster.sim.partition_both(old, s, true);
+    }
+    println!("primary partitioned from the storage fleet; promoting the standby…");
+
+    // Promote: the standby recovers the volume at a new epoch.
+    let new_writer = cluster.promote_standby();
+    while cluster.sim.actor::<EngineActor>(new_writer).status() != EngineStatus::Ready {
+        cluster.sim.run_for(SimDuration::from_millis(10));
+    }
+    println!(
+        "standby promoted in {:.2} ms of simulated recovery (no log replay)",
+        cluster
+            .sim
+            .metrics
+            .histogram_total("engine.recovery_ns")
+            .max() as f64
+            / 1e6
+    );
+
+    // Every acknowledged commit survives; new writes flow.
+    cluster.submit_to(new_writer, 1_000, TxnSpec::single(Op::Get(9_015)));
+    cluster.submit_to(new_writer, 1_001, TxnSpec::single(Op::Insert(10_000, vec![1; 4])));
+    cluster.sim.run_for(SimDuration::from_secs(1));
+    for resp in cluster.responses().iter().filter(|r| r.conn >= 1_000) {
+        match &resp.result {
+            TxnResult::Committed(results) => match &results[0] {
+                OpResult::Row(Some(_)) => println!("  pre-failover data readable on the new writer"),
+                OpResult::Done => println!("  new write committed on the new writer"),
+                other => println!("  {other:?}"),
+            },
+            TxnResult::Aborted(m) => println!("  aborted: {m}"),
+        }
+    }
+
+    // The zombie wakes up and tries to write: fenced, steps down.
+    for &s in &cluster.storage.clone() {
+        cluster.sim.partition_both(old, s, false);
+    }
+    cluster.submit_to(old, 2_000, TxnSpec::single(Op::Upsert(9_000, vec![0xEE; 4])));
+    cluster.sim.run_for(SimDuration::from_secs(1));
+    let zombie_resp = cluster
+        .responses()
+        .into_iter()
+        .find(|r| r.conn == 2_000);
+    match zombie_resp {
+        Some(r) => println!("zombie write outcome: {:?}", r.result),
+        None => println!("zombie write outcome: never acknowledged (no quorum at stale epoch)"),
+    }
+    println!(
+        "old writer status after fencing: {:?} (stepped down)",
+        cluster.sim.actor::<EngineActor>(old).status()
+    );
+    println!(
+        "fenced batches rejected by storage: {}",
+        cluster.sim.metrics.counter_total("storage.fenced_batches")
+    );
+}

@@ -1,0 +1,93 @@
+//! Quickstart: bring up an Aurora cluster — one writer, a six-node
+//! storage fleet spread over three availability zones — run transactions,
+//! crash the writer, and watch it recover without replaying any log.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aurora::core::cluster::{Cluster, ClusterConfig};
+use aurora::core::engine::{EngineActor, EngineStatus};
+use aurora::core::wire::{Op, OpResult, TxnResult, TxnSpec};
+use aurora::sim::SimDuration;
+
+fn main() {
+    // A small volume: 2 protection groups, 6 storage nodes, 1000 rows.
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 7,
+        pgs: 2,
+        pages_per_pg: 4_000,
+        storage_nodes: 6,
+        bootstrap_rows: 1_000,
+        ..Default::default()
+    });
+    cluster.sim.run_for(SimDuration::from_millis(300));
+    println!(
+        "cluster up: VDL = {} after bootstrap",
+        cluster.engine_actor().vdl()
+    );
+
+    // A read-modify-write transaction.
+    cluster.submit(
+        1,
+        TxnSpec {
+            ops: vec![
+                Op::Get(42),
+                Op::Insert(5_000, b"hello aurora".to_vec()),
+                Op::Update(42, b"updated row".to_vec()),
+            ],
+        },
+    );
+    cluster.sim.run_for(SimDuration::from_millis(50));
+
+    // Commits are acknowledged only once the commit record is covered by
+    // the Volume Durable LSN (4/6 quorum in every touched protection group).
+    for resp in cluster.responses() {
+        match resp.result {
+            TxnResult::Committed(results) => {
+                println!("txn {} committed; {} op results", resp.conn, results.len())
+            }
+            TxnResult::Aborted(why) => println!("txn {} aborted: {why}", resp.conn),
+        }
+    }
+
+    // Crash the writer. All engine state is volatile — the log is the
+    // database, and the storage fleet holds it.
+    println!("crashing the writer...");
+    cluster.sim.crash(cluster.engine);
+    cluster.sim.run_for(SimDuration::from_millis(100));
+    cluster.sim.restart(cluster.engine);
+
+    // Recovery: read-quorum discovery of the durable point, epoch-versioned
+    // truncation, undo of in-flight transactions. No redo replay.
+    let mut waited = 0;
+    while cluster.engine_actor().status() != EngineStatus::Ready {
+        cluster.sim.run_for(SimDuration::from_millis(10));
+        waited += 10;
+    }
+    let recovery = cluster
+        .sim
+        .metrics
+        .histogram_total("engine.recovery_ns");
+    println!(
+        "writer recovered in {:.2} ms of simulated time (~{waited} ms wall in the loop)",
+        recovery.max() as f64 / 1e6
+    );
+
+    // Data written before the crash is still there.
+    cluster.submit(2, TxnSpec::single(Op::Get(5_000)));
+    cluster.submit(3, TxnSpec::single(Op::Get(42)));
+    cluster.sim.run_for(SimDuration::from_millis(200));
+    for resp in cluster.responses().iter().filter(|r| r.conn >= 2) {
+        if let TxnResult::Committed(results) = &resp.result {
+            if let OpResult::Row(Some(row)) = &results[0] {
+                let text = String::from_utf8_lossy(
+                    &row[..row.iter().position(|&b| b == 0).unwrap_or(row.len())],
+                );
+                println!("after recovery, key read by txn {} = {:?}", resp.conn, text);
+            }
+        }
+    }
+    let engine = cluster.sim.actor::<EngineActor>(cluster.engine);
+    println!("final VDL = {}", engine.vdl());
+}

@@ -1,0 +1,59 @@
+//! Zero-Downtime Patching (§7.4): patch the engine while transactions are
+//! in flight. The engine waits for an instant with no active transactions,
+//! spools session state, swaps versions, and queues (never drops) requests
+//! arriving during the swap.
+//!
+//! ```text
+//! cargo run --release --example zero_downtime_patch
+//! ```
+
+use aurora::core::cluster::{Cluster, ClusterConfig};
+use aurora::core::engine::EngineActor;
+use aurora::core::wire::{Op, TxnSpec, ZdpDone, ZdpPatch};
+use aurora::sim::{Probe, Relay, SimDuration};
+
+fn main() {
+    let mut cluster = Cluster::build(ClusterConfig {
+        seed: 31,
+        pgs: 2,
+        pages_per_pg: 4_000,
+        storage_nodes: 6,
+        bootstrap_rows: 1_000,
+        ..Default::default()
+    });
+    cluster.sim.run_for(SimDuration::from_millis(300));
+    println!(
+        "engine version before patch: {}",
+        cluster.sim.actor::<EngineActor>(cluster.engine).version()
+    );
+
+    // Keep transactions flowing while the patch request lands.
+    for i in 0..40u64 {
+        cluster.submit(i, TxnSpec::single(Op::Upsert(i % 1_000, vec![1])));
+    }
+    let engine = cluster.engine;
+    let client = cluster.client;
+    cluster
+        .sim
+        .tell(client, Relay::new(engine, ZdpPatch { version: 2 }));
+    for i in 40..80u64 {
+        cluster.submit(i, TxnSpec::single(Op::Upsert(i % 1_000, vec![2])));
+    }
+    cluster.sim.run_for(SimDuration::from_millis(500));
+
+    let probe = cluster.sim.actor::<Probe>(cluster.client);
+    let done = probe.received::<ZdpDone>();
+    let d = done.first().expect("patch completed").1;
+    println!(
+        "patched to version {}: sessions preserved = {}, connections dropped = {}",
+        d.version, d.sessions_preserved, d.connections_dropped
+    );
+    println!(
+        "engine version after patch: {}",
+        cluster.sim.actor::<EngineActor>(cluster.engine).version()
+    );
+    println!(
+        "transactions committed around the patch: {} of 80 (queued during the swap, none dropped)",
+        cluster.responses().len()
+    );
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the Aurora reproduction workspace.
+pub use aurora_baseline as baseline;
+pub use aurora_bench as bench;
+pub use aurora_core as core;
+pub use aurora_log as log;
+pub use aurora_quorum as quorum;
+pub use aurora_sim as sim;
+pub use aurora_storage as storage;

@@ -16,9 +16,17 @@ use aurora_sim::{Actor, ActorEvent, Ctx, NodeId, Tag};
 use crate::wire::*;
 
 enum PendingKind {
-    Append { from: NodeId },
-    Page { from: NodeId },
-    Read { from: NodeId, req_id: u64, page_id: PageId },
+    Append {
+        from: NodeId,
+    },
+    Page {
+        from: NodeId,
+    },
+    Read {
+        from: NodeId,
+        req_id: u64,
+        page_id: PageId,
+    },
 }
 
 struct Pending {
@@ -90,7 +98,11 @@ impl EbsVolume {
             PendingKind::Append { from } | PendingKind::Page { from } => {
                 ctx.send(from, EbsAck { req_id: p.req_id });
             }
-            PendingKind::Read { from, req_id, page_id } => {
+            PendingKind::Read {
+                from,
+                req_id,
+                page_id,
+            } => {
                 let page = self.pages.get(&page_id).cloned().unwrap_or_default();
                 ctx.send(
                     from,
@@ -322,7 +334,16 @@ mod tests {
             ),
         );
         sim.run_for(SimDuration::from_millis(10));
-        sim.tell(client, Relay::new(ebs, EbsReadPage { req_id: 2, page_id: PageId(5) }));
+        sim.tell(
+            client,
+            Relay::new(
+                ebs,
+                EbsReadPage {
+                    req_id: 2,
+                    page_id: PageId(5),
+                },
+            ),
+        );
         sim.run_for(SimDuration::from_millis(10));
         let probe = sim.actor::<Probe>(client);
         let resp = probe.received::<EbsReadResp>();
@@ -376,7 +397,16 @@ mod tests {
             ),
         );
         sim.run_for(SimDuration::from_millis(10));
-        sim.tell(client, Relay::new(ebs, ReplayReq { req_id: 2, from_lsn: Lsn(0) }));
+        sim.tell(
+            client,
+            Relay::new(
+                ebs,
+                ReplayReq {
+                    req_id: 2,
+                    from_lsn: Lsn(0),
+                },
+            ),
+        );
         sim.run_for(SimDuration::from_millis(10));
         let probe = sim.actor::<Probe>(client);
         let resp = probe.received::<ReplayResp>();

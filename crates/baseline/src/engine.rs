@@ -441,7 +441,11 @@ impl MysqlEngine {
         if self.flush.is_some() || self.commit_queue.is_empty() {
             return;
         }
-        let take = self.cfg.group_commit_limit.max(1).min(self.commit_queue.len());
+        let take = self
+            .cfg
+            .group_commit_limit
+            .max(1)
+            .min(self.commit_queue.len());
         let commits: Vec<CommitWaiter> = self.commit_queue.drain(..take).collect();
         // everything staged so far rides along (log writes are sequential)
         let records = std::mem::take(&mut self.log_buffer);
@@ -542,8 +546,7 @@ impl MysqlEngine {
     // ---- checkpointing ----
 
     fn maybe_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
-        if self.checkpoint_active
-            || self.redo_since_checkpoint < self.cfg.checkpoint_every_records
+        if self.checkpoint_active || self.redo_since_checkpoint < self.cfg.checkpoint_every_records
         {
             return;
         }
@@ -969,7 +972,13 @@ impl MysqlEngine {
             },
         );
         ctx.inc("mysql.page_fetches", 1);
-        ctx.send(self.cfg.ebs, EbsReadPage { req_id, page_id: page });
+        ctx.send(
+            self.cfg.ebs,
+            EbsReadPage {
+                req_id,
+                page_id: page,
+            },
+        );
     }
 
     fn on_read_resp(&mut self, ctx: &mut Ctx<'_>, resp: EbsReadResp) {
@@ -1048,8 +1057,9 @@ impl MysqlEngine {
             *remaining -= 1;
             self.flusher_outstanding = self.flusher_outstanding.saturating_sub(1);
             if *remaining == 0 {
-                let Some(PendingEvict::Flush { conns, checkpoint, .. }) =
-                    self.evictions.remove(&req_id)
+                let Some(PendingEvict::Flush {
+                    conns, checkpoint, ..
+                }) = self.evictions.remove(&req_id)
                 else {
                     unreachable!()
                 };
@@ -1226,12 +1236,10 @@ impl MysqlEngine {
             match &r.body {
                 RecordBody::TxnBegin => begun.push(r.txn),
                 RecordBody::TxnCommit | RecordBody::TxnAbort => finished.push(r.txn),
-                RecordBody::Undo { data } => {
-                    if data.len() > 8 {
-                        let t = TxnId(u64::from_le_bytes(data[0..8].try_into().unwrap()));
-                        if let Some(op) = decode_undo(&data[8..]) {
-                            undos.push((r.lsn, t, op));
-                        }
+                RecordBody::Undo { data } if data.len() > 8 => {
+                    let t = TxnId(u64::from_le_bytes(data[0..8].try_into().unwrap()));
+                    if let Some(op) = decode_undo(&data[8..]) {
+                        undos.push((r.lsn, t, op));
                     }
                 }
                 _ => {}
@@ -1243,8 +1251,10 @@ impl MysqlEngine {
             .into_iter()
             .filter(|t| !finished.contains(t))
             .collect();
-        // stash rollbacks to run after the replay pause
-        let mut per_txn: HashMap<TxnId, Vec<(Lsn, Op)>> = HashMap::new();
+        // stash rollbacks to run after the replay pause (BTreeMap so the
+        // rollback order is txn-id order, not hash order)
+        let mut per_txn: std::collections::BTreeMap<TxnId, Vec<(Lsn, Op)>> =
+            std::collections::BTreeMap::new();
         for (lsn, t, op) in undos {
             if in_flight.contains(&t) {
                 per_txn.entry(t).or_default().push((lsn, op));
@@ -1253,7 +1263,7 @@ impl MysqlEngine {
         self.pending_rollbacks = per_txn
             .into_iter()
             .map(|(t, mut ops)| {
-                ops.sort_by(|a, b| b.0.cmp(&a.0));
+                ops.sort_by_key(|(l, _)| std::cmp::Reverse(*l));
                 (t, ops.into_iter().map(|(_, op)| op).collect())
             })
             .collect();
@@ -1301,10 +1311,8 @@ impl Actor for MysqlEngine {
                     }
                     ctx.set_timer(SimDuration::from_millis(5), TAG_SWEEP);
                 }
-                TAG_BOOTSTRAP => {
-                    if self.status == Status::Bootstrapping {
-                        self.bootstrap_chunk(ctx);
-                    }
+                TAG_BOOTSTRAP if self.status == Status::Bootstrapping => {
+                    self.bootstrap_chunk(ctx);
                 }
                 TAG_REPLAY_DONE => {
                     self.status = Status::Ready;

@@ -83,7 +83,12 @@ impl MysqlCluster {
         }
         let ebs_opts = NodeOpts { disk };
 
-        let client = sim.add_node("client", Zone(0), Box::new(Probe::new()), NodeOpts::default());
+        let client = sim.add_node(
+            "client",
+            Zone(0),
+            Box::new(Probe::new()),
+            NodeOpts::default(),
+        );
 
         // primary EBS pair (AZ1 == Zone 0, same zone as the instance)
         let mirror = sim.add_node("ebs-mirror", Zone(0), Box::new(EbsMirror), ebs_opts.clone());
@@ -96,8 +101,12 @@ impl MysqlCluster {
 
         // standby chain in AZ2
         let standby = if cfg.mirrored {
-            let smirror =
-                sim.add_node("standby-ebs-mirror", Zone(1), Box::new(EbsMirror), ebs_opts.clone());
+            let smirror = sim.add_node(
+                "standby-ebs-mirror",
+                Zone(1),
+                Box::new(EbsMirror),
+                ebs_opts.clone(),
+            );
             let sebs = sim.add_node(
                 "standby-ebs",
                 Zone(1),

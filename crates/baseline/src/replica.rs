@@ -39,33 +39,30 @@ impl StandbyInstance {
 
 impl Actor for StandbyInstance {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ActorEvent) {
-        match ev {
-            ActorEvent::Message { from, msg } => {
-                let msg = match msg.downcast::<StandbyShip>() {
-                    Ok(ship) => {
-                        let req_id = self.next_req;
-                        self.next_req += 1;
-                        self.pending.insert(req_id, (from, ship.req_id));
-                        ctx.send(
-                            self.ebs,
-                            EbsAppend {
-                                req_id,
-                                bytes: ship.bytes,
-                                records: Vec::new(),
-                                binlog: false,
-                            },
-                        );
-                        return;
-                    }
-                    Err(m) => m,
-                };
-                if let Ok(ack) = msg.downcast::<EbsAck>() {
-                    if let Some((primary, prim_req)) = self.pending.remove(&ack.req_id) {
-                        ctx.send(primary, StandbyAck { req_id: prim_req });
-                    }
+        if let ActorEvent::Message { from, msg } = ev {
+            let msg = match msg.downcast::<StandbyShip>() {
+                Ok(ship) => {
+                    let req_id = self.next_req;
+                    self.next_req += 1;
+                    self.pending.insert(req_id, (from, ship.req_id));
+                    ctx.send(
+                        self.ebs,
+                        EbsAppend {
+                            req_id,
+                            bytes: ship.bytes,
+                            records: Vec::new(),
+                            binlog: false,
+                        },
+                    );
+                    return;
+                }
+                Err(m) => m,
+            };
+            if let Ok(ack) = msg.downcast::<EbsAck>() {
+                if let Some((primary, prim_req)) = self.pending.remove(&ack.req_id) {
+                    ctx.send(primary, StandbyAck { req_id: prim_req });
                 }
             }
-            _ => {}
         }
     }
 

@@ -4,7 +4,7 @@
 //! database node, exactly as the paper does.
 
 use aurora_log::{LogRecord, Lsn, Page, PageId, PAGE_SIZE};
-use aurora_sim::{Payload, SimTime};
+use aurora_sim::{Msg, Payload, SimTime};
 
 /// Append redo-log (or binlog) bytes to the volume.
 #[derive(Debug, Clone)]
@@ -19,6 +19,9 @@ pub struct EbsAppend {
 }
 
 impl Payload for EbsAppend {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32 + self.bytes
     }
@@ -40,6 +43,9 @@ pub struct EbsWritePage {
 }
 
 impl Payload for EbsWritePage {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32 + PAGE_SIZE
     }
@@ -55,6 +61,9 @@ pub struct EbsAck {
 }
 
 impl Payload for EbsAck {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         16
     }
@@ -71,6 +80,9 @@ pub struct EbsReadPage {
 }
 
 impl Payload for EbsReadPage {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24
     }
@@ -88,6 +100,9 @@ pub struct EbsReadResp {
 }
 
 impl Payload for EbsReadResp {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24 + PAGE_SIZE
     }
@@ -104,6 +119,9 @@ pub struct MirrorWrite {
 }
 
 impl Payload for MirrorWrite {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         16 + self.bytes
     }
@@ -119,6 +137,9 @@ pub struct MirrorAck {
 }
 
 impl Payload for MirrorAck {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         16
     }
@@ -136,6 +157,9 @@ pub struct StandbyShip {
 }
 
 impl Payload for StandbyShip {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24 + self.bytes
     }
@@ -151,6 +175,9 @@ pub struct StandbyAck {
 }
 
 impl Payload for StandbyAck {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         16
     }
@@ -172,6 +199,9 @@ pub struct BinlogEvent {
 }
 
 impl Payload for BinlogEvent {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32 + self.bytes
     }
@@ -188,6 +218,9 @@ pub struct ReplayReq {
 }
 
 impl Payload for ReplayReq {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24
     }
@@ -204,6 +237,9 @@ pub struct ReplayResp {
 }
 
 impl Payload for ReplayResp {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         16 + self.records.iter().map(|r| r.wire_size()).sum::<usize>()
     }

@@ -153,7 +153,10 @@ fn checkpoints_stall_foreground_writes() {
     // writes scattered widely dirty many pages; continuous submission
     // guarantees writes arrive while a checkpoint is draining
     for i in 0..300u64 {
-        c.submit(i, TxnSpec::single(Op::Upsert(i * 53 % 8_000, vec![i as u8])));
+        c.submit(
+            i,
+            TxnSpec::single(Op::Upsert(i * 53 % 8_000, vec![i as u8])),
+        );
         c.sim.run_for(SimDuration::from_micros(500));
     }
     c.sim.run_for(SimDuration::from_secs(2));

@@ -9,7 +9,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use aurora_core::btree::{BTree, MemProvider, TreeMeta};
 use aurora_core::buffer::BufferPool;
 use aurora_log::{
-    apply_record, codec, Lsn, LogRecord, Page, PageId, Patch, PgId, RecordBody, SegmentLog, TxnId,
+    apply_record, codec, LogRecord, Lsn, Page, PageId, Patch, PgId, RecordBody, SegmentLog, TxnId,
 };
 use aurora_quorum::{DurabilityTracker, QuorumConfig};
 use aurora_sim::Histogram;
@@ -53,7 +53,9 @@ fn bench_codec(c: &mut Criterion) {
     let rec = write_record(42, 128);
     let buf = codec::encode(&rec);
     g.throughput(Throughput::Bytes(buf.len() as u64));
-    g.bench_function("encode", |b| b.iter(|| black_box(codec::encode(black_box(&rec)))));
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(codec::encode(black_box(&rec))))
+    });
     g.bench_function("decode", |b| {
         b.iter(|| black_box(codec::decode(black_box(&buf)).unwrap()))
     });

@@ -308,7 +308,10 @@ pub fn table5(scale: f64) -> Vec<(String, RunStats)> {
 /// (Aurora) migration.
 pub fn fig8_9_10(scale: f64) -> Vec<(String, RunStats)> {
     hdr("Figures 8-10: customer migration — web response & stmt latency");
-    let mix = Mix::Web { reads: 6, writes: 2 };
+    let mix = Mix::Web {
+        reads: 6,
+        writes: 2,
+    };
 
     // Before: MySQL with an out-of-cache working set on a volume with
     // occasional 25 ms outliers (the "poor outlier performance" of §6.2).
@@ -518,7 +521,8 @@ pub fn fig12(scale: f64) -> Vec<(String, f64)> {
     c.sim.clear_stats();
     c.sim.run_for(p.window.mul_f64(0.5));
     let client = c.client;
-    c.sim.tell(client, Relay::new(engine, ZdpPatch { version: 2 }));
+    c.sim
+        .tell(client, Relay::new(engine, ZdpPatch { version: 2 }));
     c.sim.run_for(p.window.mul_f64(0.5));
 
     let commits = c.sim.metrics.counter_total("client.commits");
@@ -592,8 +596,16 @@ pub fn durability(_scale: f64) -> Vec<(String, f64)> {
     for (label, cfg, mttr) in [
         ("aurora 6/4/3, 10s repair", QuorumConfig::aurora(), 10.0),
         ("aurora 6/4/3, 1d repair", QuorumConfig::aurora(), 86_400.0),
-        ("2/3 quorum,   10s repair", QuorumConfig::two_of_three(), 10.0),
-        ("2/3 quorum,   1d repair", QuorumConfig::two_of_three(), 86_400.0),
+        (
+            "2/3 quorum,   10s repair",
+            QuorumConfig::two_of_three(),
+            10.0,
+        ),
+        (
+            "2/3 quorum,   1d repair",
+            QuorumConfig::two_of_three(),
+            86_400.0,
+        ),
     ] {
         let r = mc_quorum_loss(&McParams {
             cfg,
@@ -796,13 +808,13 @@ pub fn ablation_loss(scale: f64) -> Vec<(String, RunStats)> {
                 // drop packets only on the database<->storage paths; client
                 // connections stay reliable (they have their own retries in
                 // real deployments, which the workload driver does not model)
-                let spec_for = |d: aurora_sim::Dist| {
-                    aurora_sim::LinkSpec::new(d).with_loss(loss)
-                };
+                let spec_for = |d: aurora_sim::Dist| aurora_sim::LinkSpec::new(d).with_loss(loss);
                 let storage = c.storage.clone();
                 for node in storage {
                     let to = c.sim.policy_mut().inter_zone.latency.clone();
-                    c.sim.policy_mut().set_override(engine, node, spec_for(to.clone()));
+                    c.sim
+                        .policy_mut()
+                        .set_override(engine, node, spec_for(to.clone()));
                     c.sim.policy_mut().set_override(node, engine, spec_for(to));
                 }
             },

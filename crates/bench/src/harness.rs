@@ -24,7 +24,7 @@ use aurora_baseline::{MysqlCluster, MysqlClusterConfig, MysqlEngine, MysqlFlavor
 use aurora_core::cluster::{Cluster, ClusterConfig};
 use aurora_core::engine::{EngineActor, EngineStatus, InstanceSpec};
 use aurora_quorum::QuorumConfig;
-use aurora_sim::{NodeOpts, SimDuration, Zone};
+use aurora_sim::{FaultPlan, NodeOpts, SimDuration, Zone};
 
 use crate::workload::{Mix, WorkloadActor, WorkloadConfig};
 
@@ -65,6 +65,10 @@ pub struct AuroraParams {
     pub quorum: QuorumConfig,
     /// Storage-fleet size (>= 6, multiple of 3).
     pub storage_nodes: usize,
+    /// Declarative fault schedule installed at the end of warmup (offsets
+    /// are relative to the measurement window start), replayable
+    /// bit-for-bit from the run's seed.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl AuroraParams {
@@ -82,6 +86,7 @@ impl AuroraParams {
             window: SimDuration::from_secs(2),
             quorum: QuorumConfig::aurora(),
             storage_nodes: 6,
+            fault_plan: None,
         }
     }
 }
@@ -230,6 +235,9 @@ pub fn run_aurora_with(
 
     c.sim.run_for(p.warmup);
     c.sim.clear_stats();
+    if let Some(plan) = &p.fault_plan {
+        c.sim.install_fault_plan(plan);
+    }
     after_warmup(&mut c, engine);
     c.sim.run_for(p.window);
 
@@ -408,11 +416,7 @@ pub fn run_mysql_with(
 /// Returns (recovery_ms, writes_per_sec_before_crash).
 pub fn aurora_recovery_time(p: &AuroraParams) -> (f64, f64) {
     let mut stats = (0.0, 0.0);
-    let r = run_aurora_with(
-        p,
-        |_| {},
-        |_, _| {},
-    );
+    let r = run_aurora_with(p, |_| {}, |_, _| {});
     stats.1 = r.wps;
     // rebuild and crash mid-window
     let mut c = Cluster::build_with(

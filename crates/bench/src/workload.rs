@@ -121,9 +121,7 @@ impl WorkloadActor {
                 .map(|_| Op::Upsert(rng.range_u64(0, ks), val()))
                 .collect(),
             Mix::Oltp => {
-                let mut ops: Vec<Op> = (0..10)
-                    .map(|_| Op::Get(rng.range_u64(0, ks)))
-                    .collect();
+                let mut ops: Vec<Op> = (0..10).map(|_| Op::Get(rng.range_u64(0, ks))).collect();
                 ops.push(Op::Scan(rng.range_u64(0, ks), 10));
                 for _ in 0..4 {
                     ops.push(Op::Upsert(rng.range_u64(0, ks), val()));
@@ -137,7 +135,7 @@ impl WorkloadActor {
                 let d = rng.range_u64(0, 10);
                 let mut ops = vec![
                     Op::Get(w),
-                    Op::Upsert(w, val()),                      // W_YTD update
+                    Op::Upsert(w, val()),                       // W_YTD update
                     Op::Upsert(warehouses + w * 10 + d, val()), // D_NEXT_O_ID
                 ];
                 let item_base = warehouses * 11;
@@ -149,9 +147,7 @@ impl WorkloadActor {
                 ops
             }
             Mix::Web { reads, writes } => {
-                let mut ops: Vec<Op> = (0..reads)
-                    .map(|_| Op::Get(rng.range_u64(0, ks)))
-                    .collect();
+                let mut ops: Vec<Op> = (0..reads).map(|_| Op::Get(rng.range_u64(0, ks))).collect();
                 for _ in 0..writes {
                     ops.push(Op::Upsert(rng.range_u64(0, ks), val()));
                 }

@@ -24,15 +24,18 @@ use aurora_log::{Page, PageId, PAGE_SIZE};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageMiss(pub PageId);
 
+/// One captured byte patch: `(offset, before, after)`.
+pub type PagePatch = (u32, Vec<u8>, Vec<u8>);
+
 /// Mutation capture: wraps a resident page and records byte patches as
 /// `(offset, before, after)` for the redo log.
 pub struct PageEditor<'a> {
     page: &'a mut Page,
-    patches: &'a mut Vec<(u32, Vec<u8>, Vec<u8>)>,
+    patches: &'a mut Vec<PagePatch>,
 }
 
 impl<'a> PageEditor<'a> {
-    pub fn new(page: &'a mut Page, patches: &'a mut Vec<(u32, Vec<u8>, Vec<u8>)>) -> Self {
+    pub fn new(page: &'a mut Page, patches: &'a mut Vec<PagePatch>) -> Self {
         PageEditor { page, patches }
     }
 
@@ -47,7 +50,8 @@ impl<'a> PageEditor<'a> {
         if before == data {
             return;
         }
-        self.patches.push((offset as u32, before.to_vec(), data.to_vec()));
+        self.patches
+            .push((offset as u32, before.to_vec(), data.to_vec()));
         self.page.write_range(offset, data);
     }
 
@@ -73,11 +77,8 @@ pub trait PageProvider {
 
     /// Mutate a resident page through an editor; the provider turns the
     /// captured patches into one redo record (one `PageWrite` per call).
-    fn write(
-        &mut self,
-        id: PageId,
-        f: &mut dyn FnMut(&mut PageEditor<'_>),
-    ) -> Result<(), PageMiss>;
+    fn write(&mut self, id: PageId, f: &mut dyn FnMut(&mut PageEditor<'_>))
+        -> Result<(), PageMiss>;
 
     /// Allocate (and format) a fresh page, logging the allocation.
     fn allocate(&mut self) -> Result<PageId, PageMiss>;
@@ -154,6 +155,10 @@ pub enum BTreeError {
     LeafFull,
     /// The tree was never created on this volume.
     NotInitialized,
+    /// Structural corruption: descent reached a page whose kind byte is
+    /// neither leaf nor internal. Surfaced as an error (not a panic) so
+    /// the engine can abort the one transaction instead of the process.
+    Corrupt { page: PageId, kind: u8 },
 }
 
 impl From<PageMiss> for BTreeError {
@@ -170,6 +175,9 @@ impl std::fmt::Display for BTreeError {
             BTreeError::KeyNotFound(k) => write!(f, "key {k} not found"),
             BTreeError::LeafFull => write!(f, "leaf full; split required first"),
             BTreeError::NotInitialized => write!(f, "tree not initialized"),
+            BTreeError::Corrupt { page, kind } => {
+                write!(f, "corrupt tree: page {:?} has kind {kind}", page.0)
+            }
         }
     }
 }
@@ -243,7 +251,7 @@ impl BTree {
                 KIND_INTERNAL => {
                     let n = read_u16(b, OFF_NKEYS) as usize;
                     let mut child = PageId(read_u64(b, OFF_NEXT)); // leftmost
-                    // last separator <= key wins
+                                                                   // last separator <= key wins
                     for i in 0..n {
                         let off = self.internal_entry_off(i);
                         let sep = read_u64(b, off);
@@ -256,7 +264,7 @@ impl BTree {
                     path.push(cur);
                     cur = child;
                 }
-                k => panic!("descend into page {cur:?} of kind {k} (corrupt tree)"),
+                k => return Err(BTreeError::Corrupt { page: cur, kind: k }),
             }
         }
     }
@@ -685,7 +693,7 @@ pub struct MemProvider {
     pub pages: std::collections::HashMap<PageId, Page>,
     pub next: u64,
     /// All patches ever captured, for redo-replay tests.
-    pub journal: Vec<(PageId, Vec<(u32, Vec<u8>, Vec<u8>)>)>,
+    pub journal: Vec<(PageId, Vec<PagePatch>)>,
 }
 
 impl MemProvider {
@@ -765,6 +773,41 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_kind_byte_is_an_error_not_a_panic() {
+        // Regression: descent through a page whose kind byte is garbage
+        // used to panic ("descend into page ... (corrupt tree)"), taking
+        // the whole process down on a single bad page.
+        let (t, mut p) = tree();
+        t.insert(&mut p, 5, &row(50)).unwrap();
+        let root = {
+            let meta = p.read(PageId(0)).unwrap();
+            PageId(read_u64(meta.bytes(), OFF_META_ROOT))
+        };
+        p.write(root, &mut |e| e.set_u8(OFF_KIND, 7)).unwrap();
+        assert_eq!(
+            t.get(&mut p, 5),
+            Err(BTreeError::Corrupt {
+                page: root,
+                kind: 7
+            })
+        );
+        assert_eq!(
+            t.scan(&mut p, 0, 10),
+            Err(BTreeError::Corrupt {
+                page: root,
+                kind: 7
+            })
+        );
+        assert_eq!(
+            t.insert(&mut p, 6, &row(60)),
+            Err(BTreeError::Corrupt {
+                page: root,
+                kind: 7
+            })
+        );
+    }
+
+    #[test]
     fn duplicate_insert_rejected() {
         let (t, mut p) = tree();
         t.insert(&mut p, 5, &row(1)).unwrap();
@@ -783,7 +826,10 @@ mod tests {
         assert_eq!(t.get(&mut p, 5).unwrap(), Some(row(2)));
         t.delete(&mut p, 5).unwrap();
         assert_eq!(t.get(&mut p, 5).unwrap(), None);
-        assert_eq!(t.update(&mut p, 5, &row(3)), Err(BTreeError::KeyNotFound(5)));
+        assert_eq!(
+            t.update(&mut p, 5, &row(3)),
+            Err(BTreeError::KeyNotFound(5))
+        );
         assert_eq!(t.delete(&mut p, 5), Err(BTreeError::KeyNotFound(5)));
     }
 
@@ -828,7 +874,10 @@ mod tests {
         );
         // scan past the end
         let got = t.scan(&mut p, 195, 10).unwrap();
-        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![196, 198]);
+        assert_eq!(
+            got.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![196, 198]
+        );
     }
 
     #[test]
@@ -837,23 +886,25 @@ mod tests {
         let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         let mut state = 99u64;
         for step in 0..20_000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (state >> 33) % 500;
             match step % 4 {
                 0 => {
                     let r = row(step);
-                    if model.contains_key(&key) {
-                        assert!(t.insert(&mut p, key, &r).is_err());
-                    } else {
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
                         t.insert(&mut p, key, &r).unwrap();
-                        model.insert(key, r);
+                        e.insert(r);
+                    } else {
+                        assert!(t.insert(&mut p, key, &r).is_err());
                     }
                 }
                 1 => {
                     let r = row(step + 1);
-                    if model.contains_key(&key) {
+                    if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(key) {
                         t.update(&mut p, key, &r).unwrap();
-                        model.insert(key, r);
+                        e.insert(r);
                     } else {
                         assert!(t.update(&mut p, key, &r).is_err());
                     }

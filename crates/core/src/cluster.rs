@@ -114,7 +114,12 @@ impl Cluster {
         let control_id: NodeId =
             (1 + cfg.storage_nodes + cfg.spares + cfg.replicas + 1 + standby_slots) as NodeId;
 
-        let client = sim.add_node("client", Zone(0), Box::new(Probe::new()), NodeOpts::default());
+        let client = sim.add_node(
+            "client",
+            Zone(0),
+            Box::new(Probe::new()),
+            NodeOpts::default(),
+        );
 
         let mut storage_cfg = cfg.storage_cfg.clone();
         storage_cfg.store = cfg.store.clone();
@@ -228,9 +233,7 @@ impl Cluster {
             };
             ctl_cfg.watchers.extend(replica_ids.iter().copied());
             for (i, n) in storage.iter().enumerate() {
-                ctl_cfg
-                    .zones
-                    .insert(*n, Zone((i % azs as usize) as u8));
+                ctl_cfg.zones.insert(*n, Zone((i % azs as usize) as u8));
             }
             for (s, n) in spares.iter().enumerate() {
                 let z = Zone((s % azs as usize) as u8);
@@ -290,7 +293,8 @@ impl Cluster {
             txn: spec,
             issued_at: self.sim.now(),
         };
-        self.sim.tell(self.client, aurora_sim::Relay::new(target, req));
+        self.sim
+            .tell(self.client, aurora_sim::Relay::new(target, req));
     }
 
     /// Send a transaction to the writer from the client probe.

@@ -28,8 +28,8 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use aurora_log::{
-    mtr::CplMode, LogRecord, Lsn, LsnAllocator, MtrBuilder, Page, PageId, Patch, PgId,
-    RecordBody, SegmentId, TxnId, LAL_DEFAULT,
+    mtr::CplMode, LogRecord, Lsn, LsnAllocator, MtrBuilder, Page, PageId, Patch, PgId, RecordBody,
+    SegmentId, TxnId, LAL_DEFAULT,
 };
 use aurora_quorum::{AckOutcome, DurabilityTracker, QuorumConfig, TruncationRange, VolumeEpoch};
 use aurora_sim::{Actor, ActorEvent, Ctx, Msg, NodeId, SimDuration, SimTime, Tag};
@@ -206,7 +206,9 @@ struct PendingCommit {
 }
 
 struct OutBatch {
-    by_pg: HashMap<PgId, Vec<LogRecord>>,
+    // BTreeMap, not HashMap: (re)shipping iterates this map and sends a
+    // WriteBatch per entry — send order must be deterministic for replay.
+    by_pg: BTreeMap<PgId, Vec<LogRecord>>,
     acked: HashSet<(u32, u8)>,
     last_sent: SimTime,
 }
@@ -229,10 +231,17 @@ struct RecoveryState {
     cpls: HashMap<u32, Lsn>,
     vdl: Option<Lsn>,
     truncate_acks: HashMap<u32, HashSet<u8>>,
+    /// pg -> post-truncation chain tail, reported by a segment whose
+    /// pre-truncation SCL covered the new VDL (so its highest survivor is
+    /// the PG's true tail). The new epoch's first record per PG backlinks
+    /// here — linking to the volume-level VDL instead would park every
+    /// segment's SCL forever (the VDL is usually not on this PG's chain).
+    tails: HashMap<u32, Lsn>,
     truncated: bool,
     in_flight: Option<Vec<TxnId>>,
     undo_records: Vec<LogRecord>,
-    undo_replies: usize,
+    /// PGs whose undo scan has answered (keyed so resends stay idempotent).
+    undo_done: HashSet<u32>,
     max_txn_seen: u64,
     started: SimTime,
 }
@@ -269,6 +278,11 @@ pub struct EngineActor {
     outstanding: BTreeMap<Lsn, OutBatch>,
     vcpu_free: Vec<SimTime>,
     recovery: Option<RecoveryState>,
+    /// The truncation range this writer's recovery issued — replayed to
+    /// segments that report [`swire::EpochBehind`] (they missed the
+    /// recovery and must install the range before ingesting new-epoch
+    /// writes).
+    last_truncation: Option<TruncationRange>,
     zdp: Option<(NodeId, u64)>,
     patch_queue: Vec<(NodeId, ClientRequest)>,
     known_conns: HashSet<u64>,
@@ -338,8 +352,7 @@ impl<'a> PageProvider for EngineProvider<'a> {
         let off = crate::btree::OFF_META_NEXT_FREE;
         let next = {
             let meta = self.pool.get(PageId(0)).ok_or(PageMiss(PageId(0)))?;
-            let stored =
-                u64::from_le_bytes(meta.bytes()[off..off + 8].try_into().unwrap());
+            let stored = u64::from_le_bytes(meta.bytes()[off..off + 8].try_into().unwrap());
             stored.max(1)
         };
         let id = PageId(next);
@@ -413,6 +426,30 @@ enum ExecStall {
     Abort(String),
 }
 
+/// Replicas of one PG able to serve a chain-complete recovery scan at
+/// `bar`: every replica whose phase-1 SCL covers it (they all hold the
+/// same chain prefix, so any answer is authoritative). If none qualifies
+/// — a provably-empty PG whose SCLs are all below a volume-level bar —
+/// fall back to the single best-known replica, which is what the initial
+/// one-shot send targeted.
+fn scan_candidates(scls: &HashMap<u8, (Lsn, Lsn)>, bar: Lsn) -> Vec<u8> {
+    // Sorted output: callers send one request per candidate, and send
+    // order must not depend on HashMap iteration order (determinism).
+    let mut complete: Vec<u8> = scls
+        .iter()
+        .filter(|(_, (scl, _))| *scl >= bar)
+        .map(|(r, _)| *r)
+        .collect();
+    if !complete.is_empty() {
+        complete.sort_unstable();
+        return complete;
+    }
+    scls.iter()
+        .max_by_key(|(r, (scl, _))| (*scl, std::cmp::Reverse(**r)))
+        .map(|(r, _)| vec![*r])
+        .unwrap_or_default()
+}
+
 fn stall_from(e: BTreeError) -> ExecStall {
     match e {
         BTreeError::Miss(m) => ExecStall::Miss(m.0),
@@ -420,6 +457,7 @@ fn stall_from(e: BTreeError) -> ExecStall {
         BTreeError::KeyNotFound(k) => ExecStall::Abort(format!("key {k} not found")),
         BTreeError::LeafFull => ExecStall::Abort("internal: leaf full".into()),
         BTreeError::NotInitialized => ExecStall::Abort("tree not initialized".into()),
+        e @ BTreeError::Corrupt { .. } => ExecStall::Abort(e.to_string()),
     }
 }
 
@@ -471,6 +509,7 @@ impl EngineActor {
             outstanding: BTreeMap::new(),
             vcpu_free: vec![SimTime::ZERO; vcpus],
             recovery: None,
+            last_truncation: None,
             zdp: None,
             patch_queue: Vec::new(),
             known_conns: HashSet::new(),
@@ -640,7 +679,7 @@ impl EngineActor {
         let vdl = self.tracker.vdl();
         let pgmrpl = self.pgmrpl();
         // shard by PG (§5) and ship to all six replicas of each PG
-        let mut by_pg: HashMap<PgId, Vec<LogRecord>> = HashMap::new();
+        let mut by_pg: BTreeMap<PgId, Vec<LogRecord>> = BTreeMap::new();
         for r in &records {
             by_pg.entry(r.pg).or_default().push(r.clone());
         }
@@ -938,9 +977,7 @@ impl EngineActor {
             Del,
         }
         let (inverse, action) = match (&kind, old) {
-            (WriteKind::Insert(row), None) => {
-                (Op::Delete(key), Act::Ins(fit_row(row, row_size)))
-            }
+            (WriteKind::Insert(row), None) => (Op::Delete(key), Act::Ins(fit_row(row, row_size))),
             (WriteKind::Insert(_), Some(_)) => {
                 return Err(ExecStall::Abort(format!("duplicate key {key}")))
             }
@@ -953,9 +990,7 @@ impl EngineActor {
             (WriteKind::Upsert(row), Some(old)) => {
                 (Op::Update(key, old), Act::Upd(fit_row(row, row_size)))
             }
-            (WriteKind::Upsert(row), None) => {
-                (Op::Delete(key), Act::Ins(fit_row(row, row_size)))
-            }
+            (WriteKind::Upsert(row), None) => (Op::Delete(key), Act::Ins(fit_row(row, row_size))),
             (WriteKind::Delete, Some(old)) => (Op::Insert(key, old), Act::Del),
             (WriteKind::Delete, None) => {
                 return Err(ExecStall::Abort(format!("key {key} not found")))
@@ -1262,7 +1297,7 @@ impl EngineActor {
     fn sweep(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         self.retransmit_stale(ctx, now);
-        let timed_out: Vec<u64> = self
+        let mut timed_out: Vec<u64> = self
             .running
             .iter()
             .filter(|(_, rt)| {
@@ -1271,39 +1306,52 @@ impl EngineActor {
             })
             .map(|(c, _)| *c)
             .collect();
+        // Process in connection order, not HashMap order: aborts release
+        // locks and send responses, both of which must replay identically.
+        timed_out.sort_unstable();
         for conn in timed_out {
             ctx.inc("engine.lock_timeouts", 1);
             self.abort_txn(ctx, conn, "lock wait timeout".into());
         }
-        let expired: Vec<u64> = self
+        let mut expired: Vec<u64> = self
             .reads
             .iter()
             .filter(|(_, pr)| now.since(pr.sent_at) > self.cfg.read_timeout)
             .map(|(id, _)| *id)
             .collect();
+        expired.sort_unstable();
         for req_id in expired {
-            let (page, read_point, avoid) = {
-                let pr = self.reads.get(&req_id).unwrap();
-                (pr.page, pr.read_point, pr.target.replica)
-            };
-            let pg = self.cfg.layout.pg_of(page);
-            let target = self.pick_segment(ctx, pg, read_point, Some(avoid));
-            let node = self.membership(pg).slots[target.replica as usize];
-            let pr = self.reads.get_mut(&req_id).unwrap();
-            pr.sent_at = now;
-            pr.target = target;
-            pr.attempts += 1;
-            ctx.inc("engine.read_retries", 1);
-            ctx.send(
-                node,
-                swire::ReadPageReq {
-                    req_id,
-                    segment: target,
-                    page,
-                    read_point,
-                },
-            );
+            let avoid = self.reads.get(&req_id).map(|pr| pr.target.replica);
+            self.retry_read(ctx, req_id, avoid);
         }
+    }
+
+    /// Redirect a pending read to another replica — used both by the sweep
+    /// (timeout) and by explicit [`swire::ReadPageNack`]s from a replica
+    /// that knows it is incomplete at the read point.
+    fn retry_read(&mut self, ctx: &mut Ctx<'_>, req_id: u64, avoid: Option<u8>) {
+        let Some((page, read_point)) = self.reads.get(&req_id).map(|pr| (pr.page, pr.read_point))
+        else {
+            return;
+        };
+        let pg = self.cfg.layout.pg_of(page);
+        let target = self.pick_segment(ctx, pg, read_point, avoid);
+        let node = self.membership(pg).slots[target.replica as usize];
+        let now = ctx.now();
+        let pr = self.reads.get_mut(&req_id).unwrap();
+        pr.sent_at = now;
+        pr.target = target;
+        pr.attempts += 1;
+        ctx.inc("engine.read_retries", 1);
+        ctx.send(
+            node,
+            swire::ReadPageReq {
+                req_id,
+                segment: target,
+                page,
+                read_point,
+            },
+        );
     }
 
     /// Re-ship batches that have waited too long without reaching
@@ -1467,7 +1515,7 @@ impl EngineActor {
                 .map(|m| {
                     let best = rec.scls[&m.pg.0]
                         .iter()
-                        .max_by_key(|(_, (scl, _))| *scl)
+                        .max_by_key(|(r, (scl, _))| (*scl, std::cmp::Reverse(**r)))
                         .map(|(r, _)| *r)
                         .unwrap_or(0);
                     (
@@ -1525,10 +1573,12 @@ impl EngineActor {
                 );
             }
             self.epoch = new_epoch;
+            self.last_truncation = Some(range);
             return;
         }
 
-        // Phase 3 -> 4: truncation at write quorum everywhere => txn scan.
+        // Phase 3 -> 4: truncation at write quorum everywhere, and the
+        // true chain tail learned for every non-empty PG => txn scan.
         if !rec.truncated {
             if !pgs.iter().all(|pg| {
                 rec.truncate_acks
@@ -1537,12 +1587,18 @@ impl EngineActor {
             }) {
                 return;
             }
+            if !pgs.iter().all(|pg| {
+                let empty = rec.scls[pg].values().all(|(_, highest)| highest.is_zero());
+                empty || rec.tails.contains_key(pg)
+            }) {
+                return;
+            }
             rec.truncated = true;
             let vdl = rec.vdl.unwrap();
             let m0 = self.cfg.memberships[0].clone();
             let best = rec.scls[&m0.pg.0]
                 .iter()
-                .max_by_key(|(_, (scl, _))| *scl)
+                .max_by_key(|(r, (scl, _))| (*scl, std::cmp::Reverse(**r)))
                 .map(|(r, _)| *r)
                 .unwrap_or(0);
             ctx.send(
@@ -1560,7 +1616,7 @@ impl EngineActor {
         let Some(in_flight) = rec.in_flight.clone() else {
             return;
         };
-        if rec.undo_replies < pgs.len() {
+        if pgs.iter().any(|pg| !rec.undo_done.contains(pg)) {
             return;
         }
 
@@ -1568,14 +1624,16 @@ impl EngineActor {
         let undo_records = std::mem::take(&mut rec.undo_records);
         let max_txn = rec.max_txn_seen;
         let started = rec.started;
+        // Seed each PG's backlink anchor with the PG's *true chain tail*
+        // (learned from the post-truncation SCL of a segment that was
+        // complete through the VDL), never with the volume-level VDL: the
+        // first post-recovery record's backlink must point at a real chain
+        // record or no segment can ever advance its SCL past it again.
+        // PGs with no learned tail (provably empty) restart their chain at 0.
         let mut tails = HashMap::new();
         for m in &self.cfg.memberships {
-            let pg_scl = rec.scls[&m.pg.0]
-                .values()
-                .map(|(scl, _)| *scl)
-                .max()
-                .unwrap_or(Lsn::ZERO);
-            tails.insert(m.pg, pg_scl.min(vdl));
+            let tail = rec.tails.get(&m.pg.0).copied().unwrap_or(Lsn::ZERO);
+            tails.insert(m.pg, tail);
         }
         self.recovery = None;
 
@@ -1601,7 +1659,7 @@ impl EngineActor {
         txn_ids.sort();
         for t in txn_ids {
             let mut ops = per_txn.remove(&t).unwrap();
-            ops.sort_by(|a, b| b.0.cmp(&a.0)); // newest first
+            ops.sort_by_key(|(l, _)| std::cmp::Reverse(*l)); // newest first
             ops.dedup_by_key(|(l, _)| *l);
             n_undone += ops.len();
             let inverse_ops: Vec<Op> = ops.into_iter().map(|(_, op)| op).collect();
@@ -1619,7 +1677,114 @@ impl EngineActor {
         ctx.record("engine.recovery_ns", ctx.now().since(started).nanos());
     }
 
-    fn on_storage_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+    /// Every 50ms while recovering, re-drive whichever phase is stalled.
+    /// Each recovery request is sent fire-and-forget over a lossy network
+    /// to nodes that may be down; without resends a single lost message
+    /// (or a crashed target) wedges recovery forever. Every phase's
+    /// response handler is idempotent, so over-sending is harmless.
+    fn recovery_resend(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(rec) = self.recovery.as_ref() else {
+            return;
+        };
+        // Phase 1: SCL discovery — re-poll segments that have not answered.
+        if rec.vcl.is_none() {
+            for m in &self.cfg.memberships {
+                let have = rec.scls.get(&m.pg.0);
+                for (slot, node) in m.slots.iter().enumerate() {
+                    if !have.is_some_and(|h| h.contains_key(&(slot as u8))) {
+                        ctx.send(
+                            *node,
+                            swire::SegmentStateReq {
+                                req_id: 0,
+                                segment: SegmentId::new(m.pg, slot as u8),
+                            },
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        let vcl = rec.vcl.unwrap();
+        // Phase 2: CPL probes — the single "best" target may have died;
+        // ask *every* segment whose phase-1 SCL covered the VCL (they all
+        // hold the same chain prefix, so any answer is authoritative).
+        if rec.vdl.is_none() {
+            for m in &self.cfg.memberships {
+                if rec.cpls.contains_key(&m.pg.0) {
+                    continue;
+                }
+                for replica in scan_candidates(&rec.scls[&m.pg.0], vcl) {
+                    ctx.send(
+                        m.slots[replica as usize],
+                        swire::CplBelowReq {
+                            req_id: 0,
+                            segment: SegmentId::new(m.pg, replica),
+                            at: vcl,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        let vdl = rec.vdl.unwrap();
+        // Phase 3: truncation — re-send to replicas that have not acked.
+        if !rec.truncated {
+            let Some(range) = self.last_truncation else {
+                return;
+            };
+            for m in &self.cfg.memberships {
+                let acked = rec.truncate_acks.get(&m.pg.0);
+                for (slot, node) in m.slots.iter().enumerate() {
+                    if !acked.is_some_and(|s| s.contains(&(slot as u8))) {
+                        ctx.send(
+                            *node,
+                            swire::Truncate {
+                                segment: SegmentId::new(m.pg, slot as u8),
+                                range,
+                            },
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        // Phase 4a: transaction scan — any PG-0 segment complete through
+        // the VDL can serve it; the response handler drops duplicates.
+        if rec.in_flight.is_none() {
+            let m0 = &self.cfg.memberships[0];
+            for replica in scan_candidates(&rec.scls[&m0.pg.0], vdl) {
+                ctx.send(
+                    m0.slots[replica as usize],
+                    swire::TxnScanReq {
+                        req_id: 0,
+                        segment: SegmentId::new(m0.pg, replica),
+                        upto: vdl,
+                    },
+                );
+            }
+            return;
+        }
+        // Phase 4b: undo scans — re-ask for PGs that have not answered.
+        let txns = rec.in_flight.clone().unwrap_or_default();
+        for m in &self.cfg.memberships {
+            if rec.undo_done.contains(&m.pg.0) {
+                continue;
+            }
+            for replica in scan_candidates(&rec.scls[&m.pg.0], vdl) {
+                ctx.send(
+                    m.slots[replica as usize],
+                    swire::UndoScanReq {
+                        req_id: 0,
+                        segment: SegmentId::new(m.pg, replica),
+                        txns: txns.clone(),
+                        upto: vdl,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_storage_msg(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Msg) {
         let msg = match msg.downcast::<swire::WriteAck>() {
             Ok(ack) => {
                 self.scls.insert(ack.segment, ack.scl);
@@ -1653,7 +1818,8 @@ impl EngineActor {
                     // in-flight transactions will never be acknowledged
                     ctx.inc("engine.fenced", 1);
                     self.status = EngineStatus::Standby;
-                    let conns: Vec<u64> = self.running.keys().copied().collect();
+                    let mut conns: Vec<u64> = self.running.keys().copied().collect();
+                    conns.sort_unstable();
                     for conn in conns {
                         if let Some(rt) = self.running.remove(&conn) {
                             if rt.client != aurora_sim::sim::EXTERNAL {
@@ -1730,11 +1896,28 @@ impl EngineActor {
         };
         let msg = match msg.downcast::<swire::TruncateAck>() {
             Ok(ack) => {
+                // post-truncation SCL: the freshest completeness signal we
+                // have for this segment (its pre-truncation one is stale).
+                self.scls.insert(ack.segment, ack.scl);
                 if let Some(rec) = self.recovery.as_mut() {
+                    let pg = ack.segment.pg.0;
                     rec.truncate_acks
-                        .entry(ack.segment.pg.0)
+                        .entry(pg)
                         .or_default()
                         .insert(ack.segment.replica);
+                    // A segment whose phase-1 SCL covered the new VDL held
+                    // its PG's full chain prefix, so its post-truncation SCL
+                    // *is* the PG's true chain tail — record it so the
+                    // post-recovery writer chains from a real record.
+                    let complete = rec
+                        .scls
+                        .get(&pg)
+                        .and_then(|m| m.get(&ack.segment.replica))
+                        .is_some_and(|(scl, _)| rec.vdl.is_some_and(|vdl| *scl >= vdl));
+                    if complete {
+                        let t = rec.tails.entry(pg).or_insert(Lsn::ZERO);
+                        *t = (*t).max(ack.scl);
+                    }
                     self.recovery_step(ctx);
                 }
                 return;
@@ -1743,52 +1926,51 @@ impl EngineActor {
         };
         let msg = match msg.downcast::<swire::TxnScanResp>() {
             Ok(resp) => {
-                let reqs: Vec<(NodeId, swire::UndoScanReq)> = if let Some(rec) =
-                    self.recovery.as_mut()
-                {
-                    if rec.in_flight.is_some() {
-                        Vec::new() // duplicate scan response
+                let reqs: Vec<(NodeId, swire::UndoScanReq)> =
+                    if let Some(rec) = self.recovery.as_mut() {
+                        if rec.in_flight.is_some() {
+                            Vec::new() // duplicate scan response
+                        } else {
+                            let finished: HashSet<TxnId> = resp.finished.iter().copied().collect();
+                            let in_flight: Vec<TxnId> = resp
+                                .begun
+                                .iter()
+                                .filter(|t| !finished.contains(t))
+                                .copied()
+                                .collect();
+                            rec.max_txn_seen = resp
+                                .begun
+                                .iter()
+                                .chain(resp.finished.iter())
+                                .map(|t| t.0)
+                                .max()
+                                .unwrap_or(0);
+                            rec.in_flight = Some(in_flight.clone());
+                            let vdl = rec.vdl.unwrap();
+                            self.cfg
+                                .memberships
+                                .iter()
+                                .map(|m| {
+                                    let best = rec.scls[&m.pg.0]
+                                        .iter()
+                                        .max_by_key(|(_, (scl, _))| *scl)
+                                        .map(|(r, _)| *r)
+                                        .unwrap_or(0);
+                                    (
+                                        m.slots[best as usize],
+                                        swire::UndoScanReq {
+                                            req_id: 0,
+                                            segment: SegmentId::new(m.pg, best),
+                                            txns: in_flight.clone(),
+                                            upto: vdl,
+                                        },
+                                    )
+                                })
+                                .collect()
+                        }
                     } else {
-                        let finished: HashSet<TxnId> = resp.finished.iter().copied().collect();
-                        let in_flight: Vec<TxnId> = resp
-                            .begun
-                            .iter()
-                            .filter(|t| !finished.contains(t))
-                            .copied()
-                            .collect();
-                        rec.max_txn_seen = resp
-                            .begun
-                            .iter()
-                            .chain(resp.finished.iter())
-                            .map(|t| t.0)
-                            .max()
-                            .unwrap_or(0);
-                        rec.in_flight = Some(in_flight.clone());
-                        let vdl = rec.vdl.unwrap();
-                        self.cfg
-                            .memberships
-                            .iter()
-                            .map(|m| {
-                                let best = rec.scls[&m.pg.0]
-                                    .iter()
-                                    .max_by_key(|(_, (scl, _))| *scl)
-                                    .map(|(r, _)| *r)
-                                    .unwrap_or(0);
-                                (
-                                    m.slots[best as usize],
-                                    swire::UndoScanReq {
-                                        req_id: 0,
-                                        segment: SegmentId::new(m.pg, best),
-                                        txns: in_flight.clone(),
-                                        upto: vdl,
-                                    },
-                                )
-                            })
-                            .collect()
-                    }
-                } else {
-                    Vec::new()
-                };
+                        Vec::new()
+                    };
                 for (node, req) in reqs {
                     ctx.send(node, req);
                 }
@@ -1796,11 +1978,51 @@ impl EngineActor {
             }
             Err(m) => m,
         };
-        if let Ok(resp) = msg.downcast::<swire::UndoScanResp>() {
-            if let Some(rec) = self.recovery.as_mut() {
-                rec.undo_records.extend(resp.records);
-                rec.undo_replies += 1;
-                self.recovery_step(ctx);
+        let msg = match msg.downcast::<swire::UndoScanResp>() {
+            Ok(resp) => {
+                if let Some(rec) = self.recovery.as_mut() {
+                    // keyed by PG so resent scans stay idempotent
+                    if rec.undo_done.insert(resp.segment.pg.0) {
+                        rec.undo_records.extend(resp.records);
+                    }
+                    self.recovery_step(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<swire::ReadPageNack>() {
+            Ok(nack) => {
+                // The segment told us exactly how far behind it is; refresh
+                // our view and redirect the read immediately instead of
+                // waiting out the read timeout.
+                self.scls.insert(nack.segment, nack.scl);
+                let stale = self
+                    .reads
+                    .get(&nack.req_id)
+                    .is_none_or(|pr| pr.target != nack.segment);
+                if !stale {
+                    ctx.inc("engine.read_nacks", 1);
+                    self.retry_read(ctx, nack.req_id, Some(nack.segment.replica));
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(behind) = msg.downcast::<swire::EpochBehind>() {
+            // A segment refused a batch because it has not yet learned of
+            // our truncation (it was down during recovery). Replay the
+            // durable truncation range; the batch itself is retransmitted
+            // by the regular outstanding-write sweep.
+            if let Some(range) = self.last_truncation {
+                ctx.inc("engine.epoch_replays", 1);
+                ctx.send(
+                    from,
+                    swire::Truncate {
+                        segment: behind.segment,
+                        range,
+                    },
+                );
             }
         }
     }
@@ -1842,41 +2064,12 @@ impl Actor for EngineActor {
                         self.begin_request(ctx, client, req);
                     }
                 }
-                TAG_BOOTSTRAP => {
-                    if self.status == EngineStatus::Bootstrapping {
-                        self.bootstrap_chunk(ctx);
-                    }
+                TAG_BOOTSTRAP if self.status == EngineStatus::Bootstrapping => {
+                    self.bootstrap_chunk(ctx);
                 }
-                TAG_RECOVERY_RESEND => {
-                    if let Some(rec) = self.recovery.as_ref() {
-                        let resend: Vec<(NodeId, swire::SegmentStateReq)> = self
-                            .cfg
-                            .memberships
-                            .iter()
-                            .flat_map(|m| {
-                                let have = rec.scls.get(&m.pg.0);
-                                m.slots.iter().enumerate().filter_map(move |(slot, node)| {
-                                    let answered =
-                                        have.is_some_and(|h| h.contains_key(&(slot as u8)));
-                                    if answered {
-                                        None
-                                    } else {
-                                        Some((
-                                            *node,
-                                            swire::SegmentStateReq {
-                                                req_id: 0,
-                                                segment: SegmentId::new(m.pg, slot as u8),
-                                            },
-                                        ))
-                                    }
-                                })
-                            })
-                            .collect();
-                        for (node, req) in resend {
-                            ctx.send(node, req);
-                        }
-                        ctx.set_timer(SimDuration::from_millis(50), TAG_RECOVERY_RESEND);
-                    }
+                TAG_RECOVERY_RESEND if self.recovery.is_some() => {
+                    self.recovery_resend(ctx);
+                    ctx.set_timer(SimDuration::from_millis(50), TAG_RECOVERY_RESEND);
                 }
                 t if t >= TAG_CPU_BASE => {
                     let conn = t - TAG_CPU_BASE;
@@ -1917,7 +2110,7 @@ impl Actor for EngineActor {
                     }
                     Err(m) => m,
                 };
-                self.on_storage_msg(ctx, msg);
+                self.on_storage_msg(ctx, from, msg);
             }
             ActorEvent::DiskDone { .. } => {}
         }
@@ -2010,6 +2203,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn synthetic_conn_space_is_disjoint() {
         assert!(CONN_SYNTHETIC_BASE > u32::MAX as u64);
         assert!(TAG_CPU_BASE > CONN_SYNTHETIC_BASE);

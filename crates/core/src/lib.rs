@@ -36,8 +36,8 @@
 //! DESIGN.md.
 
 pub mod btree;
-pub mod cluster;
 pub mod buffer;
+pub mod cluster;
 pub mod engine;
 pub mod locks;
 pub mod replica;

@@ -345,7 +345,11 @@ fn az_failure_preserves_write_availability() {
     // heal the AZ: the stalled commit completes
     c.sim.zone_up(Zone(1));
     c.sim.run_for(SimDuration::from_millis(1_000));
-    assert_eq!(c.responses().len(), before + 1, "commit completes after heal");
+    assert_eq!(
+        c.responses().len(),
+        before + 1,
+        "commit completes after heal"
+    );
 }
 
 #[test]
@@ -378,7 +382,8 @@ fn zero_downtime_patch_drops_no_connections() {
     }
     let engine = c.engine;
     let client = c.client;
-    c.sim.tell(client, Relay::new(engine, ZdpPatch { version: 2 }));
+    c.sim
+        .tell(client, Relay::new(engine, ZdpPatch { version: 2 }));
     for i in 10..20u64 {
         c.submit(i, TxnSpec::single(Op::Upsert(80_000 + i, vec![4])));
     }
@@ -436,7 +441,10 @@ fn storage_replicas_converge_to_identical_pages() {
     });
     c.sim.run_for(SimDuration::from_millis(500));
     for i in 0..100u64 {
-        c.submit(i, TxnSpec::single(Op::Upsert(i * 31 % 3_000, vec![i as u8])));
+        c.submit(
+            i,
+            TxnSpec::single(Op::Upsert(i * 31 % 3_000, vec![i as u8])),
+        );
     }
     c.sim.run_for(SimDuration::from_secs(2));
     let vdl = c.engine_actor().vdl();
@@ -453,8 +461,16 @@ fn storage_replicas_converge_to_identical_pages() {
         }
         assert_eq!(images.len(), 6);
         for w in images.windows(2) {
-            assert_eq!(w[0].2, w[1].2, "page {page:?} lsn diverged: slots {} vs {}", w[0].0, w[1].0);
-            assert_eq!(w[0].1, w[1].1, "page {page:?} bytes diverged: slots {} vs {}", w[0].0, w[1].0);
+            assert_eq!(
+                w[0].2, w[1].2,
+                "page {page:?} lsn diverged: slots {} vs {}",
+                w[0].0, w[1].0
+            );
+            assert_eq!(
+                w[0].1, w[1].1,
+                "page {page:?} bytes diverged: slots {} vs {}",
+                w[0].0, w[1].0
+            );
         }
     }
 }
@@ -657,7 +673,11 @@ fn failover_to_standby_without_data_loss() {
     for i in 0..25u64 {
         c.submit_to(new_writer, 1_000 + i, TxnSpec::single(Op::Get(80_000 + i)));
     }
-    c.submit_to(new_writer, 2_000, TxnSpec::single(Op::Insert(81_000, vec![7; 4])));
+    c.submit_to(
+        new_writer,
+        2_000,
+        TxnSpec::single(Op::Insert(81_000, vec![7; 4])),
+    );
     c.sim.run_for(SimDuration::from_secs(2));
     let rs = c.responses();
     for i in 0..25u64 {
@@ -709,9 +729,10 @@ fn zombie_writer_is_fenced_after_failover() {
     // the new writer commits
     c.submit_to(new_writer, 500, TxnSpec::single(Op::Upsert(50, vec![9])));
     c.sim.run_for(SimDuration::from_millis(300));
-    assert!(c.responses().iter().any(
-        |r| r.conn == 500 && matches!(r.result, TxnResult::Committed(_))
-    ));
+    assert!(c
+        .responses()
+        .iter()
+        .any(|r| r.conn == 500 && matches!(r.result, TxnResult::Committed(_))));
 
     // heal the partition: the zombie (which still thinks it is Ready)
     // tries to commit with its stale epoch — its batches must be fenced

@@ -41,7 +41,10 @@ impl fmt::Display for ApplyError {
             ApplyError::AlreadyApplied {
                 page_lsn,
                 record_lsn,
-            } => write!(f, "record {record_lsn} already applied (page at {page_lsn})"),
+            } => write!(
+                f,
+                "record {record_lsn} already applied (page at {page_lsn})"
+            ),
             ApplyError::StaleImage {
                 page_lsn,
                 expected_before,

@@ -28,7 +28,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -57,7 +61,10 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "record truncated"),
             DecodeError::BadCrc { expected, actual } => {
-                write!(f, "crc mismatch: stored {expected:#x}, computed {actual:#x}")
+                write!(
+                    f,
+                    "crc mismatch: stored {expected:#x}, computed {actual:#x}"
+                )
             }
             DecodeError::BadTag(t) => write!(f, "unknown record tag {t}"),
         }

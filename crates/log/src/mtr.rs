@@ -137,7 +137,12 @@ mod tests {
         b.push(TxnId(1), body(1));
         b.push(TxnId(1), body(2));
         let recs = b
-            .finish(&mut alloc, |p| PgId(p.0 as u32 % 2), &mut tails, CplMode::LastOnly)
+            .finish(
+                &mut alloc,
+                |p| PgId(p.0 as u32 % 2),
+                &mut tails,
+                CplMode::LastOnly,
+            )
             .map_err(|_| ())
             .unwrap();
         assert_eq!(recs.len(), 3);
@@ -160,7 +165,12 @@ mod tests {
         b.push(TxnId(1), body(1));
         b.push(TxnId(1), body(2));
         let recs = b
-            .finish(&mut alloc, |p| PgId((p.0 % 2) as u32), &mut tails, CplMode::LastOnly)
+            .finish(
+                &mut alloc,
+                |p| PgId((p.0 % 2) as u32),
+                &mut tails,
+                CplMode::LastOnly,
+            )
             .map_err(|_| ())
             .unwrap();
         // PG0 chain: lsn1 (prev 0) then lsn3 (prev 1); PG1: lsn2 (prev 0)
@@ -174,7 +184,12 @@ mod tests {
         let mut b2 = MtrBuilder::new();
         b2.push(TxnId(2), body(0));
         let recs2 = b2
-            .finish(&mut alloc, |p| PgId((p.0 % 2) as u32), &mut tails, CplMode::LastOnly)
+            .finish(
+                &mut alloc,
+                |p| PgId((p.0 % 2) as u32),
+                &mut tails,
+                CplMode::LastOnly,
+            )
             .map_err(|_| ())
             .unwrap();
         assert_eq!(recs2[0].lsn, Lsn(4));

@@ -45,11 +45,17 @@ impl Patch {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecordBody {
     /// Apply byte patches to a page.
-    PageWrite { page: PageId, patches: Vec<Patch> },
+    PageWrite {
+        page: PageId,
+        patches: Vec<Patch>,
+    },
     /// Format a page from zeroes (allocation / extension). The full image
     /// is implicit: the page becomes all zeroes then `init` is applied at
     /// offset 0.
-    PageFormat { page: PageId, init: Bytes },
+    PageFormat {
+        page: PageId,
+        init: Bytes,
+    },
     /// Transaction control markers. They occupy LSNs like any record (as in
     /// InnoDB, where commit is itself a redo record) and let recovery build
     /// the committed set.
@@ -60,16 +66,16 @@ pub enum RecordBody {
     /// alongside each forward change exactly as InnoDB redo-logs its undo
     /// pages. Crash recovery replays these (newest first) to roll back
     /// in-flight transactions (§4.3 "undo recovery").
-    Undo { data: bytes::Bytes },
+    Undo {
+        data: bytes::Bytes,
+    },
 }
 
 impl RecordBody {
     /// The page this record touches, if any.
     pub fn page(&self) -> Option<PageId> {
         match self {
-            RecordBody::PageWrite { page, .. } | RecordBody::PageFormat { page, .. } => {
-                Some(*page)
-            }
+            RecordBody::PageWrite { page, .. } | RecordBody::PageFormat { page, .. } => Some(*page),
             _ => None,
         }
     }

@@ -73,11 +73,7 @@ impl SegmentLog {
 
     /// Highest LSN held (may be above the SCL if there are holes).
     pub fn highest(&self) -> Lsn {
-        self.records
-            .keys()
-            .next_back()
-            .copied()
-            .unwrap_or(self.scl)
+        self.records.keys().next_back().copied().unwrap_or(self.scl)
     }
 
     /// Does the segment hold stranded records above its SCL (i.e. it knows
@@ -110,19 +106,32 @@ impl SegmentLog {
 
     /// Recovery truncation (§4.1): remove every record with LSN greater
     /// than `vdl`. Returns how many records were dropped.
+    ///
+    /// The SCL is rewound to the **highest surviving record's LSN** (the
+    /// segment's genuine chain tail), never to `vdl` itself: `vdl` is a
+    /// volume-level LSN that usually belongs to another PG's chain, and an
+    /// SCL that is not an actual chain LSN can never be chained past by
+    /// [`SegmentLog::insert`] — the segment would be stuck incomplete
+    /// forever. A segment that was complete through `vdl` holds its full
+    /// chain prefix, so its highest survivor *is* the PG chain tail at the
+    /// truncation point. (If every survivor was already garbage-collected
+    /// the tail is unknowable locally and `vdl` is the best available
+    /// floor.)
     pub fn truncate_above(&mut self, vdl: Lsn) -> usize {
-        let doomed: Vec<Lsn> = self
-            .records
-            .range(vdl.next()..)
-            .map(|(l, _)| *l)
-            .collect();
+        let doomed: Vec<Lsn> = self.records.range(vdl.next()..).map(|(l, _)| *l).collect();
         for lsn in &doomed {
             if let Some(r) = self.records.remove(lsn) {
                 self.by_prev.remove(&r.prev_in_pg);
             }
         }
         if self.scl > vdl {
-            self.scl = vdl;
+            self.scl = self
+                .records
+                .keys()
+                .next_back()
+                .copied()
+                .unwrap_or(vdl)
+                .min(vdl);
         }
         doomed.len()
     }
@@ -236,6 +245,40 @@ mod tests {
         // re-inserting after truncation works (new epoch writes)
         assert!(s.insert(rec(3, 2)));
         assert_eq!(s.scl(), Lsn(3));
+    }
+
+    #[test]
+    fn truncate_rewinds_scl_to_surviving_chain_tail() {
+        // Chain 1 -> 2 -> 5, complete (scl 5). Truncating above a volume
+        // LSN that is NOT a record of this chain (4) must rewind the SCL
+        // to the highest survivor (2), not to 4: the next writer links its
+        // first record to the chain tail, and an SCL parked on a
+        // non-chain LSN could never advance again.
+        let mut s = SegmentLog::new();
+        for (l, p) in [(1, 0), (2, 1), (5, 2)] {
+            s.insert(rec(l, p));
+        }
+        assert_eq!(s.scl(), Lsn(5));
+        s.truncate_above(Lsn(4));
+        assert_eq!(s.scl(), Lsn(2), "SCL must land on a real chain record");
+        assert!(!s.has_gap());
+        // the new epoch's chain continues from the tail and the SCL follows
+        assert!(s.insert(rec(6, 2)));
+        assert_eq!(s.scl(), Lsn(6));
+    }
+
+    #[test]
+    fn truncate_of_empty_log_clamps_scl_to_vdl() {
+        // All survivors were GC'd: the tail is unknowable locally, the
+        // best available floor is the truncation point itself.
+        let mut s = SegmentLog::new();
+        for (l, p) in [(1, 0), (2, 1), (3, 2)] {
+            s.insert(rec(l, p));
+        }
+        s.gc_upto(Lsn(3));
+        assert_eq!(s.len(), 0);
+        s.truncate_above(Lsn(2));
+        assert_eq!(s.scl(), Lsn(2));
     }
 
     #[test]

@@ -29,10 +29,17 @@ pub fn p_node_down(mttf_secs: f64, mttr_secs: f64) -> f64 {
 }
 
 fn binomial_tail(n: u32, k: u32, p: f64) -> f64 {
-    // P[X >= k], X ~ Binomial(n, p)
+    // P[X >= k], X ~ Binomial(n, p). Degenerate inputs are clamped to a
+    // valid probability instead of silently producing garbage: k > n can
+    // arise from a quorum config wider than its replica set, and p outside
+    // [0, 1] (or NaN) from pathological MTTF/MTTR ratios.
     if k == 0 {
         return 1.0;
     }
+    if k > n {
+        return 0.0;
+    }
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
     let mut total = 0.0;
     for i in k..=n {
         let mut c = 1.0;
@@ -41,7 +48,7 @@ fn binomial_tail(n: u32, k: u32, p: f64) -> f64 {
         }
         total += c * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
     }
-    total.min(1.0)
+    total.clamp(0.0, 1.0)
 }
 
 /// Analytic probability that, **given an AZ is already down**, enough of
@@ -227,6 +234,46 @@ mod tests {
         let expect = 1.0 - (1.0f64 - p).powi(4);
         assert!((binomial_tail(4, 1, p) - expect).abs() < 1e-9);
         assert!(binomial_tail(4, 4, 0.5) - 0.0625 < 1e-9);
+    }
+
+    #[test]
+    fn binomial_tail_degenerate_inputs() {
+        // k > n: the event "k of n down" is impossible, not an underflow.
+        assert_eq!(binomial_tail(4, 5, 0.1), 0.0);
+        assert_eq!(binomial_tail(0, 1, 0.5), 0.0);
+        // p outside [0, 1] clamps instead of returning garbage.
+        assert_eq!(binomial_tail(4, 1, -0.3), 0.0);
+        assert_eq!(binomial_tail(4, 4, 1.5), 1.0);
+        assert_eq!(binomial_tail(4, 2, f64::NAN), 0.0);
+        // result is always a probability
+        let t = binomial_tail(6, 3, 0.9999);
+        assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn double_fault_pinned_for_reference_configs() {
+        // Pin p_double_fault for the two configurations the paper
+        // compares, against the closed-form binomial tails. Aurora 4/6
+        // (2 per AZ, read quorum 3): after losing an AZ, 2 of the 4
+        // survivors must also be down. 2/3 (1 per AZ, read quorum 2):
+        // 1 of the 2 survivors suffices.
+        let p = p_node_down(500_000.0, 10.0);
+        let aurora = p_double_fault(&QuorumConfig::aurora(), 500_000.0, 10.0);
+        let q = 1.0 - p;
+        let expect_aurora = 6.0 * p * p * q * q + 4.0 * p * p * p * q + p.powi(4);
+        assert!(
+            (aurora - expect_aurora).abs() < 1e-18,
+            "aurora {aurora} expect {expect_aurora}"
+        );
+        assert!((2.0e-9..4.0e-9).contains(&aurora), "aurora {aurora}");
+
+        let two_three = p_double_fault(&QuorumConfig::two_of_three(), 500_000.0, 10.0);
+        let expect_23 = 1.0 - q * q;
+        assert!(
+            (two_three - expect_23).abs() < 1e-12,
+            "2/3 {two_three} expect {expect_23}"
+        );
+        assert!((3.0e-5..5.0e-5).contains(&two_three), "2/3 {two_three}");
     }
 
     #[test]

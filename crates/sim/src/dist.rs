@@ -20,10 +20,7 @@ pub enum Dist {
     Uniform(SimDuration, SimDuration),
     /// Log-normal specified by its *median* and the sigma of the underlying
     /// normal. Median parameterization keeps configs readable.
-    LogNormal {
-        median: SimDuration,
-        sigma: f64,
-    },
+    LogNormal { median: SimDuration, sigma: f64 },
     /// With probability `p`, sample from `outlier`; otherwise from `base`.
     /// Used to inject slow nodes / gray failures.
     Mix {
@@ -33,10 +30,7 @@ pub enum Dist {
     },
     /// Base distribution plus a fixed floor (e.g. propagation delay plus a
     /// sampled queueing component).
-    Shifted {
-        floor: SimDuration,
-        rest: Box<Dist>,
-    },
+    Shifted { floor: SimDuration, rest: Box<Dist> },
 }
 
 impl Dist {

@@ -1,0 +1,233 @@
+//! Deterministic, declarative fault plans.
+//!
+//! The ad-hoc way to break a simulated cluster is to interleave
+//! [`crate::Sim::crash`] / [`crate::Sim::zone_down`] calls with
+//! `run_for` from a test harness. That works, but the schedule lives in
+//! imperative driver code: it cannot be stored, printed, shipped to a
+//! bench run, or replayed from a bug report.
+//!
+//! A [`FaultPlan`] is the declarative alternative: an ordered list of
+//! `(offset, action)` pairs describing *what breaks when*, relative to
+//! the moment the plan is installed with
+//! [`crate::Sim::install_fault_plan`]. The simulator kernel executes each
+//! action at exactly its simulated time, interleaved deterministically
+//! with message deliveries, timers, and disk completions — so a chaos
+//! scenario replays **bit-for-bit** from a (seed, plan) pair. Faults
+//! scheduled at the same instant as ordinary events fire first, and plan
+//! order breaks ties between faults.
+//!
+//! The model covers the failure modalities of §2.1 of the paper:
+//!
+//! * process failures — [`FaultAction::Crash`] / [`FaultAction::Restart`],
+//! * correlated AZ failures — [`FaultAction::ZoneDown`] /
+//!   [`FaultAction::ZoneUp`],
+//! * network partitions — pairwise, or a whole AZ isolated at the network
+//!   level while its processes keep running ([`FaultAction::IsolateZone`]),
+//! * degraded disks ("operating in a degraded mode", §2.2) —
+//!   [`FaultAction::DegradeDisk`] swaps a node's disk for a slower spec,
+//! * network misbehavior — a [`PacketChaos`] overlay that drops, delays,
+//!   and duplicates packets with configured probabilities, driven by the
+//!   simulation's seeded RNG.
+
+use crate::sim::{DiskSpec, NodeId, Zone};
+use crate::time::SimDuration;
+
+/// Stochastic packet mangling applied on top of the base
+/// [`crate::NetPolicy`] while active. Each send samples the seeded
+/// simulation RNG, so runs with the same seed misbehave identically.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PacketChaos {
+    /// Probability that a packet is silently dropped.
+    pub drop: f64,
+    /// Probability that a packet is delivered twice. Only payloads that
+    /// implement [`crate::Payload::clone_boxed`] can be duplicated;
+    /// others are delivered once even when selected.
+    pub duplicate: f64,
+    /// Probability that a packet is delayed by [`PacketChaos::delay_by`].
+    pub delay: f64,
+    /// Extra latency added to delayed packets.
+    pub delay_by: SimDuration,
+}
+
+/// One thing that breaks (or heals).
+#[derive(Debug, Clone)]
+pub enum FaultAction {
+    /// Take a node down (volatile state lost on restart).
+    Crash(NodeId),
+    /// Bring a crashed node back (no-op if it is up).
+    Restart(NodeId),
+    /// Crash every node in an Availability Zone.
+    ZoneDown(Zone),
+    /// Restart every crashed node in a zone.
+    ZoneUp(Zone),
+    /// Block both directions between two nodes.
+    PartitionPair(NodeId, NodeId),
+    /// Unblock both directions between two nodes.
+    HealPair(NodeId, NodeId),
+    /// Cut every link between the zone and the rest of the cluster; the
+    /// zone's processes keep running (a network partition, not an outage).
+    IsolateZone(Zone),
+    /// Remove the cross-zone blocks installed by
+    /// [`FaultAction::IsolateZone`] (also clears pairwise partitions that
+    /// straddle the zone boundary).
+    HealZone(Zone),
+    /// Swap a node's disk for a degraded spec (fewer IOPS, slower media).
+    /// The original spec is saved for [`FaultAction::RestoreDisk`].
+    DegradeDisk(NodeId, DiskSpec),
+    /// Restore the disk spec saved by the first
+    /// [`FaultAction::DegradeDisk`] on this node.
+    RestoreDisk(NodeId),
+    /// Install a [`PacketChaos`] overlay on the whole network.
+    StartPacketChaos(PacketChaos),
+    /// Remove the overlay.
+    StopPacketChaos,
+}
+
+/// A declarative, replayable schedule of faults. Offsets are relative to
+/// the install time, so a plan can be built without knowing where in
+/// simulated time it will run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(SimDuration, FaultAction)>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule one action `after` the install time.
+    pub fn at(mut self, after: SimDuration, action: FaultAction) -> Self {
+        self.entries.push((after, action));
+        self
+    }
+
+    /// Crash `node` at `after`, restart it `down_for` later.
+    pub fn crash_for(self, after: SimDuration, down_for: SimDuration, node: NodeId) -> Self {
+        self.at(after, FaultAction::Crash(node))
+            .at(after + down_for, FaultAction::Restart(node))
+    }
+
+    /// Take a whole zone down at `after`, bring it back `down_for` later.
+    pub fn zone_outage_for(self, after: SimDuration, down_for: SimDuration, zone: Zone) -> Self {
+        self.at(after, FaultAction::ZoneDown(zone))
+            .at(after + down_for, FaultAction::ZoneUp(zone))
+    }
+
+    /// Network-isolate a zone for a window (processes stay up).
+    pub fn partition_zone_for(self, after: SimDuration, dur: SimDuration, zone: Zone) -> Self {
+        self.at(after, FaultAction::IsolateZone(zone))
+            .at(after + dur, FaultAction::HealZone(zone))
+    }
+
+    /// Block both directions between two nodes for a window.
+    pub fn partition_pair_for(
+        self,
+        after: SimDuration,
+        dur: SimDuration,
+        a: NodeId,
+        b: NodeId,
+    ) -> Self {
+        self.at(after, FaultAction::PartitionPair(a, b))
+            .at(after + dur, FaultAction::HealPair(a, b))
+    }
+
+    /// Degrade a node's disk to `spec` for a window.
+    pub fn degrade_disk_for(
+        self,
+        after: SimDuration,
+        dur: SimDuration,
+        node: NodeId,
+        spec: DiskSpec,
+    ) -> Self {
+        self.at(after, FaultAction::DegradeDisk(node, spec))
+            .at(after + dur, FaultAction::RestoreDisk(node))
+    }
+
+    /// Apply a packet-chaos overlay for a window.
+    pub fn packet_chaos_for(
+        self,
+        after: SimDuration,
+        dur: SimDuration,
+        chaos: PacketChaos,
+    ) -> Self {
+        self.at(after, FaultAction::StartPacketChaos(chaos))
+            .at(after + dur, FaultAction::StopPacketChaos)
+    }
+
+    /// Append every entry of `other` (offsets unchanged).
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.entries.extend(other.entries);
+        self
+    }
+
+    /// The scheduled entries, in insertion order.
+    pub fn entries(&self) -> &[(SimDuration, FaultAction)] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Offset of the last scheduled action — run the simulation at least
+    /// this long past the install point to execute the whole plan.
+    pub fn span(&self) -> SimDuration {
+        self.entries
+            .iter()
+            .map(|(d, _)| *d)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn builder_pairs_fault_and_heal() {
+        let p = FaultPlan::new()
+            .crash_for(ms(10), ms(5), 3)
+            .zone_outage_for(ms(20), ms(30), Zone(1))
+            .partition_zone_for(ms(1), ms(2), Zone(2))
+            .degrade_disk_for(ms(4), ms(4), 0, DiskSpec::ebs_provisioned(100))
+            .packet_chaos_for(
+                ms(0),
+                ms(50),
+                PacketChaos {
+                    drop: 0.1,
+                    ..Default::default()
+                },
+            );
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.span(), ms(50));
+        // crash_for schedules the restart after the crash
+        assert!(matches!(p.entries()[0], (d, FaultAction::Crash(3)) if d == ms(10)));
+        assert!(matches!(p.entries()[1], (d, FaultAction::Restart(3)) if d == ms(15)));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = FaultPlan::new().at(ms(1), FaultAction::Crash(0));
+        let b = FaultPlan::new().at(ms(2), FaultAction::Restart(0));
+        let m = a.merge(b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.span(), ms(2));
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.span(), SimDuration::ZERO);
+    }
+}

@@ -24,6 +24,7 @@
 //! decision, and simultaneous events are dispatched in FIFO order.
 
 pub mod dist;
+pub mod fault;
 pub mod metrics;
 pub mod msg;
 pub mod net;
@@ -33,6 +34,7 @@ pub mod sim;
 pub mod time;
 
 pub use dist::Dist;
+pub use fault::{FaultAction, FaultPlan, PacketChaos};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use msg::{Msg, Payload};
 pub use net::{LinkSpec, NetPolicy, NetStats};

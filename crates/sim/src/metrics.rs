@@ -44,7 +44,7 @@ impl Histogram {
             return (0, value as usize);
         }
         let bucket = 63 - value.leading_zeros() as usize; // floor(log2)
-        // sub-bucket: next 4 bits below the leading one
+                                                          // sub-bucket: next 4 bits below the leading one
         let sub = ((value >> (bucket - 4)) & 0xF) as usize;
         (bucket.min(BUCKETS - 1), sub)
     }

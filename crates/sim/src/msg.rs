@@ -22,6 +22,14 @@ pub trait Payload: Any + fmt::Debug + Send {
     fn class(&self) -> &'static str {
         "msg"
     }
+
+    /// Clone hook used by the fault-injection layer to duplicate packets.
+    /// `Clone` payloads should return `Some(Msg::new(self.clone()))`;
+    /// the default (`None`) exempts the payload from duplication (e.g.
+    /// harness-internal relays that carry an unclonable [`Msg`]).
+    fn clone_boxed(&self) -> Option<Msg> {
+        None
+    }
 }
 
 /// A type-erased message.
@@ -30,6 +38,7 @@ pub struct Msg {
     size: usize,
     class: &'static str,
     debug: fn(&(dyn Any + Send), &mut fmt::Formatter<'_>) -> fmt::Result,
+    clone: fn(&(dyn Any + Send)) -> Option<Msg>,
 }
 
 fn debug_as<T: Payload>(any: &(dyn Any + Send), f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -37,6 +46,10 @@ fn debug_as<T: Payload>(any: &(dyn Any + Send), f: &mut fmt::Formatter<'_>) -> f
         Some(t) => fmt::Debug::fmt(t, f),
         None => write!(f, "<payload>"),
     }
+}
+
+fn clone_as<T: Payload>(any: &(dyn Any + Send)) -> Option<Msg> {
+    any.downcast_ref::<T>().and_then(|t| t.clone_boxed())
 }
 
 impl Msg {
@@ -49,7 +62,14 @@ impl Msg {
             size,
             class,
             debug: debug_as::<T>,
+            clone: clone_as::<T>,
         }
+    }
+
+    /// Duplicate the message if its payload supports it (see
+    /// [`Payload::clone_boxed`]). Used by packet-duplication faults.
+    pub fn try_clone(&self) -> Option<Msg> {
+        (self.clone)(self.inner.as_ref())
     }
 
     /// Serialized size in bytes.

@@ -122,6 +122,12 @@ pub struct NetStats {
     pub packets: u64,
     pub bytes: u64,
     pub dropped: u64,
+    /// Packets dropped / duplicated / delayed by an active
+    /// [`crate::fault::PacketChaos`] overlay (drops also count in
+    /// `dropped`).
+    pub chaos_dropped: u64,
+    pub chaos_duplicated: u64,
+    pub chaos_delayed: u64,
 }
 
 impl NetStats {
@@ -178,6 +184,9 @@ impl NetStats {
         self.packets = 0;
         self.bytes = 0;
         self.dropped = 0;
+        self.chaos_dropped = 0;
+        self.chaos_duplicated = 0;
+        self.chaos_delayed = 0;
     }
 }
 
@@ -217,8 +226,10 @@ mod tests {
 
     #[test]
     fn lossy_link_drops() {
-        let mut p = NetPolicy::default();
-        p.intra_zone = LinkSpec::new(Dist::const_micros(10)).with_loss(1.0);
+        let mut p = NetPolicy {
+            intra_zone: LinkSpec::new(Dist::const_micros(10)).with_loss(1.0),
+            ..Default::default()
+        };
         let mut rng = SimRng::new(1);
         assert!(p.sample(1, 2, Zone(0), Zone(0), &mut rng).is_none());
         p.intra_zone.loss = 0.0;

@@ -103,7 +103,7 @@ impl SimRng {
                 span = half.max(1);
             } else {
                 lo += half;
-                span = span - half;
+                span -= half;
             }
         }
         lo.min(n - 1)

@@ -23,6 +23,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::dist::Dist;
+use crate::fault::{FaultAction, FaultPlan, PacketChaos};
 use crate::metrics::MetricsRegistry;
 use crate::msg::{Msg, Payload};
 use crate::net::{NetPolicy, NetStats};
@@ -118,6 +119,9 @@ pub struct NodeOpts {
 
 struct Disk {
     spec: DiskSpec,
+    /// The healthy spec, saved by the first `DegradeDisk` fault so
+    /// `RestoreDisk` can undo any number of stacked degradations.
+    saved_spec: Option<DiskSpec>,
     busy_until: SimTime,
     pub reads: u64,
     pub writes: u64,
@@ -133,10 +137,23 @@ struct Node {
 }
 
 enum EventKind {
-    Deliver { src: NodeId, msg: Msg },
-    Timer { tag: Tag, id: u64, incarnation: u32 },
-    DiskDone { tag: Tag, read: bool, incarnation: u32 },
-    Restarted { incarnation: u32 },
+    Deliver {
+        src: NodeId,
+        msg: Msg,
+    },
+    Timer {
+        tag: Tag,
+        id: u64,
+        incarnation: u32,
+    },
+    DiskDone {
+        tag: Tag,
+        read: bool,
+        incarnation: u32,
+    },
+    Restarted {
+        incarnation: u32,
+    },
 }
 
 struct Event {
@@ -144,6 +161,13 @@ struct Event {
     seq: u64,
     dst: NodeId,
     kind: EventKind,
+}
+
+/// A plan entry resolved to absolute simulated time.
+struct ScheduledFault {
+    at: SimTime,
+    seq: u64,
+    action: FaultAction,
 }
 
 impl PartialEq for Event {
@@ -186,6 +210,11 @@ pub struct Sim {
     /// default; disable to model pure datagram reordering.
     pub fifo_links: bool,
     fifo_last: std::collections::HashMap<(NodeId, NodeId), SimTime>,
+    /// Pending fault-plan entries, sorted by (at, seq).
+    faults: Vec<ScheduledFault>,
+    fault_seq: u64,
+    /// Active packet-chaos overlay (see [`PacketChaos`]).
+    net_chaos: Option<PacketChaos>,
 }
 
 impl Sim {
@@ -205,6 +234,9 @@ impl Sim {
             partitions: HashSet::new(),
             fifo_links: true,
             fifo_last: std::collections::HashMap::new(),
+            faults: Vec::new(),
+            fault_seq: 0,
+            net_chaos: None,
         }
     }
 
@@ -225,6 +257,7 @@ impl Sim {
             actor: Some(actor),
             disk: Disk {
                 spec: opts.disk,
+                saved_spec: None,
                 busy_until: SimTime::ZERO,
                 reads: 0,
                 writes: 0,
@@ -384,6 +417,96 @@ impl Sim {
         self.partition(b, a, blocked);
     }
 
+    /// Cut every link between `zone` and the rest of the cluster (both
+    /// directions); the zone's processes keep running. A pure network
+    /// partition, as opposed to [`Sim::zone_down`].
+    pub fn isolate_zone(&mut self, zone: Zone, isolated: bool) {
+        for a in 0..self.nodes.len() as NodeId {
+            for b in 0..self.nodes.len() as NodeId {
+                let az = self.nodes[a as usize].zone;
+                let bz = self.nodes[b as usize].zone;
+                if (az == zone) != (bz == zone) {
+                    self.partition(a, b, isolated);
+                }
+            }
+        }
+    }
+
+    /// Degrade a node's disk to `spec`; the healthy spec is saved once so
+    /// [`Sim::restore_disk`] undoes any number of stacked degradations.
+    pub fn degrade_disk(&mut self, node: NodeId, spec: DiskSpec) {
+        let d = &mut self.nodes[node as usize].disk;
+        if d.saved_spec.is_none() {
+            d.saved_spec = Some(d.spec.clone());
+        }
+        d.spec = spec;
+    }
+
+    /// Restore the disk spec saved by the first [`Sim::degrade_disk`].
+    pub fn restore_disk(&mut self, node: NodeId) {
+        let d = &mut self.nodes[node as usize].disk;
+        if let Some(spec) = d.saved_spec.take() {
+            d.spec = spec;
+        }
+    }
+
+    /// Install (or clear) a packet-chaos overlay by hand; fault plans use
+    /// [`FaultAction::StartPacketChaos`] for the same effect.
+    pub fn set_packet_chaos(&mut self, chaos: Option<PacketChaos>) {
+        self.net_chaos = chaos;
+    }
+
+    /// Install a [`FaultPlan`]: each entry's offset is resolved against
+    /// the **current** simulated time and the action is executed by the
+    /// event loop at exactly that instant — before ordinary events
+    /// scheduled for the same time, in plan order among simultaneous
+    /// faults. Plans can be installed at any point, and several plans can
+    /// be active at once.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        let base = self.time;
+        for (after, action) in plan.entries() {
+            let seq = self.fault_seq;
+            self.fault_seq += 1;
+            self.faults.push(ScheduledFault {
+                at: base + *after,
+                seq,
+                action: action.clone(),
+            });
+        }
+        self.faults.sort_by_key(|f| (f.at, f.seq));
+    }
+
+    /// Fault-plan entries not yet executed.
+    pub fn pending_faults(&self) -> usize {
+        self.faults.len()
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::Crash(n) => self.crash(n),
+            FaultAction::Restart(n) => self.restart(n),
+            FaultAction::ZoneDown(z) => self.zone_down(z),
+            FaultAction::ZoneUp(z) => self.zone_up(z),
+            FaultAction::PartitionPair(a, b) => self.partition_both(a, b, true),
+            FaultAction::HealPair(a, b) => self.partition_both(a, b, false),
+            FaultAction::IsolateZone(z) => self.isolate_zone(z, true),
+            FaultAction::HealZone(z) => self.isolate_zone(z, false),
+            FaultAction::DegradeDisk(n, spec) => self.degrade_disk(n, spec),
+            FaultAction::RestoreDisk(n) => self.restore_disk(n),
+            FaultAction::StartPacketChaos(c) => self.net_chaos = Some(c),
+            FaultAction::StopPacketChaos => self.net_chaos = None,
+        }
+    }
+
+    /// Time of the next pending fault, if any.
+    fn next_fault_at(&self) -> Option<SimTime> {
+        self.faults.first().map(|f| f.at)
+    }
+
+    fn pop_fault(&mut self) -> ScheduledFault {
+        self.faults.remove(0)
+    }
+
     fn enqueue_send(&mut self, src: NodeId, dst: NodeId, msg: Msg) {
         if dst as usize >= self.nodes.len() {
             // addressed outside the simulation (e.g. EXTERNAL): count & drop
@@ -394,38 +517,67 @@ impl Sim {
         let src_zone = self.nodes[src as usize].zone;
         let dst_zone = self.nodes[dst as usize].zone;
         self.net.on_send(src, msg.class(), msg.wire_size());
-        match self
+        let Some(mut latency) = self
             .policy
             .sample(src, dst, src_zone, dst_zone, &mut self.rng)
-        {
-            None => self.net.on_drop(),
-            Some(latency) => {
-                let mut at = self.time + latency;
-                if self.fifo_links {
-                    let last = self
-                        .fifo_last
-                        .entry((src, dst))
-                        .or_insert(SimTime::ZERO);
-                    if at < *last {
-                        at = *last;
-                    }
-                    *last = at;
+        else {
+            self.net.on_drop();
+            return;
+        };
+        // Packet-chaos overlay: the RNG is the seeded simulation RNG, so
+        // a given seed mangles exactly the same packets on every run.
+        let mut copy = None;
+        if let Some(ch) = self.net_chaos {
+            if self.rng.chance(ch.drop) {
+                self.net.on_drop();
+                self.net.chaos_dropped += 1;
+                return;
+            }
+            if self.rng.chance(ch.delay) {
+                latency = latency + ch.delay_by;
+                self.net.chaos_delayed += 1;
+            }
+            if self.rng.chance(ch.duplicate) {
+                copy = msg.try_clone();
+                if copy.is_some() {
+                    self.net.chaos_duplicated += 1;
                 }
-                self.push(Event {
-                    at,
-                    seq: 0,
-                    dst,
-                    kind: EventKind::Deliver { src, msg },
-                });
             }
         }
+        self.deliver_after(src, dst, msg, latency);
+        if let Some(dup) = copy {
+            // the duplicate rides the same link; FIFO makes it trail the
+            // original, datagram mode lets the seq order decide
+            self.deliver_after(src, dst, dup, latency);
+        }
+    }
+
+    fn deliver_after(&mut self, src: NodeId, dst: NodeId, msg: Msg, latency: SimDuration) {
+        let mut at = self.time + latency;
+        if self.fifo_links {
+            let last = self.fifo_last.entry((src, dst)).or_insert(SimTime::ZERO);
+            if at < *last {
+                at = *last;
+            }
+            *last = at;
+        }
+        self.push(Event {
+            at,
+            seq: 0,
+            dst,
+            kind: EventKind::Deliver { src, msg },
+        });
     }
 
     fn schedule_disk(&mut self, node: NodeId, bytes: usize, read: bool, tag: Tag) {
         let now = self.time;
         let n = &mut self.nodes[node as usize];
         let d = &mut n.disk;
-        let start = if d.busy_until > now { d.busy_until } else { now };
+        let start = if d.busy_until > now {
+            d.busy_until
+        } else {
+            now
+        };
         let service = SimDuration::from_nanos(1_000_000_000 / d.spec.iops.max(1));
         let transfer =
             SimDuration::from_nanos(bytes as u64 * 1_000_000_000 / d.spec.bytes_per_sec.max(1));
@@ -460,27 +612,42 @@ impl Sim {
         (d.reads, d.writes)
     }
 
-    /// Dispatch the next event. Returns `false` when the queue is empty.
+    /// Dispatch the next event or scheduled fault (faults win ties).
+    /// Returns `false` when both queues are empty.
     pub fn step(&mut self) -> bool {
-        let ev = match self.events.pop() {
-            Some(e) => e,
-            None => return false,
+        let fault_due = match (self.next_fault_at(), self.events.peek().map(|e| e.at)) {
+            (Some(f), Some(e)) => f <= e,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return false,
         };
-        debug_assert!(ev.at >= self.time, "time went backwards");
-        self.time = ev.at;
-        self.dispatch(ev);
+        if fault_due {
+            let f = self.pop_fault();
+            debug_assert!(f.at >= self.time, "time went backwards");
+            self.time = f.at;
+            self.apply_fault(f.action);
+        } else {
+            let ev = self.events.pop().expect("checked non-empty");
+            debug_assert!(ev.at >= self.time, "time went backwards");
+            self.time = ev.at;
+            self.dispatch(ev);
+        }
         true
     }
 
     /// Run until the given time (inclusive); the clock lands exactly on `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(ev) = self.events.peek() {
-            if ev.at > t {
+        loop {
+            let next = match (self.next_fault_at(), self.events.peek().map(|e| e.at)) {
+                (Some(f), Some(e)) => f.min(e),
+                (Some(f), None) => f,
+                (None, Some(e)) => e,
+                (None, None) => break,
+            };
+            if next > t {
                 break;
             }
-            let ev = self.events.pop().unwrap();
-            self.time = ev.at;
-            self.dispatch(ev);
+            self.step();
         }
         self.time = t;
     }
@@ -935,8 +1102,18 @@ mod tests {
             }
         }
         let mut sim = Sim::new(9);
-        let rx = sim.add_node("rx", Zone(1), Box::new(Receiver { got: vec![] }), NodeOpts::default());
-        let _tx = sim.add_node("tx", Zone(0), Box::new(Sender { peer: rx }), NodeOpts::default());
+        let rx = sim.add_node(
+            "rx",
+            Zone(1),
+            Box::new(Receiver { got: vec![] }),
+            NodeOpts::default(),
+        );
+        let _tx = sim.add_node(
+            "tx",
+            Zone(0),
+            Box::new(Sender { peer: rx }),
+            NodeOpts::default(),
+        );
         sim.run_for(SimDuration::from_millis(100));
         let got = &sim.actor::<Receiver>(rx).got;
         assert_eq!(got.len(), 200);
@@ -979,8 +1156,18 @@ mod tests {
         }
         let mut sim = Sim::new(9);
         sim.fifo_links = false;
-        let rx = sim.add_node("rx", Zone(1), Box::new(Receiver { got: vec![] }), NodeOpts::default());
-        let _tx = sim.add_node("tx", Zone(0), Box::new(Sender { peer: rx }), NodeOpts::default());
+        let rx = sim.add_node(
+            "rx",
+            Zone(1),
+            Box::new(Receiver { got: vec![] }),
+            NodeOpts::default(),
+        );
+        let _tx = sim.add_node(
+            "tx",
+            Zone(0),
+            Box::new(Sender { peer: rx }),
+            NodeOpts::default(),
+        );
         sim.run_for(SimDuration::from_millis(100));
         let got = &sim.actor::<Receiver>(rx).got;
         assert_eq!(got.len(), 200);
@@ -988,6 +1175,224 @@ mod tests {
             got.windows(2).any(|w| w[0] > w[1]),
             "lognormal latencies should reorder at least one pair"
         );
+    }
+
+    #[test]
+    fn fault_plan_executes_at_exact_times() {
+        use crate::fault::FaultPlan;
+        let (mut sim, _echo, pinger) = two_node_sim();
+        let plan = FaultPlan::new().crash_for(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(10),
+            pinger,
+        );
+        sim.install_fault_plan(&plan);
+        assert_eq!(sim.pending_faults(), 2);
+        sim.run_for(SimDuration::from_millis(15));
+        assert!(!sim.is_up(pinger), "crashed at +10ms");
+        assert_eq!(sim.pending_faults(), 1);
+        sim.run_for(SimDuration::from_millis(10));
+        assert!(sim.is_up(pinger), "restarted at +20ms");
+        assert_eq!(sim.pending_faults(), 0);
+        assert!(sim.actor::<Pinger>(pinger).restarted);
+    }
+
+    #[test]
+    fn fault_plan_offsets_resolve_against_install_time() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let (mut sim, _echo, pinger) = two_node_sim();
+        sim.run_for(SimDuration::from_millis(100));
+        let plan = FaultPlan::new().at(SimDuration::from_millis(5), FaultAction::Crash(pinger));
+        sim.install_fault_plan(&plan);
+        sim.run_for(SimDuration::from_millis(4));
+        assert!(sim.is_up(pinger));
+        sim.run_for(SimDuration::from_millis(2));
+        assert!(!sim.is_up(pinger));
+    }
+
+    #[test]
+    fn degrade_disk_throttles_and_restore_heals() {
+        struct D {
+            done: u64,
+        }
+        impl Actor for D {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ActorEvent) {
+                match ev {
+                    ActorEvent::Start | ActorEvent::DiskDone { .. } => {
+                        if let ActorEvent::DiskDone { .. } = ev {
+                            self.done += 1;
+                        }
+                        ctx.disk_write(512, 0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let fast = DiskSpec {
+            read_latency: Dist::const_micros(10),
+            write_latency: Dist::const_micros(10),
+            iops: 100_000,
+            bytes_per_sec: 1_000_000_000,
+        };
+        let slow = DiskSpec {
+            read_latency: Dist::const_micros(10),
+            write_latency: Dist::const_micros(10),
+            iops: 100,
+            bytes_per_sec: 1_000_000,
+        };
+        let mut sim = Sim::new(7);
+        let n = sim.add_node(
+            "d",
+            Zone(0),
+            Box::new(D { done: 0 }),
+            NodeOpts { disk: fast },
+        );
+        sim.run_for(SimDuration::from_millis(100));
+        let healthy = sim.actor::<D>(n).done;
+        sim.degrade_disk(n, slow);
+        sim.run_for(SimDuration::from_millis(100));
+        let degraded = sim.actor::<D>(n).done - healthy;
+        sim.restore_disk(n);
+        sim.run_for(SimDuration::from_millis(100));
+        let restored = sim.actor::<D>(n).done - healthy - degraded;
+        assert!(
+            degraded * 10 < healthy,
+            "degraded disk should be far slower: healthy={healthy} degraded={degraded}"
+        );
+        assert!(
+            restored * 2 > healthy,
+            "restored disk should recover: healthy={healthy} restored={restored}"
+        );
+    }
+
+    #[test]
+    fn isolate_zone_cuts_links_but_keeps_nodes_up() {
+        let (mut sim, echo, pinger) = two_node_sim();
+        sim.isolate_zone(Zone(1), true);
+        sim.run_for(SimDuration::from_millis(20));
+        assert!(sim.is_up(echo), "isolation is a partition, not an outage");
+        assert_eq!(sim.actor::<Pinger>(pinger).replies, 0);
+        sim.isolate_zone(Zone(1), false);
+        sim.tell(pinger, Hello(0));
+        sim.run_for(SimDuration::from_millis(20));
+        assert_eq!(sim.actor::<Pinger>(pinger).replies, 1);
+    }
+
+    #[test]
+    fn packet_chaos_duplicates_cloneable_payloads() {
+        use crate::fault::PacketChaos;
+        #[derive(Debug, Clone)]
+        struct Dup(#[allow(dead_code)] u64);
+        impl Payload for Dup {
+            fn wire_size(&self) -> usize {
+                8
+            }
+            fn clone_boxed(&self) -> Option<Msg> {
+                Some(Msg::new(self.clone()))
+            }
+        }
+        struct Rx {
+            got: u64,
+        }
+        impl Actor for Rx {
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, ev: ActorEvent) {
+                if let ActorEvent::Message { msg, .. } = ev {
+                    if msg.is::<Dup>() {
+                        self.got += 1;
+                    }
+                }
+            }
+        }
+        struct Tx {
+            peer: NodeId,
+        }
+        impl Actor for Tx {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ActorEvent) {
+                if let ActorEvent::Start = ev {
+                    for i in 0..50 {
+                        ctx.send(self.peer, Dup(i));
+                    }
+                }
+            }
+        }
+        let mut sim = Sim::new(21);
+        let rx = sim.add_node("rx", Zone(0), Box::new(Rx { got: 0 }), NodeOpts::default());
+        sim.add_node(
+            "tx",
+            Zone(0),
+            Box::new(Tx { peer: rx }),
+            NodeOpts::default(),
+        );
+        sim.set_packet_chaos(Some(PacketChaos {
+            duplicate: 1.0,
+            ..Default::default()
+        }));
+        sim.run_for(SimDuration::from_millis(50));
+        assert_eq!(sim.actor::<Rx>(rx).got, 100, "every packet delivered twice");
+        assert_eq!(sim.net().chaos_duplicated, 50);
+    }
+
+    #[test]
+    fn packet_chaos_drops_and_delays() {
+        use crate::fault::PacketChaos;
+        let (mut sim, _echo, pinger) = two_node_sim();
+        sim.set_packet_chaos(Some(PacketChaos {
+            drop: 1.0,
+            ..Default::default()
+        }));
+        sim.run_for(SimDuration::from_millis(20));
+        assert_eq!(sim.actor::<Pinger>(pinger).replies, 0);
+        assert!(sim.net().chaos_dropped > 0);
+        // a fresh sim under pure delay chaos: traffic arrives, later
+        let (mut sim, _echo, pinger) = two_node_sim();
+        sim.set_packet_chaos(Some(PacketChaos {
+            delay: 1.0,
+            delay_by: SimDuration::from_millis(5),
+            ..Default::default()
+        }));
+        sim.run_for(SimDuration::from_millis(30));
+        assert_eq!(sim.actor::<Pinger>(pinger).replies, 1);
+        assert!(sim.net().chaos_delayed >= 2, "ping and reply both delayed");
+    }
+
+    #[test]
+    fn fault_plan_replay_is_deterministic() {
+        use crate::fault::{FaultPlan, PacketChaos};
+        let run = || {
+            let (mut sim, _echo, pinger) = two_node_sim();
+            let plan = FaultPlan::new()
+                .crash_for(
+                    SimDuration::from_millis(3),
+                    SimDuration::from_millis(4),
+                    pinger,
+                )
+                .packet_chaos_for(
+                    SimDuration::from_millis(1),
+                    SimDuration::from_millis(30),
+                    PacketChaos {
+                        drop: 0.2,
+                        delay: 0.3,
+                        delay_by: SimDuration::from_millis(1),
+                        ..Default::default()
+                    },
+                );
+            sim.install_fault_plan(&plan);
+            for i in 0..20 {
+                sim.tell(pinger, Hello(i));
+                sim.run_for(SimDuration::from_millis(2));
+            }
+            let p = sim.actor::<Pinger>(pinger);
+            (
+                p.replies,
+                sim.net().packets,
+                sim.net().bytes,
+                sim.net().dropped,
+                sim.net().chaos_dropped,
+                sim.net().chaos_delayed,
+                sim.now(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -104,9 +104,12 @@ impl ControlPlane {
     fn broadcast_membership(&self, ctx: &mut Ctx<'_>, pg: aurora_log::PgId) {
         let Some(m) = self.membership(pg) else { return };
         for w in &self.cfg.watchers {
-            ctx.send(*w, MembershipUpdate {
-                membership: m.clone(),
-            });
+            ctx.send(
+                *w,
+                MembershipUpdate {
+                    membership: m.clone(),
+                },
+            );
         }
         // refresh gossip peer lists on every member
         for (replica, node) in m.slots.iter().enumerate() {
@@ -161,7 +164,9 @@ impl ControlPlane {
         let failed_zone = self.cfg.zones.get(&failed).copied();
         let mut jobs: Vec<(SegmentId, SegmentId, NodeId, NodeId)> = Vec::new();
         for m in self.memberships.iter_mut() {
-            let Some(slot) = m.slot_of(failed) else { continue };
+            let Some(slot) = m.slot_of(failed) else {
+                continue;
+            };
             let segment = SegmentId::new(m.pg, slot);
             if self.in_repair.iter().any(|j| j.segment == segment) {
                 continue;
@@ -173,7 +178,7 @@ impl ControlPlane {
                 .spares
                 .iter()
                 .position(|(_, z)| Some(*z) == failed_zone)
-                .or_else(|| {
+                .or({
                     if self.cfg.spares.is_empty() {
                         None
                     } else {
@@ -184,19 +189,16 @@ impl ControlPlane {
             let (replacement, _) = self.cfg.spares.remove(idx);
             // healthy peer to copy from: any other alive slot
             let now = ctx.now();
-            let donor = m
-                .slots
-                .iter()
-                .copied()
-                .filter(|n| *n != failed)
-                .find(|n| {
-                    let seen = self.last_seen.get(n).copied().unwrap_or(self.started_at);
-                    now.since(seen) <= self.cfg.failure_timeout
-                });
+            let donor = m.slots.iter().copied().filter(|n| *n != failed).find(|n| {
+                let seen = self.last_seen.get(n).copied().unwrap_or(self.started_at);
+                now.since(seen) <= self.cfg.failure_timeout
+            });
             let Some(donor) = donor else {
                 // no live donor; return the spare and hope the next sweep
                 // finds one (the PG is in serious trouble)
-                self.cfg.spares.push((replacement, failed_zone.unwrap_or(Zone(0))));
+                self.cfg
+                    .spares
+                    .push((replacement, failed_zone.unwrap_or(Zone(0))));
                 continue;
             };
             let donor_slot = m.slot_of(donor).expect("donor is a member");
@@ -205,7 +207,12 @@ impl ControlPlane {
                 segment,
                 replacement,
             });
-            jobs.push((SegmentId::new(m.pg, donor_slot), segment, donor, replacement));
+            jobs.push((
+                SegmentId::new(m.pg, donor_slot),
+                segment,
+                donor,
+                replacement,
+            ));
         }
         for (src_segment, dest_segment, donor, replacement) in jobs {
             ctx.inc("control.repairs_started", 1);
@@ -288,10 +295,7 @@ impl Actor for ControlPlane {
                 // Database instances durably record the recovery truncation
                 // here (the paper's DynamoDB role).
                 if let Ok(t) = msg.downcast::<Truncate>() {
-                    if self
-                        .truncation
-                        .is_none_or(|cur| t.range.epoch > cur.epoch)
-                    {
+                    if self.truncation.is_none_or(|cur| t.range.epoch > cur.epoch) {
                         self.truncation = Some(t.range);
                     }
                 }

@@ -16,7 +16,7 @@
 //! "background processing has negative correlation with foreground
 //! processing").
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use aurora_log::{
     apply_record, codec, ApplyError, LogRecord, Lsn, Page, PageId, SegmentId, SegmentLog,
@@ -269,8 +269,11 @@ enum PendingOp {
 /// The storage node actor.
 pub struct StorageNode {
     cfg: StorageNodeConfig,
-    /// Durable state (survives crashes).
-    segments: HashMap<SegmentId, SegmentState>,
+    /// Durable state (survives crashes). BTreeMap, not HashMap: the
+    /// gossip/coalesce/backup timers iterate hosted segments and draw from
+    /// the shared RNG or emit IO per entry, so iteration order must be
+    /// deterministic for seed-replay.
+    segments: BTreeMap<SegmentId, SegmentState>,
     /// Volatile.
     pending: HashMap<Tag, PendingOp>,
     next_op: Tag,
@@ -280,7 +283,7 @@ impl StorageNode {
     pub fn new(cfg: StorageNodeConfig) -> Self {
         StorageNode {
             cfg,
-            segments: HashMap::new(),
+            segments: BTreeMap::new(),
             pending: HashMap::new(),
             next_op: TAG_OP_BASE,
         }
@@ -317,7 +320,8 @@ impl StorageNode {
     }
 
     fn segment_for_pg(&self, pg: aurora_log::PgId) -> Option<&SegmentState> {
-        self.segment_id_for_pg(pg).and_then(|id| self.segments.get(&id))
+        self.segment_id_for_pg(pg)
+            .and_then(|id| self.segments.get(&id))
     }
 
     fn op(&mut self, op: PendingOp) -> Tag {
@@ -350,12 +354,35 @@ impl StorageNode {
         let msg = match msg.downcast::<WriteBatch>() {
             Ok(wb) => {
                 ctx.inc("storage.batches_in", 1);
-                let seg = self.segments.entry(wb.segment).or_insert_with(SegmentState::new);
+                let seg = self
+                    .segments
+                    .entry(wb.segment)
+                    .or_insert_with(SegmentState::new);
                 if wb.vdl > seg.vdl_hint {
                     seg.vdl_hint = wb.vdl;
                 }
                 if wb.pgmrpl > seg.pgmrpl_hint {
                     seg.pgmrpl_hint = wb.pgmrpl;
+                }
+                // A batch from an epoch *newer* than our guard means we
+                // missed a recovery's truncation. Ingesting now would be
+                // unsound: records annulled by that recovery may still be
+                // in our log, and new-epoch LSNs can sit at or below our
+                // stale SCL, where `SegmentLog::insert` silently ignores
+                // them — we would acknowledge data we did not store. Ask
+                // the writer for the truncation range instead; the batch
+                // comes back via its retransmission path.
+                if wb.epoch > seg.guard.epoch() {
+                    ctx.inc("storage.epoch_behind", 1);
+                    let epoch = seg.guard.epoch();
+                    ctx.send(
+                        from,
+                        EpochBehind {
+                            segment: wb.segment,
+                            epoch,
+                        },
+                    );
+                    return;
                 }
                 // Fence zombie writers from a previous epoch whose records
                 // were annulled. A fenced batch is NOT acknowledged — the
@@ -398,18 +425,39 @@ impl StorageNode {
             Ok(req) => {
                 ctx.inc("storage.page_reads", 1);
                 let Some(seg) = self.segments.get(&req.segment) else {
-                    return; // not hosted (repair in progress): engine retries
+                    // not hosted (repair in progress): nack so the engine
+                    // redirects immediately instead of waiting out the
+                    // read timeout
+                    ctx.inc("storage.read_rejected", 1);
+                    ctx.send(
+                        from,
+                        ReadPageNack {
+                            req_id: req.req_id,
+                            segment: req.segment,
+                            scl: Lsn::ZERO,
+                        },
+                    );
+                    return;
                 };
                 // The engine directs reads only to segments it knows are
                 // complete (§4.2.3), so serving is the default. Reject only
                 // when this segment *knows* it has a hole below the read
-                // point (stranded records past a gap) — the engine's
-                // timeout will redirect to a complete peer.
+                // point (stranded records past a gap) — the nack redirects
+                // the engine to a complete peer and refreshes its SCL map.
                 if seg.log.has_gap()
                     && seg.log.scl() < req.read_point
                     && seg.applied_upto < req.read_point
                 {
                     ctx.inc("storage.read_rejected", 1);
+                    let scl = seg.log.scl().max(seg.applied_upto);
+                    ctx.send(
+                        from,
+                        ReadPageNack {
+                            req_id: req.req_id,
+                            segment: req.segment,
+                            scl,
+                        },
+                    );
                     return;
                 }
                 let tag = self.op(PendingOp::ReadPage {
@@ -649,7 +697,10 @@ impl StorageNode {
                 batch_end,
                 received_at,
             } => {
-                let seg = self.segments.entry(segment).or_insert_with(SegmentState::new);
+                let seg = self
+                    .segments
+                    .entry(segment)
+                    .or_insert_with(SegmentState::new);
                 for r in records {
                     seg.ingest(r);
                 }
@@ -665,7 +716,10 @@ impl StorageNode {
                 );
             }
             PendingOp::PersistGossip { segment, records } => {
-                let seg = self.segments.entry(segment).or_insert_with(SegmentState::new);
+                let seg = self
+                    .segments
+                    .entry(segment)
+                    .or_insert_with(SegmentState::new);
                 let mut n = 0;
                 for r in records {
                     if seg.ingest(r) {
@@ -701,11 +755,13 @@ impl StorageNode {
             } => {
                 if let Some(seg) = self.segments.get_mut(&segment) {
                     seg.truncate(range);
+                    let scl = seg.log.scl();
                     ctx.send(
                         from,
                         TruncateAck {
                             segment,
                             epoch: range.epoch,
+                            scl,
                         },
                     );
                 }
@@ -787,8 +843,7 @@ impl StorageNode {
                     if let Some(store) = self.cfg.store.clone() {
                         for (id, seg) in self.segments.iter_mut() {
                             let upto = seg.applied_upto.max(seg.log.scl());
-                            let records: Vec<LogRecord> =
-                                seg.log.range(seg.archived_upto, upto);
+                            let records: Vec<LogRecord> = seg.log.range(seg.archived_upto, upto);
                             let snapshot = seg.backup_count % self.cfg.snapshot_every.max(1) == 0;
                             if records.is_empty() && !snapshot {
                                 continue;

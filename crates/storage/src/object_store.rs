@@ -17,6 +17,10 @@ use std::sync::Arc;
 use aurora_log::{LogRecord, Lsn, Page, PageId, SegmentId};
 use parking_lot::Mutex;
 
+/// What [`ObjectStore::restore`] hands back: a base page snapshot plus the
+/// archived redo records to replay on top of it.
+pub type RestoredSegment = (Vec<(PageId, Page)>, Vec<LogRecord>);
+
 /// One backup increment for one segment: a page snapshot (possibly empty
 /// for log-only increments) plus the log records archived since the last
 /// increment.
@@ -64,7 +68,11 @@ impl ObjectStore {
             .iter()
             .map(|(_, p)| p.bytes().len() as u64)
             .sum::<u64>()
-            + backup.records.iter().map(|r| r.wire_size() as u64).sum::<u64>();
+            + backup
+                .records
+                .iter()
+                .map(|r| r.wire_size() as u64)
+                .sum::<u64>();
         g.objects.insert((backup.segment, seq), backup);
         seq
     }
@@ -90,11 +98,7 @@ impl ObjectStore {
     /// and replays the full archived log — valid because pages are purely
     /// log-derived ("the log is the database"). Returns `None` only if
     /// nothing at all was archived for the segment.
-    pub fn restore(
-        &self,
-        segment: SegmentId,
-        to_lsn: Lsn,
-    ) -> Option<(Vec<(PageId, Page)>, Vec<LogRecord>)> {
+    pub fn restore(&self, segment: SegmentId, to_lsn: Lsn) -> Option<RestoredSegment> {
         let g = self.inner.lock();
         if g.next_seq.get(&segment).copied().unwrap_or(0) == 0 {
             return None;
@@ -105,9 +109,7 @@ impl ObjectStore {
             if *seg != segment || b.pages.is_empty() {
                 continue;
             }
-            if b.snapshot_lsn <= to_lsn
-                && base.as_ref().is_none_or(|(_, l)| b.snapshot_lsn > *l)
-            {
+            if b.snapshot_lsn <= to_lsn && base.as_ref().is_none_or(|(_, l)| b.snapshot_lsn > *l) {
                 base = Some((b, b.snapshot_lsn));
             }
         }

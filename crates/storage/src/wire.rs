@@ -6,7 +6,7 @@
 
 use aurora_log::{LogRecord, Lsn, Page, PageId, SegmentId, TxnId, PAGE_SIZE};
 use aurora_quorum::{TruncationRange, VolumeEpoch};
-use aurora_sim::{NodeId, Payload};
+use aurora_sim::{Msg, NodeId, Payload};
 
 use crate::volume::PgMembership;
 
@@ -33,6 +33,9 @@ pub struct WriteBatch {
 }
 
 impl Payload for WriteBatch {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         48 + records_size(&self.records)
     }
@@ -52,6 +55,9 @@ pub struct WriteFenced {
 }
 
 impl Payload for WriteFenced {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32
     }
@@ -71,6 +77,9 @@ pub struct WriteAck {
 }
 
 impl Payload for WriteAck {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32
     }
@@ -90,6 +99,9 @@ pub struct ReadPageReq {
 }
 
 impl Payload for ReadPageReq {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         40
     }
@@ -108,8 +120,36 @@ pub struct ReadPageResp {
 }
 
 impl Payload for ReadPageResp {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32 + PAGE_SIZE
+    }
+    fn class(&self) -> &'static str {
+        "page_resp"
+    }
+}
+
+/// Explicit negative acknowledgement of a page read: the segment cannot
+/// serve the read point (it is not hosted, or the segment knows it has a
+/// hole below the read point). Carries the segment's SCL so the engine can
+/// refresh its completeness map and immediately redirect the read to a
+/// better replica instead of waiting out the read timeout.
+#[derive(Debug, Clone)]
+pub struct ReadPageNack {
+    pub req_id: u64,
+    pub segment: SegmentId,
+    /// The segment's current SCL (`Lsn::ZERO` when not hosted).
+    pub scl: Lsn,
+}
+
+impl Payload for ReadPageNack {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
+    fn wire_size(&self) -> usize {
+        32
     }
     fn class(&self) -> &'static str {
         "page_resp"
@@ -128,6 +168,9 @@ pub struct GossipPull {
 }
 
 impl Payload for GossipPull {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24
     }
@@ -147,6 +190,9 @@ pub struct GossipPush {
 }
 
 impl Payload for GossipPush {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         16 + records_size(&self.records)
     }
@@ -164,6 +210,9 @@ pub struct SegmentStateReq {
 }
 
 impl Payload for SegmentStateReq {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24
     }
@@ -183,6 +232,9 @@ pub struct SegmentStateResp {
 }
 
 impl Payload for SegmentStateResp {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         48
     }
@@ -200,6 +252,9 @@ pub struct CplBelowReq {
 }
 
 impl Payload for CplBelowReq {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32
     }
@@ -217,6 +272,9 @@ pub struct CplBelowResp {
 }
 
 impl Payload for CplBelowResp {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32
     }
@@ -235,6 +293,9 @@ pub struct TxnScanReq {
 }
 
 impl Payload for TxnScanReq {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32
     }
@@ -253,6 +314,9 @@ pub struct TxnScanResp {
 }
 
 impl Payload for TxnScanResp {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24 + 8 * (self.begun.len() + self.finished.len())
     }
@@ -271,6 +335,9 @@ pub struct UndoScanReq {
 }
 
 impl Payload for UndoScanReq {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32 + 8 * self.txns.len()
     }
@@ -288,6 +355,9 @@ pub struct UndoScanResp {
 }
 
 impl Payload for UndoScanResp {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24 + records_size(&self.records)
     }
@@ -304,6 +374,9 @@ pub struct Truncate {
 }
 
 impl Payload for Truncate {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         48
     }
@@ -312,14 +385,45 @@ impl Payload for Truncate {
     }
 }
 
-/// Acknowledgement of a durable truncation.
+/// Acknowledgement of a durable truncation. Reports the segment's
+/// post-truncation SCL — for a segment that was complete through the new
+/// VDL this is the PG's true chain tail, which the recovering writer needs
+/// to thread the new epoch's backlinks.
 #[derive(Debug, Clone)]
 pub struct TruncateAck {
     pub segment: SegmentId,
     pub epoch: VolumeEpoch,
+    pub scl: Lsn,
 }
 
 impl Payload for TruncateAck {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
+    fn wire_size(&self) -> usize {
+        32
+    }
+    fn class(&self) -> &'static str {
+        "recovery"
+    }
+}
+
+/// A segment received a write batch from an epoch newer than its
+/// truncation guard: it missed a recovery and must not ingest (its SCL
+/// bookkeeping could silently skip or false-ack records). The writer
+/// answers with the missing [`Truncate`] range; the batch is re-delivered
+/// by the normal retransmission path.
+#[derive(Debug, Clone)]
+pub struct EpochBehind {
+    pub segment: SegmentId,
+    /// The epoch the segment currently enforces.
+    pub epoch: VolumeEpoch,
+}
+
+impl Payload for EpochBehind {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24
     }
@@ -337,6 +441,9 @@ pub struct SegmentPeers {
 }
 
 impl Payload for SegmentPeers {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         16 + 4 * self.peers.len()
     }
@@ -352,6 +459,9 @@ pub struct Heartbeat {
 }
 
 impl Payload for Heartbeat {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         8 + 8 * self.hosted.len()
     }
@@ -372,6 +482,9 @@ pub struct RepairFetchReq {
 }
 
 impl Payload for RepairFetchReq {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         24
     }
@@ -391,6 +504,9 @@ pub struct RepairFetchResp {
 }
 
 impl Payload for RepairFetchResp {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         32 + self.pages.len() * (8 + PAGE_SIZE) + records_size(&self.records)
     }
@@ -406,6 +522,9 @@ pub struct RepairDone {
 }
 
 impl Payload for RepairDone {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         16
     }
@@ -421,6 +540,9 @@ pub struct MembershipUpdate {
 }
 
 impl Payload for MembershipUpdate {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
     fn wire_size(&self) -> usize {
         16 + 4 * 6
     }

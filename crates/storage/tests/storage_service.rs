@@ -16,7 +16,14 @@ fn seg(replica: u8) -> SegmentId {
 }
 
 /// Build a page-write record with explicit chain position.
-fn page_write(lsn: u64, prev: u64, page: u64, offset: u32, before: &[u8], after: &[u8]) -> LogRecord {
+fn page_write(
+    lsn: u64,
+    prev: u64,
+    page: u64,
+    offset: u32,
+    before: &[u8],
+    after: &[u8],
+) -> LogRecord {
     LogRecord {
         lsn: Lsn(lsn),
         prev_in_pg: Lsn(prev),
@@ -46,7 +53,12 @@ struct Fixture {
 /// with `n_spares` spare nodes.
 fn fixture(with_control: bool, n_spares: usize) -> Fixture {
     let mut sim = Sim::new(42);
-    let engine = sim.add_node("engine", Zone(0), Box::new(Probe::new()), NodeOpts::default());
+    let engine = sim.add_node(
+        "engine",
+        Zone(0),
+        Box::new(Probe::new()),
+        NodeOpts::default(),
+    );
     let mut nodes = Vec::new();
     let mut cfg = StorageNodeConfig {
         store: None,
@@ -121,7 +133,12 @@ fn fixture(with_control: bool, n_spares: usize) -> Fixture {
 /// spares next, control last.
 fn fixture_with_control(n_spares: usize) -> Fixture {
     let mut sim = Sim::new(43);
-    let engine = sim.add_node("engine", Zone(0), Box::new(Probe::new()), NodeOpts::default());
+    let engine = sim.add_node(
+        "engine",
+        Zone(0),
+        Box::new(Probe::new()),
+        NodeOpts::default(),
+    );
     let control_id: NodeId = 1 + 6 + n_spares as NodeId; // predicted
     let cfg = StorageNodeConfig {
         store: None,
@@ -488,12 +505,49 @@ fn recovery_state_queries() {
     f.sim.run_for(SimDuration::from_millis(10));
     let dst = f.nodes[0];
     let engine = f.engine;
-    f.sim.tell(engine, Relay::new(dst, SegmentStateReq { req_id: 1, segment: seg(0) }));
-    f.sim.tell(engine, Relay::new(dst, CplBelowReq { req_id: 2, segment: seg(0), at: Lsn(4) }));
-    f.sim.tell(engine, Relay::new(dst, TxnScanReq { req_id: 3, segment: seg(0), upto: Lsn(4) }));
     f.sim.tell(
         engine,
-        Relay::new(dst, UndoScanReq { req_id: 4, segment: seg(0), txns: vec![TxnId(7)], upto: Lsn(4) }),
+        Relay::new(
+            dst,
+            SegmentStateReq {
+                req_id: 1,
+                segment: seg(0),
+            },
+        ),
+    );
+    f.sim.tell(
+        engine,
+        Relay::new(
+            dst,
+            CplBelowReq {
+                req_id: 2,
+                segment: seg(0),
+                at: Lsn(4),
+            },
+        ),
+    );
+    f.sim.tell(
+        engine,
+        Relay::new(
+            dst,
+            TxnScanReq {
+                req_id: 3,
+                segment: seg(0),
+                upto: Lsn(4),
+            },
+        ),
+    );
+    f.sim.tell(
+        engine,
+        Relay::new(
+            dst,
+            UndoScanReq {
+                req_id: 4,
+                segment: seg(0),
+                txns: vec![TxnId(7)],
+                upto: Lsn(4),
+            },
+        ),
     );
     f.sim.run_for(SimDuration::from_millis(10));
     let probe = f.sim.actor::<Probe>(f.engine);
@@ -540,14 +594,24 @@ fn control_plane_repairs_failed_node() {
 fn backup_to_object_store_and_pitr_restore() {
     let mut sim = Sim::new(44);
     let store = aurora_storage::ObjectStore::new();
-    let engine = sim.add_node("engine", Zone(0), Box::new(Probe::new()), NodeOpts::default());
+    let engine = sim.add_node(
+        "engine",
+        Zone(0),
+        Box::new(Probe::new()),
+        NodeOpts::default(),
+    );
     let cfg = StorageNodeConfig {
         store: Some(store.clone()),
         backup_interval: SimDuration::from_millis(100),
         snapshot_every: 1,
         ..Default::default()
     };
-    let node = sim.add_node("store-0", Zone(0), Box::new(StorageNode::new(cfg)), NodeOpts::default());
+    let node = sim.add_node(
+        "store-0",
+        Zone(0),
+        Box::new(StorageNode::new(cfg)),
+        NodeOpts::default(),
+    );
     let recs = vec![
         page_write(1, 0, 0, 0, &[0], &[1]),
         page_write(2, 1, 0, 1, &[0], &[2]),

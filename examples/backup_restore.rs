@@ -61,8 +61,7 @@ fn main() {
 
     // Materialize one page and verify it reflects phase 1, not phase 2:
     // rows written in phase 2 (0xBB) must not appear.
-    let mut by_id: std::collections::HashMap<PageId, Page> =
-        pages.into_iter().collect();
+    let mut by_id: std::collections::HashMap<PageId, Page> = pages.into_iter().collect();
     for rec in &records {
         if let Some(pid) = rec.page() {
             let page = by_id.entry(pid).or_default();
@@ -78,7 +77,10 @@ fn main() {
     }
     println!("restored volume: {phase1_rows} phase-1 rows, {phase2_rows} phase-2 rows");
     assert!(phase1_rows > 0, "phase 1 data must be present");
-    assert_eq!(phase2_rows, 0, "phase 2 data must be absent at the restore point");
+    assert_eq!(
+        phase2_rows, 0,
+        "phase 2 data must be absent at the restore point"
+    );
     println!("PITR verified: the restored image is exactly the pre-phase-2 state");
     let _ = Lsn::ZERO;
 }

@@ -32,7 +32,10 @@ fn main() {
         cluster.submit(i, TxnSpec::single(Op::Insert(9_000 + i, vec![0x5A; 4])));
     }
     cluster.sim.run_for(SimDuration::from_millis(300));
-    println!("primary committed {} transactions", cluster.responses().len());
+    println!(
+        "primary committed {} transactions",
+        cluster.responses().len()
+    );
 
     // The primary is partitioned away (it doesn't know it's dead).
     let old = cluster.engine;
@@ -58,12 +61,18 @@ fn main() {
 
     // Every acknowledged commit survives; new writes flow.
     cluster.submit_to(new_writer, 1_000, TxnSpec::single(Op::Get(9_015)));
-    cluster.submit_to(new_writer, 1_001, TxnSpec::single(Op::Insert(10_000, vec![1; 4])));
+    cluster.submit_to(
+        new_writer,
+        1_001,
+        TxnSpec::single(Op::Insert(10_000, vec![1; 4])),
+    );
     cluster.sim.run_for(SimDuration::from_secs(1));
     for resp in cluster.responses().iter().filter(|r| r.conn >= 1_000) {
         match &resp.result {
             TxnResult::Committed(results) => match &results[0] {
-                OpResult::Row(Some(_)) => println!("  pre-failover data readable on the new writer"),
+                OpResult::Row(Some(_)) => {
+                    println!("  pre-failover data readable on the new writer")
+                }
                 OpResult::Done => println!("  new write committed on the new writer"),
                 other => println!("  {other:?}"),
             },
@@ -75,12 +84,13 @@ fn main() {
     for &s in &cluster.storage.clone() {
         cluster.sim.partition_both(old, s, false);
     }
-    cluster.submit_to(old, 2_000, TxnSpec::single(Op::Upsert(9_000, vec![0xEE; 4])));
+    cluster.submit_to(
+        old,
+        2_000,
+        TxnSpec::single(Op::Upsert(9_000, vec![0xEE; 4])),
+    );
     cluster.sim.run_for(SimDuration::from_secs(1));
-    let zombie_resp = cluster
-        .responses()
-        .into_iter()
-        .find(|r| r.conn == 2_000);
+    let zombie_resp = cluster.responses().into_iter().find(|r| r.conn == 2_000);
     match zombie_resp {
         Some(r) => println!("zombie write outcome: {:?}", r.result),
         None => println!("zombie write outcome: never acknowledged (no quorum at stale epoch)"),

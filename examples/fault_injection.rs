@@ -1,10 +1,14 @@
-//! Fault injection: the §2 durability story, live.
+//! Fault injection: the §2 durability story, live — driven by a
+//! declarative, replayable [`FaultPlan`].
 //!
-//! Kills a storage node (transparent: 4/6 quorum), then an entire
-//! availability zone (writes continue), then AZ+1 (writes stall, no data
-//! is lost, and everything resumes on heal). Finally, the control plane
-//! repairs a dead node's segments onto a spare and the engine keeps going
-//! with the new membership.
+//! The entire chaos schedule is a single value built up front: kill a
+//! storage node (transparent: 4/6 quorum), heal it, then take down an
+//! entire availability zone (writes continue), then AZ+1 (writes stall,
+//! no data is lost, and everything resumes on heal). The last victim
+//! stays dead so the control plane repairs its segments onto a spare.
+//! Because the plan executes on simulated time inside the DES kernel,
+//! re-running this binary reproduces the same trace bit-for-bit; change
+//! the seed to explore a different interleaving of the same schedule.
 //!
 //! ```text
 //! cargo run --release --example fault_injection
@@ -12,14 +16,21 @@
 
 use aurora::core::cluster::{Cluster, ClusterConfig};
 use aurora::core::wire::{Op, TxnSpec};
-use aurora::sim::{SimDuration, Zone};
+use aurora::sim::{FaultAction, FaultPlan, SimDuration, Zone};
 use aurora::storage::ControlPlane;
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
 
 fn pump(cluster: &mut Cluster, base: u64, n: u64) {
     for i in 0..n {
-        cluster.submit(base + i, TxnSpec::single(Op::Upsert(i % 500, vec![i as u8])));
+        cluster.submit(
+            base + i,
+            TxnSpec::single(Op::Upsert(i % 500, vec![i as u8])),
+        );
     }
-    cluster.sim.run_for(SimDuration::from_millis(400));
+    cluster.sim.run_for(ms(400));
 }
 
 fn main() {
@@ -41,17 +52,41 @@ fn main() {
     pump(&mut cluster, 0, 50);
     println!("   committed: {}", commits(&cluster));
 
-    println!("== kill one storage node (background noise failure)");
+    // The whole scenario, declared up front. Offsets are relative to the
+    // install point below; the driver only pumps load and reads metrics.
     let victim = cluster.storage[4];
-    cluster.sim.crash(victim);
+    let extra = *cluster
+        .storage
+        .iter()
+        .find(|n| cluster.sim.zone_of(**n) == Zone(0))
+        .unwrap();
+    let plan = FaultPlan::new()
+        // background-noise failure, healed after one pump window
+        .crash_for(ms(0), ms(400), victim)
+        // 1s of gossip refill, then a whole AZ goes dark
+        .at(ms(1400), FaultAction::ZoneDown(Zone(1)))
+        // one more node on top of the AZ outage: below write quorum.
+        // No matching Restart — the control plane repairs onto a spare.
+        .at(ms(1800), FaultAction::Crash(extra))
+        // the AZ comes back; stalled commits complete
+        .at(ms(2200), FaultAction::ZoneUp(Zone(1)));
+    println!(
+        "== installing fault plan ({} scheduled actions):",
+        plan.len()
+    );
+    for (after, action) in plan.entries() {
+        println!("   +{:>6} µs  {:?}", after.micros(), action);
+    }
+    cluster.sim.install_fault_plan(&plan);
+
+    println!("== kill one storage node (background noise failure)");
     pump(&mut cluster, 100, 50);
     println!(
         "   committed: {} — a single segment loss is invisible to writes",
         commits(&cluster)
     );
 
-    println!("== kill availability zone 1 as well? first restore the node");
-    cluster.sim.restart(victim);
+    println!("== the plan restarted the node; gossip refills it");
     cluster.sim.run_for(SimDuration::from_secs(1));
     println!(
         "   gossip refilled the restarted node ({} records via peers)",
@@ -59,7 +94,6 @@ fn main() {
     );
 
     println!("== now lose a whole AZ (2 of 6 replicas in every PG)");
-    cluster.sim.zone_down(Zone(1));
     pump(&mut cluster, 200, 50);
     println!(
         "   committed: {} — 4/6 write quorum tolerates an AZ outage",
@@ -67,12 +101,6 @@ fn main() {
     );
 
     println!("== AZ + one more node: below write quorum");
-    let extra = *cluster
-        .storage
-        .iter()
-        .find(|n| cluster.sim.zone_of(**n) == Zone(0))
-        .unwrap();
-    cluster.sim.crash(extra);
     let before = commits(&cluster);
     pump(&mut cluster, 300, 20);
     println!(
@@ -81,11 +109,10 @@ fn main() {
     );
 
     println!("== heal the AZ: stalled commits complete");
-    cluster.sim.zone_up(Zone(1));
     cluster.sim.run_for(SimDuration::from_secs(1));
     println!("   committed: {}", commits(&cluster));
 
-    println!("== leave `extra` dead: the control plane repairs onto a spare");
+    println!("== `extra` stays dead: the control plane repairs onto a spare");
     cluster.sim.run_for(SimDuration::from_secs(4));
     let ctl = cluster.sim.actor::<ControlPlane>(cluster.control.unwrap());
     println!(

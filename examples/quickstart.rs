@@ -65,10 +65,7 @@ fn main() {
         cluster.sim.run_for(SimDuration::from_millis(10));
         waited += 10;
     }
-    let recovery = cluster
-        .sim
-        .metrics
-        .histogram_total("engine.recovery_ns");
+    let recovery = cluster.sim.metrics.histogram_total("engine.recovery_ns");
     println!(
         "writer recovered in {:.2} ms of simulated time (~{waited} ms wall in the loop)",
         recovery.max() as f64 / 1e6

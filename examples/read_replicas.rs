@@ -25,7 +25,10 @@ fn main() {
 
     // Write a stream of transactions on the writer.
     for i in 0..300u64 {
-        cluster.submit(i, TxnSpec::single(Op::Upsert(i % 2_000, vec![(i % 251) as u8])));
+        cluster.submit(
+            i,
+            TxnSpec::single(Op::Upsert(i % 2_000, vec![(i % 251) as u8])),
+        );
     }
     cluster.sim.run_for(SimDuration::from_millis(800));
 

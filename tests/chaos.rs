@@ -62,17 +62,16 @@ fn committed_data_survives_a_failure_storm() {
 
         // a random calamity every few rounds
         match rng.index(10) {
-            0 => {
+            0
                 // crash a random storage node (keep at least 4 up so the
                 // storm makes progress; quorum math is tested elsewhere)
-                if down_storage.len() < 2 {
+                if down_storage.len() < 2 => {
                     let pick = c.storage[rng.index(c.storage.len())];
                     if !down_storage.contains(&pick) {
                         c.sim.crash(pick);
                         down_storage.push(pick);
                     }
                 }
-            }
             1 => {
                 if let Some(node) = down_storage.pop() {
                     c.sim.restart(node);
@@ -191,4 +190,77 @@ fn committed_data_survives_a_failure_storm() {
             TxnResult::Aborted(m) => panic!("final read of key {k} failed: {m}"),
         }
     }
+}
+
+/// The PR's acceptance scenario: a chaos storm — storage-node crash, an
+/// AZ network partition, a degraded disk, and drop/delay/duplicate packet
+/// chaos — expressed **declaratively** as a [`FaultPlan`] and executed by
+/// the DES scheduler. With the same cluster seed and the same plan, two
+/// runs must replay **bit-for-bit**: identical client responses in
+/// identical order, identical packet and byte counts, identical clock.
+#[test]
+fn fault_plan_chaos_replays_identically_from_seed() {
+    use aurora::sim::fault::{FaultPlan, PacketChaos};
+    use aurora::sim::sim::DiskSpec;
+
+    fn run() -> (Vec<(u64, bool)>, u64, u64, u64, u64, u64) {
+        let mut c = Cluster::build(ClusterConfig {
+            seed: 2026,
+            pgs: 2,
+            pages_per_pg: 50_000,
+            storage_nodes: 6,
+            bootstrap_rows: 0,
+            ..Default::default()
+        });
+        c.sim.run_for(SimDuration::from_millis(300));
+        let ms = SimDuration::from_millis;
+        let victim = c.storage[1];
+        let sluggish = c.storage[3];
+        let plan = FaultPlan::new()
+            .crash_for(ms(50), ms(120), victim)
+            .partition_zone_for(ms(150), ms(80), Zone(2))
+            .degrade_disk_for(ms(100), ms(300), sluggish, DiskSpec::ebs_provisioned(200))
+            .packet_chaos_for(
+                ms(20),
+                ms(400),
+                PacketChaos {
+                    drop: 0.02,
+                    duplicate: 0.05,
+                    delay: 0.10,
+                    delay_by: ms(2),
+                },
+            );
+        c.sim.install_fault_plan(&plan);
+
+        let mut conn = 0u64;
+        for round in 0..30u64 {
+            for k in 0..8u64 {
+                conn += 1;
+                c.submit(conn, TxnSpec::single(Op::Upsert(k, value_of(round + 1))));
+            }
+            c.sim.run_for(ms(20));
+        }
+        c.sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(c.sim.pending_faults(), 0, "whole plan executed");
+
+        let responses: Vec<(u64, bool)> = c
+            .responses()
+            .iter()
+            .map(|r| (r.conn, matches!(r.result, TxnResult::Committed(_))))
+            .collect();
+        (
+            responses,
+            c.sim.metrics.counter_total("engine.commits"),
+            c.sim.net().packets,
+            c.sim.net().bytes,
+            c.sim.net().chaos_duplicated,
+            c.sim.now().nanos(),
+        )
+    }
+
+    let a = run();
+    let b = run();
+    assert!(a.1 > 0, "transactions must commit through the chaos");
+    assert!(a.4 > 0, "packet duplication must have fired");
+    assert_eq!(a, b, "same seed + same plan must replay identically");
 }

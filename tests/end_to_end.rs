@@ -105,7 +105,10 @@ fn acked_commits_survive_repeated_crashes() {
     for round in 0..3 {
         for i in 0..15u64 {
             let key = 50_000 + round * 100 + i;
-            c.submit(conn, TxnSpec::single(Op::Insert(key, vec![round as u8 + 1; 4])));
+            c.submit(
+                conn,
+                TxnSpec::single(Op::Insert(key, vec![round as u8 + 1; 4])),
+            );
             conn += 1;
         }
         c.sim.run_for(SimDuration::from_millis(200));
@@ -130,7 +133,11 @@ fn acked_commits_survive_repeated_crashes() {
     }
 
     // every acknowledged key is readable
-    assert!(acked.len() >= 30, "expected most commits acked, got {}", acked.len());
+    assert!(
+        acked.len() >= 30,
+        "expected most commits acked, got {}",
+        acked.len()
+    );
     for (i, key) in acked.iter().enumerate() {
         c.submit(900_000 + i as u64, TxnSpec::single(Op::Get(*key)));
     }
@@ -295,7 +302,11 @@ fn recovery_speed_aurora_vs_baseline() {
     m.sim.restart(m.engine);
     let t0 = m.sim.now();
     let mut guard = 0;
-    while !m.sim.actor::<aurora::baseline::MysqlEngine>(m.engine).is_ready() {
+    while !m
+        .sim
+        .actor::<aurora::baseline::MysqlEngine>(m.engine)
+        .is_ready()
+    {
         m.sim.run_for(SimDuration::from_millis(5));
         guard += 1;
         assert!(guard < 1_000_000);
@@ -305,5 +316,51 @@ fn recovery_speed_aurora_vs_baseline() {
     assert!(
         aurora_recovery < mysql_recovery,
         "aurora {aurora_recovery:?} vs mysql {mysql_recovery:?}"
+    );
+}
+
+/// The bench harness accepts a declarative [`FaultPlan`] and installs it
+/// at the warmup boundary: a mid-window storage-node crash plus a packet
+/// chaos overlay must not stop commits (4/6 quorum), and the measured run
+/// must be reproducible from (params, plan) alone.
+#[test]
+fn bench_harness_drives_a_fault_plan() {
+    use aurora::bench::harness::{run_aurora, AuroraParams};
+    use aurora::bench::Mix;
+    use aurora::sim::{FaultPlan, PacketChaos};
+
+    let ms = SimDuration::from_millis;
+    let mut p = AuroraParams::new(Mix::Web {
+        reads: 2,
+        writes: 1,
+    });
+    p.seed = 909;
+    p.connections = 16;
+    p.rows = 2_000;
+    p.warmup = ms(200);
+    p.window = ms(600);
+    // storage nodes are ids 1..=6 in the harness cluster (engine is 0)
+    p.fault_plan = Some(
+        FaultPlan::new()
+            .crash_for(ms(100), ms(200), 5)
+            .packet_chaos_for(
+                ms(50),
+                ms(400),
+                PacketChaos {
+                    drop: 0.01,
+                    duplicate: 0.02,
+                    delay: 0.05,
+                    delay_by: ms(1),
+                },
+            ),
+    );
+
+    let a = run_aurora(&p);
+    let b = run_aurora(&p);
+    assert!(a.commits > 0, "faulted run must still commit: {a:?}");
+    assert_eq!(
+        (a.commits, a.aborts, a.tps.to_bits()),
+        (b.commits, b.aborts, b.tps.to_bits()),
+        "same params + plan must reproduce the same run"
     );
 }

@@ -16,19 +16,26 @@ use proptest::prelude::*;
 
 fn arb_body() -> impl Strategy<Value = RecordBody> {
     prop_oneof![
-        (any::<u64>(), proptest::collection::vec((0u32..4000, proptest::collection::vec(any::<u8>(), 1..32)), 1..4)).prop_map(|(page, raw)| {
-            RecordBody::PageWrite {
-                page: PageId(page % 10_000),
-                patches: raw
-                    .into_iter()
-                    .map(|(offset, bytes)| Patch {
-                        offset: offset % (PAGE_SIZE as u32 - 64),
-                        before: Bytes::from(vec![0u8; bytes.len()]),
-                        after: Bytes::from(bytes),
-                    })
-                    .collect(),
-            }
-        }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(
+                (0u32..4000, proptest::collection::vec(any::<u8>(), 1..32)),
+                1..4
+            )
+        )
+            .prop_map(|(page, raw)| {
+                RecordBody::PageWrite {
+                    page: PageId(page % 10_000),
+                    patches: raw
+                        .into_iter()
+                        .map(|(offset, bytes)| Patch {
+                            offset: offset % (PAGE_SIZE as u32 - 64),
+                            before: Bytes::from(vec![0u8; bytes.len()]),
+                            after: Bytes::from(bytes),
+                        })
+                        .collect(),
+                }
+            }),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(|init| RecordBody::PageFormat {
             page: PageId(3),
             init: Bytes::from(init),
@@ -36,22 +43,28 @@ fn arb_body() -> impl Strategy<Value = RecordBody> {
         Just(RecordBody::TxnBegin),
         Just(RecordBody::TxnCommit),
         Just(RecordBody::TxnAbort),
-        proptest::collection::vec(any::<u8>(), 0..48)
-            .prop_map(|d| RecordBody::Undo { data: Bytes::from(d) }),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(|d| RecordBody::Undo {
+            data: Bytes::from(d)
+        }),
     ]
 }
 
 fn arb_record() -> impl Strategy<Value = LogRecord> {
-    (1u64..1_000_000, any::<u64>(), any::<u32>(), any::<bool>(), arb_body()).prop_map(
-        |(lsn, txn, pg, is_cpl, body)| LogRecord {
+    (
+        1u64..1_000_000,
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+        arb_body(),
+    )
+        .prop_map(|(lsn, txn, pg, is_cpl, body)| LogRecord {
             lsn: Lsn(lsn),
             prev_in_pg: Lsn(lsn.saturating_sub(1)),
             pg: PgId(pg % 64),
             txn: TxnId(txn),
             is_cpl,
             body,
-        },
-    )
+        })
 }
 
 proptest! {
@@ -235,12 +248,9 @@ proptest! {
         let mut last_vdl = Lsn::ZERO;
         for (batch, replica) in acks {
             let end = batch_ends[(batch % 20) as usize];
-            match t.ack(end, PgId(0), replica) {
-                AckOutcome::VdlAdvanced(v) => {
-                    prop_assert!(v >= last_vdl, "VDL went backwards");
-                    last_vdl = v;
-                }
-                _ => {}
+            if let AckOutcome::VdlAdvanced(v) = t.ack(end, PgId(0), replica) {
+                prop_assert!(v >= last_vdl, "VDL went backwards");
+                last_vdl = v;
             }
             // the durable prefix never exceeds the highest fully-acked point
             prop_assert!(t.vdl() <= Lsn(200));
@@ -338,18 +348,18 @@ proptest! {
             match op {
                 TreeOp::Insert(k, v) => {
                     let r = tree.insert(&mut p, k, &row(v));
-                    if model.contains_key(&k) {
-                        prop_assert!(r.is_err());
-                    } else {
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
                         prop_assert!(r.is_ok());
-                        model.insert(k, row(v));
+                        e.insert(row(v));
+                    } else {
+                        prop_assert!(r.is_err());
                     }
                 }
                 TreeOp::Update(k, v) => {
                     let r = tree.update(&mut p, k, &row(v));
-                    if model.contains_key(&k) {
+                    if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(k) {
                         prop_assert!(r.is_ok());
-                        model.insert(k, row(v));
+                        e.insert(row(v));
                     } else {
                         prop_assert!(r.is_err());
                     }

@@ -1,0 +1,180 @@
+//! DST sweep runner: expand N seeds into random fault schedules, run each
+//! against the invariant oracles, report failing seeds, and shrink their
+//! schedules to minimal reproducers.
+//!
+//! ```text
+//! cargo run --release -p aurora-bench --bin dst -- --seeds 200
+//! cargo run --release -p aurora-bench --bin dst -- --smoke           # PR-sized sweep
+//! cargo run --release -p aurora-bench --bin dst -- --replay 17       # one seed, verbose
+//! cargo run --release -p aurora-bench --bin dst -- --seeds 500 --intensity heavy --shrink
+//! ```
+//!
+//! Exit code 1 if any seed fails. Failing seeds land in
+//! `<out>/failing_seeds.txt`; shrunk plans in `<out>/seed_<n>_shrunk.txt`
+//! (both uploaded as CI artifacts by the nightly workflow).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use aurora_bench::dst::{self, DstConfig};
+use aurora_sim::Intensity;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    intensity: String,
+    shrink: bool,
+    replay: Option<u64>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 200,
+        start: 0,
+        intensity: "moderate".into(),
+        shrink: false,
+        replay: None,
+        out: PathBuf::from("target/dst"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--seeds" => args.seeds = val("--seeds").parse().expect("--seeds N"),
+            "--start" => args.start = val("--start").parse().expect("--start N"),
+            "--intensity" => args.intensity = val("--intensity"),
+            "--smoke" => args.seeds = 25,
+            "--shrink" => args.shrink = true,
+            "--replay" => args.replay = Some(val("--replay").parse().expect("--replay SEED")),
+            "--out" => args.out = PathBuf::from(val("--out")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: dst [--seeds N] [--start N] [--intensity light|moderate|heavy] \
+                     [--smoke] [--shrink] [--replay SEED] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn intensity_of(name: &str) -> Intensity {
+    match name {
+        "light" => Intensity::light(),
+        "moderate" => Intensity::moderate(),
+        "heavy" => Intensity::heavy(),
+        other => panic!("unknown intensity {other:?} (light|moderate|heavy)"),
+    }
+}
+
+fn config_for(seed: u64, intensity: &str) -> DstConfig {
+    DstConfig {
+        seed,
+        intensity: intensity_of(intensity),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    if let Some(seed) = args.replay {
+        let cfg = config_for(seed, &args.intensity);
+        let plan = dst::plan_for_seed(&cfg);
+        println!("seed {seed}: {} actions", plan.len());
+        print!("{}", dst::format_plan(&plan));
+        let report = dst::run_plan(&cfg, &plan);
+        println!(
+            "commits={} clock_ns={} violations={}",
+            report.commits,
+            report.clock_ns,
+            report.violations.len()
+        );
+        for v in &report.violations {
+            println!("  VIOLATION: {v}");
+        }
+        if args.shrink && !report.passed() {
+            let minimal = dst::shrink_failing(&cfg, &plan);
+            println!(
+                "shrunk {} -> {} actions:\n{}",
+                plan.len(),
+                minimal.len(),
+                dst::format_plan(&minimal)
+            );
+        }
+        std::process::exit(if report.passed() { 0 } else { 1 });
+    }
+
+    let mut failing: Vec<u64> = Vec::new();
+    let mut total_commits = 0u64;
+    for seed in args.start..args.start + args.seeds {
+        let cfg = config_for(seed, &args.intensity);
+        let report = dst::run_seed(&cfg);
+        total_commits += report.commits;
+        if report.passed() {
+            println!(
+                "seed {seed:>5}: ok ({} actions, {} commits)",
+                report.plan_len, report.commits
+            );
+        } else {
+            println!(
+                "seed {seed:>5}: FAIL ({} actions, {} violations)",
+                report.plan_len,
+                report.violations.len()
+            );
+            for v in &report.violations {
+                println!("    {v}");
+            }
+            failing.push(seed);
+        }
+    }
+
+    println!(
+        "\nswept {} seeds ({}): {} failing, {} total commits",
+        args.seeds,
+        args.intensity,
+        failing.len(),
+        total_commits
+    );
+
+    if !failing.is_empty() {
+        let list = args.out.join("failing_seeds.txt");
+        let mut f = std::fs::File::create(&list).expect("write failing seeds");
+        for seed in &failing {
+            writeln!(f, "{seed}").unwrap();
+        }
+        println!("failing seeds written to {}", list.display());
+        if args.shrink {
+            for seed in &failing {
+                let cfg = config_for(*seed, &args.intensity);
+                let plan = dst::plan_for_seed(&cfg);
+                let minimal = dst::shrink_failing(&cfg, &plan);
+                let path = args.out.join(format!("seed_{seed}_shrunk.txt"));
+                std::fs::write(
+                    &path,
+                    format!(
+                        "seed {seed} ({} -> {} actions)\n{}",
+                        plan.len(),
+                        minimal.len(),
+                        dst::format_plan(&minimal)
+                    ),
+                )
+                .expect("write shrunk plan");
+                println!(
+                    "seed {seed}: shrunk {} -> {} actions ({})",
+                    plan.len(),
+                    minimal.len(),
+                    path.display()
+                );
+            }
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,625 @@
+//! Deterministic simulation testing (DST) harness.
+//!
+//! FoundationDB-style correctness sweeps over the Aurora reproduction: a
+//! seed expands into a random-but-legal [`FaultPlan`] (via
+//! [`aurora_sim::schedule::generate`]), the plan runs against a full
+//! cluster under a sequentially-versioned key workload, and a set of
+//! **invariant oracles** watches the run:
+//!
+//! * **durability** — no committed (acknowledged) version is ever lost,
+//!   checked by a final read-back after the world heals (§2 "data, once
+//!   written, can be read"),
+//! * **snapshot safety** — storage never serves a page image materialized
+//!   past the requested read point (watched via the
+//!   `oracle.read_past_read_point` taps in the engine and replica),
+//! * **epoch monotonicity** — per-segment truncation-guard epochs and the
+//!   writer's volume epoch never regress (§4.3 epoch fencing),
+//! * **SCL monotonicity** — a segment's SCL only moves backwards together
+//!   with an epoch bump (a recovery truncation), never silently,
+//! * **convergence** — after the plan completes and transient faults heal,
+//!   every PG returns to full membership, all slots alive and hosting,
+//!   with equal SCLs (§2.2 "quickly repaired"),
+//! * **liveness** — a watchdog flags a cluster that wedges (writer never
+//!   Ready again, repairs never drain).
+//!
+//! Same seed ⇒ same plan ⇒ same verdict, bit for bit: a failing seed from
+//! a thousand-run sweep replays exactly, and
+//! [`shrink_failing`] reduces its schedule to a minimal reproducer by
+//! delta debugging.
+
+use std::collections::BTreeMap;
+
+use aurora_core::cluster::{Cluster, ClusterConfig};
+use aurora_core::engine::{EngineActor, EngineStatus};
+use aurora_core::wire::{Op, OpResult, TxnResult, TxnSpec};
+use aurora_log::{Lsn, SegmentId};
+use aurora_quorum::VolumeEpoch;
+use aurora_sim::schedule::{self, Intensity, ScheduleSpec};
+use aurora_sim::{FaultAction, FaultPlan, NodeId, SimDuration, Zone};
+use aurora_storage::{ControlConfig, ControlPlane, StorageNode};
+
+/// One DST run's shape: the world to build and how hard to shake it.
+#[derive(Debug, Clone)]
+pub struct DstConfig {
+    pub seed: u64,
+    pub intensity: Intensity,
+    /// Fault window: the plan executes inside it, under load.
+    pub window: SimDuration,
+    /// Logical keys, each written sequentially by its own client.
+    pub keys: u64,
+    pub pgs: u32,
+    pub storage_nodes: usize,
+    pub spares: usize,
+    pub replicas: usize,
+    /// Control-plane repair supervision deadline (None = unsupervised,
+    /// only for negative tests).
+    pub repair_timeout: Option<SimDuration>,
+    /// How long after heal the cluster gets to converge before the
+    /// liveness watchdog calls it wedged.
+    pub converge_budget: SimDuration,
+}
+
+impl Default for DstConfig {
+    fn default() -> Self {
+        DstConfig {
+            seed: 0,
+            intensity: Intensity::moderate(),
+            window: SimDuration::from_secs(2),
+            keys: 12,
+            pgs: 2,
+            storage_nodes: 6,
+            spares: 3,
+            replicas: 1,
+            repair_timeout: Some(SimDuration::from_millis(400)),
+            converge_budget: SimDuration::from_secs(20),
+        }
+    }
+}
+
+/// One invariant broken during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleViolation {
+    /// A key's final read returned a version older than its last
+    /// acknowledged commit.
+    DurabilityLoss { key: u64, acked: u64, got: u64 },
+    /// Storage served `count` page images materialized past the read point.
+    StaleRead { count: u64 },
+    /// A segment's truncation-guard epoch moved backwards.
+    EpochRegressed {
+        node: NodeId,
+        segment: SegmentId,
+        was: VolumeEpoch,
+        now: VolumeEpoch,
+    },
+    /// The writer's volume epoch moved backwards across recoveries.
+    WriterEpochRegressed { was: VolumeEpoch, now: VolumeEpoch },
+    /// A segment's SCL moved backwards without an epoch bump (i.e. not a
+    /// recovery truncation — durable log state silently vanished).
+    SclRegressed {
+        node: NodeId,
+        segment: SegmentId,
+        was: Lsn,
+        now: Lsn,
+    },
+    /// A PG failed to return to full healthy membership after heal.
+    NotConverged { pg: u32, detail: String },
+    /// The cluster wedged: the liveness watchdog gave up.
+    Wedged { detail: String },
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleViolation::DurabilityLoss { key, acked, got } => write!(
+                f,
+                "durability: key {key} acked version {acked} but read back {got}"
+            ),
+            OracleViolation::StaleRead { count } => {
+                write!(f, "snapshot: {count} page reads served past the read point")
+            }
+            OracleViolation::EpochRegressed {
+                node,
+                segment,
+                was,
+                now,
+            } => write!(
+                f,
+                "epoch: node {node} segment {segment:?} regressed {was} -> {now}"
+            ),
+            OracleViolation::WriterEpochRegressed { was, now } => {
+                write!(f, "epoch: writer volume epoch regressed {was} -> {now}")
+            }
+            OracleViolation::SclRegressed {
+                node,
+                segment,
+                was,
+                now,
+            } => write!(
+                f,
+                "scl: node {node} segment {segment:?} regressed {was:?} -> {now:?} without epoch bump"
+            ),
+            OracleViolation::NotConverged { pg, detail } => {
+                write!(f, "convergence: pg {pg} not healthy: {detail}")
+            }
+            OracleViolation::Wedged { detail } => write!(f, "liveness: {detail}"),
+        }
+    }
+}
+
+/// Verdict of one run: deterministic for `(DstConfig, FaultPlan)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DstReport {
+    pub seed: u64,
+    pub plan_len: usize,
+    /// Committed transactions during the fault window (progress signal
+    /// and part of the determinism digest).
+    pub commits: u64,
+    /// Final simulated clock — the strongest cheap replay digest: any
+    /// divergence in event order shows up here.
+    pub clock_ns: u64,
+    pub violations: Vec<OracleViolation>,
+}
+
+impl DstReport {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Incremental invariant tracking across a run. `poll` cheaply samples
+/// cluster state between workload ticks; violations accumulate.
+pub struct Oracles {
+    /// Last `(guard_epoch, scl)` seen per hosted segment replica.
+    scls: BTreeMap<(NodeId, SegmentId), (VolumeEpoch, Lsn)>,
+    /// Last writer volume epoch observed while Ready.
+    engine_epoch: Option<VolumeEpoch>,
+    /// `storage.repairs_installed` counter per node at last poll: a bump
+    /// means the node hosts a freshly installed copy whose guard/SCL
+    /// legitimately differ from the segment it replaced.
+    repairs_installed: BTreeMap<NodeId, u64>,
+    violations: Vec<OracleViolation>,
+}
+
+impl Oracles {
+    pub fn new() -> Self {
+        Oracles {
+            scls: BTreeMap::new(),
+            engine_epoch: None,
+            repairs_installed: BTreeMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Sample monotonicity invariants (epochs, SCLs). Call between ticks.
+    pub fn poll(&mut self, c: &Cluster) {
+        let mut nodes: Vec<NodeId> = c.storage.clone();
+        nodes.extend(c.spares.iter().copied());
+        for node in nodes {
+            let installed = c.sim.metrics.counter(node, "storage.repairs_installed");
+            let prev_installed = self.repairs_installed.insert(node, installed);
+            if prev_installed.is_some_and(|p| installed > p) {
+                // fresh copies installed: reset this node's tracking
+                self.scls.retain(|(tracked, _), _| *tracked != node);
+            }
+            let actor = c.sim.actor::<StorageNode>(node);
+            for segment in actor.hosted() {
+                let (Some(scl), Some(epoch)) = (actor.scl(segment), actor.guard_epoch(segment))
+                else {
+                    continue;
+                };
+                if let Some((was_epoch, was_scl)) = self.scls.insert((node, segment), (epoch, scl))
+                {
+                    if epoch < was_epoch {
+                        self.violations.push(OracleViolation::EpochRegressed {
+                            node,
+                            segment,
+                            was: was_epoch,
+                            now: epoch,
+                        });
+                    } else if scl < was_scl && epoch == was_epoch {
+                        // SCL may only shrink via an epoch-bumping
+                        // recovery truncation
+                        self.violations.push(OracleViolation::SclRegressed {
+                            node,
+                            segment,
+                            was: was_scl,
+                            now: scl,
+                        });
+                    }
+                }
+            }
+        }
+        if c.sim.is_up(c.engine) {
+            let engine = c.sim.actor::<EngineActor>(c.engine);
+            if engine.status() == EngineStatus::Ready {
+                let epoch = engine.current_epoch();
+                if let Some(was) = self.engine_epoch {
+                    if epoch < was {
+                        self.violations
+                            .push(OracleViolation::WriterEpochRegressed { was, now: epoch });
+                    }
+                }
+                self.engine_epoch = Some(epoch);
+            }
+        }
+        // dedup: a persisting regression would otherwise flood the report
+        self.violations.dedup();
+    }
+
+    /// Post-heal convergence check: every PG at full healthy membership
+    /// (per the control plane's view), all slots alive, hosting their
+    /// segment, with equal SCLs; no repairs still in flight.
+    pub fn check_convergence(c: &Cluster) -> Vec<OracleViolation> {
+        let Some(control_id) = c.control else {
+            return Vec::new();
+        };
+        let control = c.sim.actor::<ControlPlane>(control_id);
+        let mut violations = Vec::new();
+        for m in control.memberships() {
+            let pg = m.pg.0;
+            let mut slots = m.slots.clone();
+            slots.sort_unstable();
+            slots.dedup();
+            if slots.len() != m.slots.len() {
+                violations.push(OracleViolation::NotConverged {
+                    pg,
+                    detail: format!("duplicate slots {:?}", m.slots),
+                });
+                continue;
+            }
+            if let Some(dead) = m.slots.iter().find(|n| !c.sim.is_up(**n)) {
+                violations.push(OracleViolation::NotConverged {
+                    pg,
+                    detail: format!("member {dead} is down"),
+                });
+                continue;
+            }
+            let mut scls = Vec::new();
+            for (replica, node) in m.slots.iter().enumerate() {
+                let segment = SegmentId::new(m.pg, replica as u8);
+                match c.sim.actor::<StorageNode>(*node).scl(segment) {
+                    Some(scl) => scls.push((node, scl)),
+                    None => violations.push(OracleViolation::NotConverged {
+                        pg,
+                        detail: format!("member {node} does not host {segment:?}"),
+                    }),
+                }
+            }
+            if scls.len() == m.slots.len() && !scls.windows(2).all(|w| w[0].1 == w[1].1) {
+                violations.push(OracleViolation::NotConverged {
+                    pg,
+                    detail: format!("unequal SCLs {scls:?}"),
+                });
+            }
+        }
+        if control.in_repair_count() > 0 {
+            violations.push(OracleViolation::Wedged {
+                detail: format!(
+                    "{} repair job(s) still in flight after convergence budget",
+                    control.in_repair_count()
+                ),
+            });
+        }
+        violations
+    }
+
+    pub fn violations(&self) -> &[OracleViolation] {
+        &self.violations
+    }
+
+    pub fn into_violations(self) -> Vec<OracleViolation> {
+        self.violations
+    }
+}
+
+impl Default for Oracles {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Undo every *transient* fault the plan left active. Nodes the plan
+/// killed (a `Crash` with no later `Restart`) stay down — the cluster is
+/// supposed to have repaired around them, and reviving a dead member
+/// would mask the very convergence failures the oracles exist to catch.
+pub fn heal_world(c: &mut Cluster, plan: &FaultPlan) {
+    let mut crashed: Vec<NodeId> = Vec::new();
+    let mut zones_down: Vec<Zone> = Vec::new();
+    let mut isolated: Vec<Zone> = Vec::new();
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut degraded: Vec<NodeId> = Vec::new();
+    let mut chaos = false;
+    for (_, action) in plan.entries() {
+        match action {
+            FaultAction::Crash(n) => crashed.push(*n),
+            FaultAction::Restart(n) => crashed.retain(|x| x != n),
+            FaultAction::ZoneDown(z) => zones_down.push(*z),
+            FaultAction::ZoneUp(z) => zones_down.retain(|x| x != z),
+            FaultAction::PartitionPair(a, b) => pairs.push((*a, *b)),
+            FaultAction::HealPair(a, b) => pairs.retain(|(x, y)| !(x == a && y == b)),
+            FaultAction::IsolateZone(z) => isolated.push(*z),
+            FaultAction::HealZone(z) => isolated.retain(|x| x != z),
+            FaultAction::DegradeDisk(n, _) => degraded.push(*n),
+            FaultAction::RestoreDisk(n) => degraded.retain(|x| x != n),
+            FaultAction::StartPacketChaos(_) => chaos = true,
+            FaultAction::StopPacketChaos => chaos = false,
+        }
+    }
+    for (a, b) in pairs {
+        c.sim.partition_both(a, b, false);
+    }
+    for z in isolated {
+        c.sim.isolate_zone(z, false);
+    }
+    for z in zones_down {
+        c.sim.zone_up(z);
+    }
+    for n in degraded {
+        c.sim.restore_disk(n);
+    }
+    if chaos {
+        c.sim.set_packet_chaos(None);
+    }
+    // Plan kills stay down; everything else that is down comes back.
+    for n in 0..c.sim.node_count() as NodeId {
+        if !c.sim.is_up(n) && !crashed.contains(&n) {
+            c.sim.restart(n);
+        }
+    }
+}
+
+/// Run the cluster until convergence (or the budget runs out → wedged /
+/// not-converged violations). Keeps the monotonicity oracles polling.
+pub fn await_convergence(
+    c: &mut Cluster,
+    budget: SimDuration,
+    oracles: &mut Oracles,
+) -> Vec<OracleViolation> {
+    let step = SimDuration::from_millis(50);
+    let deadline = c.sim.now() + budget;
+    loop {
+        c.sim.run_for(step);
+        oracles.poll(c);
+        let writer_ready = c.sim.is_up(c.engine)
+            && c.sim.actor::<EngineActor>(c.engine).status() == EngineStatus::Ready;
+        let remaining = Oracles::check_convergence(c);
+        if writer_ready && remaining.is_empty() {
+            return Vec::new();
+        }
+        if c.sim.now() >= deadline {
+            let mut v = remaining;
+            if !writer_ready {
+                v.push(OracleViolation::Wedged {
+                    detail: "writer never returned to Ready".into(),
+                });
+            }
+            return v;
+        }
+    }
+}
+
+/// The cluster configuration a [`DstConfig`] expands to (exposed for
+/// tests that need direct cluster access alongside the oracles).
+pub fn cluster_config(cfg: &DstConfig) -> ClusterConfig {
+    ClusterConfig {
+        seed: cfg.seed.wrapping_mul(2).wrapping_add(1),
+        pgs: cfg.pgs,
+        pages_per_pg: 50_000,
+        storage_nodes: cfg.storage_nodes,
+        spares: cfg.spares,
+        replicas: cfg.replicas,
+        bootstrap_rows: 0,
+        with_control: true,
+        control_cfg: ControlConfig {
+            repair_timeout: cfg.repair_timeout,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// The fault plan seed `cfg.seed` expands to, against this config's
+/// topology (the node-id layout matches [`Cluster::build`]).
+pub fn plan_for_seed(cfg: &DstConfig) -> FaultPlan {
+    let azs = 3usize;
+    let storage: Vec<(NodeId, Zone)> = (0..cfg.storage_nodes)
+        .map(|i| (1 + i as NodeId, Zone((i % azs) as u8)))
+        .collect();
+    let writer = (1 + cfg.storage_nodes + cfg.spares + cfg.replicas) as NodeId;
+    let mut intensity = cfg.intensity.clone();
+    // Never kill more nodes than the spare pool can replace: repair is
+    // per-segment and every storage node hosts one segment per PG, so a
+    // single kill consumes `pgs` spares.
+    let per_kill = (cfg.pgs as usize).max(1);
+    intensity.max_kills = intensity.max_kills.min(cfg.spares / per_kill);
+    let spec = ScheduleSpec {
+        window: cfg.window,
+        storage,
+        writer: Some(writer),
+        zones: azs as u8,
+        intensity,
+    };
+    schedule::generate(&spec, cfg.seed)
+}
+
+/// Version v of key k encodes both halves for torn-row detection.
+fn value_of(version: u64) -> Vec<u8> {
+    let mut v = vec![0u8; 16];
+    v[..8].copy_from_slice(&version.to_le_bytes());
+    v[8..16].copy_from_slice(&version.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes());
+    v
+}
+
+fn decode_version(row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[..8].try_into().unwrap())
+}
+
+const FINAL_READ_VERSION: u64 = 900_000;
+
+/// Execute one plan under workload and return the oracle verdict.
+/// Deterministic: the same `(cfg, plan)` always yields the same report.
+pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
+    plan.validate(cfg.window)
+        .unwrap_or_else(|e| panic!("seed {}: invalid plan: {e}", cfg.seed));
+    let mut c = Cluster::build(cluster_config(cfg));
+    c.sim.run_for(SimDuration::from_millis(300));
+    let mut oracles = Oracles::new();
+    oracles.poll(&c);
+    c.sim.install_fault_plan(plan);
+
+    // conn encoding: key * 1_000_000 + version (chaos.rs idiom)
+    let conn_of = |key: u64, version: u64| key * 1_000_000 + version;
+    let keys = cfg.keys as usize;
+    let mut next_version = vec![1u64; keys];
+    let mut last_acked = vec![0u64; keys];
+    // Some(tick it was submitted at); resubmitting the same conn after a
+    // writer crash is safe — conn ids are idempotent at the engine.
+    let mut in_flight: Vec<Option<u64>> = vec![None; keys];
+    let mut replica_conn = 500_000_000u64;
+
+    let tick = SimDuration::from_millis(20);
+    let ticks = cfg.window.nanos() / tick.nanos();
+    for t in 0..ticks {
+        for k in 0..cfg.keys {
+            let ki = k as usize;
+            let resubmit = match in_flight[ki] {
+                None => true,
+                // a request lost to a writer crash would stall the key
+                // forever; re-issue after ~300ms of silence
+                Some(at) => t - at >= 15,
+            };
+            if resubmit {
+                let v = next_version[ki];
+                c.submit(conn_of(k, v), TxnSpec::single(Op::Upsert(k, value_of(v))));
+                in_flight[ki] = Some(t);
+            }
+        }
+        // read-your-snapshot traffic through a replica keeps the
+        // snapshot-safety tap exercised
+        if cfg.replicas > 0 && t % 5 == 0 {
+            let r = (t / 5) as usize % cfg.replicas;
+            if c.sim.is_up(c.replicas[r]) {
+                replica_conn += 1;
+                let key = t % cfg.keys;
+                c.submit_to_replica(r, replica_conn, TxnSpec::single(Op::Get(key)));
+            }
+        }
+        c.sim.run_for(tick);
+        oracles.poll(&c);
+        for resp in c.responses() {
+            if resp.conn >= 500_000_000 {
+                continue; // replica reads are fire-and-forget
+            }
+            let key = (resp.conn / 1_000_000) as usize;
+            let version = resp.conn % 1_000_000;
+            if version != next_version[key] {
+                continue; // responses() is cumulative
+            }
+            in_flight[key] = None;
+            match resp.result {
+                TxnResult::Committed(_) => {
+                    last_acked[key] = version;
+                    next_version[key] = version + 1;
+                }
+                TxnResult::Aborted(_) => {
+                    next_version[key] = version + 1;
+                }
+            }
+        }
+    }
+
+    // flush any same-instant stragglers, then heal and converge
+    c.sim.run_for(SimDuration::from_millis(1));
+    heal_world(&mut c, plan);
+    let convergence = await_convergence(&mut c, cfg.converge_budget, &mut oracles);
+    oracles.violations.extend(convergence);
+
+    // late acks that arrived during convergence still count
+    for resp in c.responses() {
+        if resp.conn >= 500_000_000 {
+            continue;
+        }
+        let key = (resp.conn / 1_000_000) as usize;
+        let version = resp.conn % 1_000_000;
+        if version >= FINAL_READ_VERSION {
+            continue;
+        }
+        if let TxnResult::Committed(_) = resp.result {
+            if version > last_acked[key] {
+                last_acked[key] = version;
+            }
+        }
+    }
+
+    // durability read-back
+    let writer_ready = c.sim.is_up(c.engine)
+        && c.sim.actor::<EngineActor>(c.engine).status() == EngineStatus::Ready;
+    if writer_ready {
+        for k in 0..cfg.keys {
+            c.submit(conn_of(k, FINAL_READ_VERSION), TxnSpec::single(Op::Get(k)));
+        }
+        c.sim.run_for(SimDuration::from_secs(3));
+        let rs = c.responses();
+        for k in 0..cfg.keys {
+            let acked = last_acked[k as usize];
+            let resp = rs.iter().find(|r| r.conn == conn_of(k, FINAL_READ_VERSION));
+            let got = match resp.map(|r| &r.result) {
+                Some(TxnResult::Committed(results)) => match &results[0] {
+                    OpResult::Row(Some(row)) => decode_version(row),
+                    OpResult::Row(None) => 0,
+                    _ => 0,
+                },
+                _ => {
+                    oracles.violations.push(OracleViolation::Wedged {
+                        detail: format!("final read of key {k} got no committed response"),
+                    });
+                    continue;
+                }
+            };
+            if got < acked {
+                oracles
+                    .violations
+                    .push(OracleViolation::DurabilityLoss { key: k, acked, got });
+            }
+        }
+    }
+
+    let stale = c.sim.metrics.counter_total("oracle.read_past_read_point");
+    if stale > 0 {
+        oracles
+            .violations
+            .push(OracleViolation::StaleRead { count: stale });
+    }
+
+    DstReport {
+        seed: cfg.seed,
+        plan_len: plan.len(),
+        commits: c.sim.metrics.counter_total("engine.commits"),
+        clock_ns: c.sim.now().nanos(),
+        violations: oracles.into_violations(),
+    }
+}
+
+/// Expand `cfg.seed` into a plan and run it.
+pub fn run_seed(cfg: &DstConfig) -> DstReport {
+    let plan = plan_for_seed(cfg);
+    run_plan(cfg, &plan)
+}
+
+/// Delta-debug a failing plan down to a minimal reproducer: the returned
+/// plan still fails at least one oracle, and removing any single entry
+/// makes the failure disappear.
+pub fn shrink_failing(cfg: &DstConfig, plan: &FaultPlan) -> FaultPlan {
+    schedule::shrink(plan, |candidate| {
+        !run_plan(cfg, candidate).violations.is_empty()
+    })
+}
+
+/// Render a plan for bug reports / artifacts.
+pub fn format_plan(plan: &FaultPlan) -> String {
+    let mut out = String::new();
+    for (at, action) in plan.entries() {
+        out.push_str(&format!("+{:>8}us  {:?}\n", at.nanos() / 1_000, action));
+    }
+    out
+}

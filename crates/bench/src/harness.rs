@@ -236,6 +236,8 @@ pub fn run_aurora_with(
     c.sim.run_for(p.warmup);
     c.sim.clear_stats();
     if let Some(plan) = &p.fault_plan {
+        plan.validate(p.window)
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
         c.sim.install_fault_plan(plan);
     }
     after_warmup(&mut c, engine);

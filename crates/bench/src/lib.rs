@@ -22,9 +22,11 @@
 //! paper's; the *shapes* — who wins, by what factor, where the knees are —
 //! are the reproduction target, and EXPERIMENTS.md records both.
 
+pub mod dst;
 pub mod experiments;
 pub mod harness;
 pub mod workload;
 
+pub use dst::{DstConfig, DstReport, OracleViolation, Oracles};
 pub use harness::{AuroraParams, MysqlParams, RunStats};
 pub use workload::{Mix, WorkloadActor, WorkloadConfig};

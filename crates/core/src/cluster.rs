@@ -41,6 +41,10 @@ pub struct ClusterConfig {
     pub row_size: usize,
     /// Attach a control plane (heartbeats, repair)?
     pub with_control: bool,
+    /// Control-plane tunables (timeouts, repair supervision). The builder
+    /// fills in `watchers`, `zones`, and `spares` from the topology; only
+    /// the scalar knobs of this template are honored.
+    pub control_cfg: ControlConfig,
     /// Attach an object store (backups / PITR)?
     pub store: Option<ObjectStore>,
     /// Storage node tunables.
@@ -65,6 +69,7 @@ impl Default for ClusterConfig {
             bootstrap_rows: 0,
             row_size: 96,
             with_control: false,
+            control_cfg: ControlConfig::default(),
             store: None,
             storage_cfg: StorageNodeConfig::default(),
             storage_disk: None,
@@ -98,6 +103,9 @@ impl Cluster {
 
     /// Like [`Cluster::build`] but lets the caller tweak the engine config.
     pub fn build_with(cfg: ClusterConfig, tweak: impl FnOnce(&mut EngineConfig)) -> Cluster {
+        cfg.quorum
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid quorum config: {e}"));
         assert!(cfg.storage_nodes >= cfg.quorum.copies as usize);
         assert_eq!(
             cfg.storage_nodes % cfg.quorum.azs as usize,
@@ -229,7 +237,7 @@ impl Cluster {
         let control = if cfg.with_control {
             let mut ctl_cfg = ControlConfig {
                 watchers: vec![engine],
-                ..Default::default()
+                ..cfg.control_cfg.clone()
             };
             ctl_cfg.watchers.extend(replica_ids.iter().copied());
             for (i, n) in storage.iter().enumerate() {

@@ -528,6 +528,12 @@ impl EngineActor {
         self.status
     }
 
+    /// Current volume epoch (inspection): bumped by every completed
+    /// recovery, never regresses — the DST epoch oracle watches it.
+    pub fn current_epoch(&self) -> VolumeEpoch {
+        self.epoch
+    }
+
     /// Engine version (for ZDP tests).
     pub fn version(&self) -> u64 {
         self.engine_version
@@ -1281,6 +1287,11 @@ impl EngineActor {
         };
         self.page_waits.remove(&pr.page);
         ctx.record("engine.page_fetch_ns", ctx.now().since(pr.sent_at).nanos());
+        // DST snapshot-safety oracle tap: a storage node must never serve
+        // a page image materialized past the requested read point.
+        if resp.page.lsn > pr.read_point {
+            ctx.inc("oracle.read_past_read_point", 1);
+        }
         let vdl = self.tracker.vdl();
         if let Err(page) = self.pool.insert(resp.page_id, resp.page, vdl) {
             self.pending_inserts.push((resp.page_id, page));

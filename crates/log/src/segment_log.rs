@@ -153,6 +153,21 @@ impl SegmentLog {
         doomed.len()
     }
 
+    /// Adopt a completeness floor learned out-of-band (repair or gossip
+    /// catch-up install): the donor certified that every chain record at
+    /// or below `floor` reached it before being coalesced and GC'd, so
+    /// local completeness through `floor` is established even though the
+    /// chain links below it were never received here. `floor` must be a
+    /// real chain LSN (the donor's SCL) or `Lsn::ZERO`. Never moves the
+    /// SCL backwards; chases backlinks past the floor afterwards in case
+    /// stranded records now connect.
+    pub fn adopt_scl(&mut self, floor: Lsn) {
+        if floor > self.scl {
+            self.scl = floor;
+            self.advance_scl();
+        }
+    }
+
     /// Total payload bytes held (capacity accounting / GC pressure).
     pub fn bytes(&self) -> usize {
         self.records.values().map(|r| r.wire_size()).sum()

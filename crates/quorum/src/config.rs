@@ -50,6 +50,27 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 impl QuorumConfig {
+    /// Checked constructor: builds a config and validates Gifford's rules
+    /// and the AZ layout in one step, so an impossible scheme is an error
+    /// at construction instead of a silently nonsensical run.
+    pub fn new(
+        copies: u8,
+        write_quorum: u8,
+        read_quorum: u8,
+        azs: u8,
+        copies_per_az: u8,
+    ) -> Result<QuorumConfig, ConfigError> {
+        let cfg = QuorumConfig {
+            copies,
+            write_quorum,
+            read_quorum,
+            azs,
+            copies_per_az,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     /// Aurora's design point: 6 copies, 4/6 writes, 3/6 reads, 2 per AZ
     /// across 3 AZs (§2.1).
     pub const fn aurora() -> QuorumConfig {
@@ -159,6 +180,27 @@ mod tests {
         QuorumConfig::aurora().validate().unwrap();
         QuorumConfig::two_of_three().validate().unwrap();
         QuorumConfig::mirrored_four_of_four().validate().unwrap();
+    }
+
+    #[test]
+    fn checked_constructor_rejects_bad_schemes() {
+        assert_eq!(QuorumConfig::new(6, 4, 3, 3, 2), Ok(QuorumConfig::aurora()));
+        assert_eq!(
+            QuorumConfig::new(6, 4, 2, 3, 2),
+            Err(ConfigError::ReadsMayMissWrites)
+        );
+        assert_eq!(
+            QuorumConfig::new(6, 3, 4, 3, 2),
+            Err(ConfigError::ConflictingWrites)
+        );
+        assert_eq!(
+            QuorumConfig::new(6, 4, 3, 2, 2),
+            Err(ConfigError::BadLayout)
+        );
+        assert_eq!(
+            QuorumConfig::new(0, 0, 0, 3, 2),
+            Err(ConfigError::Degenerate)
+        );
     }
 
     #[test]

@@ -83,6 +83,53 @@ pub enum FaultAction {
     StopPacketChaos,
 }
 
+/// Why a [`FaultPlan`] failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// Entry `index` is scheduled `offset` after install, past the run
+    /// window the plan must fit in — it would never execute (or execute
+    /// after measurement ended), silently producing a nonsense run.
+    OutsideWindow {
+        index: usize,
+        offset: SimDuration,
+        window: SimDuration,
+    },
+    /// A [`PacketChaos`] probability is NaN or outside `[0, 1]`.
+    BadProbability {
+        index: usize,
+        field: &'static str,
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::OutsideWindow {
+                index,
+                offset,
+                window,
+            } => write!(
+                f,
+                "fault plan entry #{index} at +{}ms lies outside the {}ms run window",
+                offset.nanos() / 1_000_000,
+                window.nanos() / 1_000_000,
+            ),
+            FaultPlanError::BadProbability {
+                index,
+                field,
+                value,
+            } => write!(
+                f,
+                "fault plan entry #{index}: packet-chaos {field} probability {value} \
+                 is not in [0, 1]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A declarative, replayable schedule of faults. Offsets are relative to
 /// the install time, so a plan can be built without knowing where in
 /// simulated time it will run.
@@ -94,6 +141,45 @@ pub struct FaultPlan {
 impl FaultPlan {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Build a plan directly from an entry list (the shrinker's
+    /// constructor: delta-debugging recombines subsets of a failing
+    /// plan's entries).
+    pub fn from_entries(entries: Vec<(SimDuration, FaultAction)>) -> Self {
+        FaultPlan { entries }
+    }
+
+    /// Check that every action lies inside the run window it will execute
+    /// in and that all stochastic rates are sane probabilities. Harnesses
+    /// call this before installing a plan so a schedule that could never
+    /// fully execute is a loud error instead of a silently-wrong run.
+    pub fn validate(&self, window: SimDuration) -> Result<(), FaultPlanError> {
+        for (index, (offset, action)) in self.entries.iter().enumerate() {
+            if *offset > window {
+                return Err(FaultPlanError::OutsideWindow {
+                    index,
+                    offset: *offset,
+                    window,
+                });
+            }
+            if let FaultAction::StartPacketChaos(chaos) = action {
+                for (field, value) in [
+                    ("drop", chaos.drop),
+                    ("duplicate", chaos.duplicate),
+                    ("delay", chaos.delay),
+                ] {
+                    if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                        return Err(FaultPlanError::BadProbability {
+                            index,
+                            field,
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Schedule one action `after` the install time.
@@ -229,5 +315,65 @@ mod tests {
         let p = FaultPlan::new();
         assert!(p.is_empty());
         assert_eq!(p.span(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn validate_accepts_in_window_plans() {
+        let p = FaultPlan::new()
+            .crash_for(ms(10), ms(5), 3)
+            .packet_chaos_for(
+                ms(0),
+                ms(40),
+                PacketChaos {
+                    drop: 0.1,
+                    duplicate: 0.05,
+                    delay: 0.2,
+                    delay_by: ms(1),
+                },
+            );
+        p.validate(ms(50)).unwrap();
+        // the plan's own span is always a valid window
+        p.validate(p.span()).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_actions_past_the_window() {
+        let p = FaultPlan::new().crash_for(ms(10), ms(100), 3);
+        let err = p.validate(ms(50)).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::OutsideWindow {
+                index: 1,
+                offset: ms(110),
+                window: ms(50),
+            }
+        );
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn validate_rejects_insane_chaos_rates() {
+        for bad in [1.5, -0.1, f64::NAN] {
+            let p = FaultPlan::new().at(
+                ms(1),
+                FaultAction::StartPacketChaos(PacketChaos {
+                    drop: bad,
+                    ..Default::default()
+                }),
+            );
+            let err = p.validate(ms(10)).unwrap_err();
+            assert!(
+                matches!(err, FaultPlanError::BadProbability { field: "drop", .. }),
+                "{bad} should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_entries_round_trips() {
+        let p = FaultPlan::new().crash_for(ms(1), ms(2), 7);
+        let q = FaultPlan::from_entries(p.entries().to_vec());
+        assert_eq!(q.len(), p.len());
+        assert_eq!(q.span(), p.span());
     }
 }

@@ -30,15 +30,17 @@ pub mod msg;
 pub mod net;
 pub mod probe;
 pub mod rng;
+pub mod schedule;
 pub mod sim;
 pub mod time;
 
 pub use dist::Dist;
-pub use fault::{FaultAction, FaultPlan, PacketChaos};
+pub use fault::{FaultAction, FaultPlan, FaultPlanError, PacketChaos};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use msg::{Msg, Payload};
 pub use net::{LinkSpec, NetPolicy, NetStats};
 pub use probe::{Probe, Relay};
 pub use rng::SimRng;
+pub use schedule::{generate, shrink, Intensity, ScheduleSpec};
 pub use sim::{Actor, ActorEvent, Ctx, DiskSpec, NodeId, NodeOpts, Sim, Tag, TimerId, Zone};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,428 @@
+//! Seed-driven random fault schedules and delta-debugging shrinking.
+//!
+//! FoundationDB-style simulation testing needs three pieces on top of the
+//! DES kernel: a **generator** that turns a seed into a *legal* random
+//! [`FaultPlan`] (one that the cluster is supposed to survive — kills
+//! bounded by the spare pool, concurrent outages bounded below quorum
+//! loss, every transient fault healed inside the run window), a harness
+//! that executes the plan against invariant oracles (see
+//! `aurora-bench::dst`), and a **shrinker** that reduces a failing plan to
+//! a minimal reproducer by delta debugging over its action list.
+//!
+//! Everything here is deterministic: the same [`ScheduleSpec`] and seed
+//! always produce the same plan, so a failing seed from a thousand-run
+//! sweep replays bit-for-bit on a developer machine.
+
+use crate::fault::{FaultAction, FaultPlan, PacketChaos};
+use crate::rng::SimRng;
+use crate::sim::{DiskSpec, NodeId, Zone};
+use crate::time::SimDuration;
+
+/// How hard a generated schedule leans on the cluster.
+#[derive(Debug, Clone)]
+pub struct Intensity {
+    /// Inclusive range of incident count per plan.
+    pub incidents: (usize, usize),
+    /// Never schedule more than this many storage nodes down at once
+    /// (Aurora's 4/6 write quorum survives 2 concurrent losses).
+    pub max_concurrent_down: usize,
+    /// Maximum permanent kills (crash with no scheduled restart) — the
+    /// control plane must repair these onto spares, so a legal plan never
+    /// kills more nodes than the spare pool can replace.
+    pub max_kills: usize,
+    /// Allow whole-AZ network isolation windows.
+    pub zone_faults: bool,
+    /// Allow disk-degradation windows.
+    pub disk_faults: bool,
+    /// Allow packet-chaos overlay windows.
+    pub packet_chaos: bool,
+    /// Cap on the packet-drop probability of chaos windows.
+    pub max_drop: f64,
+}
+
+impl Intensity {
+    /// A handful of mild transient faults; no kills, no AZ events.
+    pub fn light() -> Intensity {
+        Intensity {
+            incidents: (2, 4),
+            max_concurrent_down: 1,
+            max_kills: 0,
+            zone_faults: false,
+            disk_faults: true,
+            packet_chaos: true,
+            max_drop: 0.05,
+        }
+    }
+
+    /// Crashes, a writer failover, AZ partitions, moderate chaos.
+    pub fn moderate() -> Intensity {
+        Intensity {
+            incidents: (4, 8),
+            max_concurrent_down: 2,
+            max_kills: 1,
+            zone_faults: true,
+            disk_faults: true,
+            packet_chaos: true,
+            max_drop: 0.15,
+        }
+    }
+
+    /// Compound failures up to the design envelope (AZ+1, §2.2).
+    pub fn heavy() -> Intensity {
+        Intensity {
+            incidents: (8, 14),
+            max_concurrent_down: 2,
+            max_kills: 2,
+            zone_faults: true,
+            disk_faults: true,
+            packet_chaos: true,
+            max_drop: 0.3,
+        }
+    }
+}
+
+/// The world a schedule is generated against.
+#[derive(Debug, Clone)]
+pub struct ScheduleSpec {
+    /// Run window: every action (fault *and* its heal) lands inside it.
+    pub window: SimDuration,
+    /// Storage nodes and their AZs.
+    pub storage: Vec<(NodeId, Zone)>,
+    /// The writer instance, if writer crashes (forced recoveries) are
+    /// wanted.
+    pub writer: Option<NodeId>,
+    /// Number of AZs.
+    pub zones: u8,
+    pub intensity: Intensity,
+}
+
+/// Closed interval arithmetic over schedule time, used for the
+/// down-budget and per-resource conflict checks.
+fn overlaps(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 <= b.1 && b.0 <= a.1
+}
+
+/// One incident kind the generator can draw.
+#[derive(Clone, Copy)]
+enum Kind {
+    StorageCrash,
+    Kill,
+    WriterCrash,
+    ZonePartition,
+    PairPartition,
+    DiskDegrade,
+    Chaos,
+}
+
+/// Generate a legal fault plan from a seed. Deterministic: the same
+/// `(spec, seed)` pair always yields the same plan.
+pub fn generate(spec: &ScheduleSpec, seed: u64) -> FaultPlan {
+    // Domain-separate the schedule stream from the simulation's own RNG
+    // (both may be built from the same user-facing seed).
+    let mut rng = SimRng::new(seed ^ 0x5EED_FA17_0D57_0001);
+    let window = spec.window.nanos();
+    let it = &spec.intensity;
+    let n = it.incidents.0 + rng.index(it.incidents.1 - it.incidents.0 + 1);
+
+    let mut entries: Vec<(u64, FaultAction)> = Vec::new();
+    // Budget tracking: intervals during which a storage node is down.
+    let mut down: Vec<(u64, u64)> = Vec::new();
+    // Per-node busy intervals (any fault touching the node).
+    let mut node_busy: Vec<(NodeId, (u64, u64))> = Vec::new();
+    let mut zone_busy: Vec<(u8, (u64, u64))> = Vec::new();
+    let mut chaos_busy: Vec<(u64, u64)> = Vec::new();
+    let mut writer_busy: Vec<(u64, u64)> = Vec::new();
+    let mut kills_left = it.max_kills;
+
+    let mut kinds: Vec<(Kind, u32)> = vec![(Kind::StorageCrash, 4), (Kind::PairPartition, 2)];
+    if spec.writer.is_some() {
+        kinds.push((Kind::WriterCrash, 2));
+    }
+    if it.zone_faults {
+        kinds.push((Kind::ZonePartition, 2));
+    }
+    if it.disk_faults {
+        kinds.push((Kind::DiskDegrade, 2));
+    }
+    if it.packet_chaos {
+        kinds.push((Kind::Chaos, 2));
+    }
+    let total_weight: u32 = kinds.iter().map(|(_, w)| w).sum::<u32>() + 1; // +1 for Kill
+
+    for _ in 0..n {
+        // Start in the first three quarters so heals fit comfortably.
+        let start = rng.range_u64(0, (window * 3 / 4).max(1));
+        let max_dur = (window - start).max(1);
+        let dur = rng
+            .range_u64(window / 40 + 1, (window / 4).max(window / 40 + 2))
+            .min(max_dur);
+        let end = start + dur;
+
+        // Weighted kind draw; Kill is only on the menu while budget lasts.
+        let mut pick = rng.range_u64(0, total_weight as u64) as u32;
+        let mut kind = Kind::Kill;
+        for (k, w) in &kinds {
+            if pick < *w {
+                kind = *k;
+                break;
+            }
+            pick -= w;
+        }
+        if matches!(kind, Kind::Kill) && kills_left == 0 {
+            kind = Kind::StorageCrash;
+        }
+
+        match kind {
+            Kind::StorageCrash | Kind::Kill => {
+                let killed = matches!(kind, Kind::Kill);
+                let span = if killed {
+                    (start, u64::MAX)
+                } else {
+                    (start, end)
+                };
+                // stay under the concurrent-down budget
+                let concurrent = down.iter().filter(|iv| overlaps(**iv, span)).count();
+                if concurrent >= it.max_concurrent_down {
+                    continue;
+                }
+                let (node, _) = spec.storage[rng.index(spec.storage.len())];
+                if node_busy
+                    .iter()
+                    .any(|(n, iv)| *n == node && overlaps(*iv, span))
+                {
+                    continue;
+                }
+                down.push(span);
+                node_busy.push((node, span));
+                entries.push((start, FaultAction::Crash(node)));
+                if killed {
+                    kills_left -= 1;
+                } else {
+                    entries.push((end, FaultAction::Restart(node)));
+                }
+            }
+            Kind::WriterCrash => {
+                let Some(writer) = spec.writer else { continue };
+                let span = (start, end);
+                if writer_busy.iter().any(|iv| overlaps(*iv, span)) {
+                    continue;
+                }
+                writer_busy.push(span);
+                entries.push((start, FaultAction::Crash(writer)));
+                entries.push((end, FaultAction::Restart(writer)));
+            }
+            Kind::ZonePartition => {
+                let zone = rng.index(spec.zones as usize) as u8;
+                let span = (start, end);
+                if zone_busy
+                    .iter()
+                    .any(|(z, iv)| *z == zone && overlaps(*iv, span))
+                {
+                    continue;
+                }
+                // a partitioned AZ takes its two replicas out of quorum
+                // for the duration — charge it against the down budget
+                let concurrent = down.iter().filter(|iv| overlaps(**iv, span)).count();
+                if concurrent + 2 > it.max_concurrent_down.max(2) {
+                    continue;
+                }
+                zone_busy.push((zone, span));
+                down.push(span);
+                entries.push((start, FaultAction::IsolateZone(Zone(zone))));
+                entries.push((end, FaultAction::HealZone(Zone(zone))));
+            }
+            Kind::PairPartition => {
+                let a = rng.index(spec.storage.len());
+                let b = rng.index(spec.storage.len());
+                if a == b {
+                    continue;
+                }
+                let (na, _) = spec.storage[a];
+                let (nb, _) = spec.storage[b];
+                entries.push((start, FaultAction::PartitionPair(na, nb)));
+                entries.push((end, FaultAction::HealPair(na, nb)));
+            }
+            Kind::DiskDegrade => {
+                let (node, _) = spec.storage[rng.index(spec.storage.len())];
+                let span = (start, end);
+                if node_busy
+                    .iter()
+                    .any(|(n, iv)| *n == node && overlaps(*iv, span))
+                {
+                    continue;
+                }
+                node_busy.push((node, span));
+                let iops = 100 + rng.range_u64(0, 400);
+                entries.push((
+                    start,
+                    FaultAction::DegradeDisk(node, DiskSpec::ebs_provisioned(iops)),
+                ));
+                entries.push((end, FaultAction::RestoreDisk(node)));
+            }
+            Kind::Chaos => {
+                let span = (start, end);
+                if chaos_busy.iter().any(|iv| overlaps(*iv, span)) {
+                    continue;
+                }
+                chaos_busy.push(span);
+                let chaos = PacketChaos {
+                    drop: rng.f64() * it.max_drop,
+                    duplicate: rng.f64() * 0.05,
+                    delay: rng.f64() * 0.2,
+                    delay_by: SimDuration::from_micros(200 + rng.range_u64(0, 3_000)),
+                };
+                entries.push((start, FaultAction::StartPacketChaos(chaos)));
+                entries.push((end, FaultAction::StopPacketChaos));
+            }
+        }
+    }
+
+    // Chronological order (plan order also breaks same-instant fault ties,
+    // so sorted entries execute in the order they read).
+    entries.sort_by_key(|(at, _)| *at);
+    FaultPlan::from_entries(
+        entries
+            .into_iter()
+            .map(|(at, a)| (SimDuration::from_nanos(at), a))
+            .collect(),
+    )
+}
+
+/// Shrink a failing plan to a (locally) minimal reproducer with delta
+/// debugging (ddmin): repeatedly try dropping chunks of the entry list,
+/// keeping any subset for which `still_fails` returns `true`, refining the
+/// chunk size down to single entries. The result still fails, and removing
+/// any single entry from it makes the failure disappear.
+///
+/// `still_fails` must be deterministic (run the candidate plan through the
+/// same seeded harness that produced the original failure).
+pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    // If the failure does not depend on the plan at all, the minimal
+    // reproducer is the empty plan.
+    if still_fails(&FaultPlan::new()) {
+        return FaultPlan::new();
+    }
+    let mut current: Vec<_> = plan.entries().to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut i = 0usize;
+        while i * chunk < current.len() {
+            let lo = i * chunk;
+            let hi = ((i + 1) * chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(lo..hi);
+            if !candidate.is_empty() && still_fails(&FaultPlan::from_entries(candidate.clone())) {
+                current = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            i += 1;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break; // single-entry granularity exhausted: minimal
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    FaultPlan::from_entries(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ScheduleSpec {
+        ScheduleSpec {
+            window: SimDuration::from_secs(2),
+            storage: (0..6u32).map(|i| (i + 1, Zone((i % 3) as u8))).collect(),
+            writer: Some(10),
+            zones: 3,
+            intensity: Intensity::heavy(),
+        }
+    }
+
+    #[test]
+    fn generated_plans_are_deterministic_and_legal() {
+        let s = spec();
+        for seed in 0..50u64 {
+            let a = generate(&s, seed);
+            let b = generate(&s, seed);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "seed {seed} not deterministic"
+            );
+            a.validate(s.window).unwrap();
+            assert!(!a.is_empty(), "seed {seed} generated an empty plan");
+            // every transient fault heals inside the window; kills are
+            // bounded by the intensity budget
+            let mut crashed: Vec<NodeId> = Vec::new();
+            for (_, action) in a.entries() {
+                match action {
+                    FaultAction::Crash(n) => crashed.push(*n),
+                    FaultAction::Restart(n) => {
+                        crashed.retain(|c| c != n);
+                    }
+                    _ => {}
+                }
+            }
+            crashed.retain(|c| *c != 10); // writer crashes always pair
+            assert!(
+                crashed.len() <= s.intensity.max_kills,
+                "seed {seed}: {crashed:?} killed, budget {}",
+                s.intensity.max_kills
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_plans() {
+        let s = spec();
+        let plans: Vec<String> = (0..20).map(|i| format!("{:?}", generate(&s, i))).collect();
+        let mut unique = plans.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() > 15, "seeds should diversify the schedules");
+    }
+
+    #[test]
+    fn shrink_finds_the_minimal_failing_pair() {
+        // Synthetic failure: the run "fails" iff the plan still contains
+        // BOTH the crash of node 3 and the crash of node 4.
+        let mut plan = FaultPlan::new();
+        for i in 0..6u32 {
+            plan = plan.crash_for(
+                SimDuration::from_millis(10 * i as u64),
+                SimDuration::from_millis(5),
+                10 + i,
+            );
+        }
+        plan = plan
+            .at(SimDuration::from_millis(70), FaultAction::Crash(3))
+            .at(SimDuration::from_millis(80), FaultAction::Crash(4));
+        assert_eq!(plan.len(), 14);
+        let fails = |p: &FaultPlan| {
+            let has = |n: NodeId| {
+                p.entries()
+                    .iter()
+                    .any(|(_, a)| matches!(a, FaultAction::Crash(m) if *m == n))
+            };
+            has(3) && has(4)
+        };
+        let minimal = shrink(&plan, fails);
+        assert_eq!(minimal.len(), 2, "minimal reproducer is exactly the pair");
+        assert!(fails(&minimal));
+    }
+
+    #[test]
+    fn shrink_of_plan_independent_failure_is_empty() {
+        let plan =
+            FaultPlan::new().crash_for(SimDuration::from_millis(1), SimDuration::from_millis(1), 1);
+        let minimal = shrink(&plan, |_| true);
+        assert!(minimal.is_empty());
+    }
+}

@@ -40,6 +40,13 @@ pub struct ControlConfig {
     pub watchers: Vec<NodeId>,
     /// Zone of every storage node (for AZ-aware spare selection).
     pub zones: HashMap<NodeId, Zone>,
+    /// A repair job that has not reported [`RepairDone`] within this
+    /// deadline is abandoned and requeued with a fresh donor/spare
+    /// selection (the donor or replacement may have died mid-copy, in
+    /// which case the completion will never arrive). `None` disables
+    /// supervision (jobs can then wedge forever — only for tests that
+    /// deliberately provoke the unsupervised behavior).
+    pub repair_timeout: Option<SimDuration>,
 }
 
 impl Default for ControlConfig {
@@ -50,6 +57,7 @@ impl Default for ControlConfig {
             spares: Vec::new(),
             watchers: Vec::new(),
             zones: HashMap::new(),
+            repair_timeout: Some(SimDuration::from_secs(1)),
         }
     }
 }
@@ -57,6 +65,11 @@ impl Default for ControlConfig {
 struct RepairJob {
     segment: SegmentId,
     replacement: NodeId,
+    donor: NodeId,
+    /// Zone the spare was drawn from, so an abandoned job returns it to
+    /// the pool under the right AZ.
+    spare_zone: Zone,
+    started_at: SimTime,
 }
 
 /// The control plane actor.
@@ -69,6 +82,10 @@ pub struct ControlPlane {
     started_at: SimTime,
     /// Count of repairs completed (inspection).
     pub repairs_completed: u64,
+    /// Count of repair jobs abandoned at their deadline and requeued.
+    pub repairs_requeued: u64,
+    /// Count of once-failed nodes reclaimed into the spare pool.
+    pub spares_reclaimed: u64,
 }
 
 impl ControlPlane {
@@ -81,12 +98,37 @@ impl ControlPlane {
             truncation: None,
             started_at: SimTime::ZERO,
             repairs_completed: 0,
+            repairs_requeued: 0,
+            spares_reclaimed: 0,
         }
     }
 
     /// Inspection: current membership of a PG.
     pub fn membership(&self, pg: aurora_log::PgId) -> Option<&PgMembership> {
         self.memberships.iter().find(|m| m.pg == pg)
+    }
+
+    /// Inspection: every PG's current membership.
+    pub fn memberships(&self) -> &[PgMembership] {
+        &self.memberships
+    }
+
+    /// Inspection: number of repair jobs currently in flight.
+    pub fn in_repair_count(&self) -> usize {
+        self.in_repair.len()
+    }
+
+    /// Inspection: in-flight repairs as `(segment, donor, replacement)`.
+    pub fn repair_jobs(&self) -> Vec<(SegmentId, NodeId, NodeId)> {
+        self.in_repair
+            .iter()
+            .map(|j| (j.segment, j.donor, j.replacement))
+            .collect()
+    }
+
+    /// Inspection: nodes currently available as spares.
+    pub fn spare_pool(&self) -> Vec<NodeId> {
+        self.cfg.spares.iter().map(|(n, _)| *n).collect()
     }
 
     /// All storage nodes currently holding any replica.
@@ -123,12 +165,65 @@ impl ControlPlane {
         }
     }
 
+    /// Abandon repair jobs that blew their deadline. The donor or the
+    /// replacement died mid-copy, so `RepairDone` will never arrive; drop
+    /// the job (the dead-member scan below immediately requeues the
+    /// segment with a fresh donor/spare selection). A still-live
+    /// replacement goes back into the spare pool; a dead one is left to
+    /// the heartbeat-reclaim path.
+    fn expire_stale_repairs(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        let Some(deadline) = self.cfg.repair_timeout else {
+            return;
+        };
+        let mut expired = Vec::new();
+        self.in_repair.retain(|j| {
+            if now.since(j.started_at) > deadline {
+                expired.push((j.replacement, j.spare_zone));
+                false
+            } else {
+                true
+            }
+        });
+        for (replacement, zone) in expired {
+            self.repairs_requeued += 1;
+            ctx.inc("control.repairs_requeued", 1);
+            let seen = self
+                .last_seen
+                .get(&replacement)
+                .copied()
+                .unwrap_or(self.started_at);
+            if now.since(seen) <= self.cfg.failure_timeout {
+                self.cfg.spares.push((replacement, zone));
+            }
+        }
+    }
+
+    /// A heartbeat arrived from a node that hosts nothing and is not mid-
+    /// repair: a once-failed member whose segments were repaired away has
+    /// come back cold. Return it to the spare pool so long chaos runs do
+    /// not bleed the fleet dry.
+    fn maybe_reclaim_spare(&mut self, ctx: &mut Ctx<'_>, node: NodeId) {
+        let Some(zone) = self.cfg.zones.get(&node).copied() else {
+            return;
+        };
+        let hosts_something = self.memberships.iter().any(|m| m.slots.contains(&node));
+        let mid_repair = self.in_repair.iter().any(|j| j.replacement == node);
+        let already_spare = self.cfg.spares.iter().any(|(n, _)| *n == node);
+        if hosts_something || mid_repair || already_spare {
+            return;
+        }
+        self.cfg.spares.push((node, zone));
+        self.spares_reclaimed += 1;
+        ctx.inc("control.spares_reclaimed", 1);
+    }
+
     fn sweep(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         // Grace period at startup before declaring anything dead.
         if now.since(self.started_at) < self.cfg.failure_timeout {
             return;
         }
+        self.expire_stale_repairs(ctx, now);
         let dead: Vec<NodeId> = self
             .member_nodes()
             .into_iter()
@@ -186,7 +281,7 @@ impl ControlPlane {
                     }
                 });
             let Some(idx) = spare_idx else { continue };
-            let (replacement, _) = self.cfg.spares.remove(idx);
+            let (replacement, spare_zone) = self.cfg.spares.remove(idx);
             // healthy peer to copy from: any other alive slot
             let now = ctx.now();
             let donor = m.slots.iter().copied().filter(|n| *n != failed).find(|n| {
@@ -196,9 +291,7 @@ impl ControlPlane {
             let Some(donor) = donor else {
                 // no live donor; return the spare and hope the next sweep
                 // finds one (the PG is in serious trouble)
-                self.cfg
-                    .spares
-                    .push((replacement, failed_zone.unwrap_or(Zone(0))));
+                self.cfg.spares.push((replacement, spare_zone));
                 continue;
             };
             let donor_slot = m.slot_of(donor).expect("donor is a member");
@@ -206,6 +299,9 @@ impl ControlPlane {
             self.in_repair.push(RepairJob {
                 segment,
                 replacement,
+                donor,
+                spare_zone,
+                started_at: now,
             });
             jobs.push((
                 SegmentId::new(m.pg, donor_slot),
@@ -266,6 +362,7 @@ impl Actor for ControlPlane {
                 let msg = match msg.downcast::<Heartbeat>() {
                     Ok(_) => {
                         self.last_seen.insert(from, ctx.now());
+                        self.maybe_reclaim_spare(ctx, from);
                         return;
                     }
                     Err(m) => m,

@@ -95,6 +95,10 @@ struct SegmentState {
     /// Backup bookkeeping.
     archived_upto: Lsn,
     backup_count: u32,
+    /// Records at or below this were GC'd out of the log; gossip cannot
+    /// serve a peer whose SCL is below it (the chain link is gone) — such
+    /// a peer needs a full catch-up copy instead.
+    gc_floor: Lsn,
 }
 
 impl SegmentState {
@@ -110,6 +114,7 @@ impl SegmentState {
             peers: Vec::new(),
             archived_upto: Lsn::ZERO,
             backup_count: 0,
+            gc_floor: Lsn::ZERO,
         }
     }
 
@@ -192,6 +197,9 @@ impl SegmentState {
         }
         let dropped = self.log.gc_upto(upto);
         if dropped > 0 {
+            if upto > self.gc_floor {
+                self.gc_floor = upto;
+            }
             // rebuild the page index lazily: prune entries below upto
             for lsns in self.page_index.values_mut() {
                 lsns.retain(|l| *l > upto);
@@ -203,6 +211,15 @@ impl SegmentState {
 
     fn truncate(&mut self, range: aurora_quorum::TruncationRange) {
         use aurora_quorum::epoch::GuardOutcome;
+        // Idempotent re-delivery: the control plane re-sends its durable
+        // range every sweep, and the guard accepts same-epoch offers. The
+        // log chop must only run on first acceptance — re-chopping would
+        // destroy records legitimately written *after* the recovery at
+        // the same epoch (their LSNs sit inside the annulled range, which
+        // only fences *prior*-epoch history).
+        if self.guard.range() == Some(range) {
+            return;
+        }
         if self.guard.offer(range) == GuardOutcome::StaleEpoch {
             return;
         }
@@ -262,6 +279,11 @@ enum PendingOp {
         pages: Vec<(PageId, Page)>,
         records: Vec<LogRecord>,
         applied_upto: Lsn,
+        guard_epoch: aurora_quorum::VolumeEpoch,
+        guard_range: Option<aurora_quorum::TruncationRange>,
+        scl: Lsn,
+        gc_floor: Lsn,
+        catch_up: bool,
     },
     Background,
 }
@@ -277,6 +299,9 @@ pub struct StorageNode {
     /// Volatile.
     pending: HashMap<Tag, PendingOp>,
     next_op: Tag,
+    /// Test hook: serve reads materialized past the read point (see
+    /// [`StorageNode::test_serve_future`]).
+    serve_future: bool,
 }
 
 impl StorageNode {
@@ -286,6 +311,7 @@ impl StorageNode {
             segments: BTreeMap::new(),
             pending: HashMap::new(),
             next_op: TAG_OP_BASE,
+            serve_future: false,
         }
     }
 
@@ -313,6 +339,67 @@ impl StorageNode {
         v
     }
 
+    /// Test/inspection: the truncation-guard epoch of a hosted segment.
+    pub fn guard_epoch(&self, segment: SegmentId) -> Option<aurora_quorum::VolumeEpoch> {
+        self.segments.get(&segment).map(|s| s.guard.epoch())
+    }
+
+    /// Test/inspection: a hosted segment's GC floor.
+    pub fn gc_floor(&self, segment: SegmentId) -> Option<Lsn> {
+        self.segments.get(&segment).map(|s| s.gc_floor)
+    }
+
+    /// Test/inspection: does the segment hold stranded records above its
+    /// SCL (i.e. it knows it is missing something)?
+    pub fn has_gap(&self, segment: SegmentId) -> Option<bool> {
+        self.segments.get(&segment).map(|s| s.log.has_gap())
+    }
+
+    /// Fault-injection hook for the DST oracle negative tests: silently
+    /// drop every log record above `above`, as a buggy (or bit-rotted)
+    /// storage node would. Bypasses the truncation guard on purpose.
+    #[doc(hidden)]
+    pub fn test_forget_tail(&mut self, segment: SegmentId, above: Lsn) {
+        let Some(seg) = self.segments.get_mut(&segment) else {
+            return;
+        };
+        seg.log.truncate_above(above);
+        for lsns in seg.page_index.values_mut() {
+            lsns.retain(|l| *l <= above);
+        }
+        seg.page_index.retain(|_, v| !v.is_empty());
+        if seg.applied_upto > above {
+            seg.pages.clear();
+            seg.applied_upto = Lsn::ZERO;
+            seg.page_index.clear();
+            for rec in seg.log.iter() {
+                if let Some(p) = rec.page() {
+                    seg.page_index.entry(p).or_default().push(rec.lsn);
+                }
+            }
+        }
+        if seg.vdl_hint > above {
+            seg.vdl_hint = above;
+        }
+    }
+
+    /// Fault-injection hook: serve page reads materialized at `Lsn::MAX`
+    /// instead of the requested read point — the snapshot-isolation bug
+    /// the stale-read oracle exists to catch.
+    #[doc(hidden)]
+    pub fn test_serve_future(&mut self, on: bool) {
+        self.serve_future = on;
+    }
+
+    /// Fault-injection hook: reset a segment's truncation guard to a
+    /// fresh (epoch 0) guard, simulating an epoch regression.
+    #[doc(hidden)]
+    pub fn test_reset_epoch(&mut self, segment: SegmentId) {
+        if let Some(seg) = self.segments.get_mut(&segment) {
+            seg.guard = TruncationGuard::new();
+        }
+    }
+
     /// This node's replica of the given PG (a node hosts at most one
     /// replica of any PG — the placement invariant of §2.2).
     fn segment_id_for_pg(&self, pg: aurora_log::PgId) -> Option<SegmentId> {
@@ -322,6 +409,22 @@ impl StorageNode {
     fn segment_for_pg(&self, pg: aurora_log::PgId) -> Option<&SegmentState> {
         self.segment_id_for_pg(pg)
             .and_then(|id| self.segments.get(&id))
+    }
+
+    /// A full segment copy for repair (`catch_up == false`) or gossip
+    /// catch-up of a member stranded behind the GC horizon (`true`).
+    fn full_copy(seg: &SegmentState, dest_segment: SegmentId, catch_up: bool) -> RepairFetchResp {
+        RepairFetchResp {
+            segment: dest_segment,
+            pages: seg.pages.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            records: seg.log.iter().cloned().collect(),
+            applied_upto: seg.applied_upto,
+            guard_epoch: seg.guard.epoch(),
+            guard_range: seg.guard.range(),
+            scl: seg.log.scl(),
+            gc_floor: seg.gc_floor,
+            catch_up,
+        }
     }
 
     fn op(&mut self, op: PendingOp) -> Tag {
@@ -478,6 +581,16 @@ impl StorageNode {
                 if let Some(seg) = self.segment_for_pg(pull.pg) {
                     let my_scl = seg.log.scl();
                     if my_scl > pull.scl {
+                        if pull.scl < seg.gc_floor {
+                            // The chain link the puller needs is GC'd out
+                            // of our log: incremental gossip can never
+                            // advance its SCL. Ship a full catch-up copy
+                            // (the repair mechanism, §2.3) instead.
+                            ctx.inc("storage.catchup_copies", 1);
+                            let resp = Self::full_copy(seg, pull.segment, true);
+                            ctx.send(from, resp);
+                            return;
+                        }
                         let mut records = seg.log.range(pull.scl, my_scl);
                         records.truncate(self.cfg.gossip_batch_limit);
                         if !records.is_empty() {
@@ -654,15 +767,8 @@ impl StorageNode {
             Ok(req) => {
                 if let Some(seg) = self.segments.get(&req.src_segment) {
                     ctx.inc("storage.repair_served", 1);
-                    ctx.send(
-                        req.dest,
-                        RepairFetchResp {
-                            segment: req.dest_segment,
-                            pages: seg.pages.iter().map(|(k, v)| (*k, v.clone())).collect(),
-                            records: seg.log.iter().cloned().collect(),
-                            applied_upto: seg.applied_upto,
-                        },
-                    );
+                    let resp = Self::full_copy(seg, req.dest_segment, false);
+                    ctx.send(req.dest, resp);
                 }
                 return;
             }
@@ -676,6 +782,11 @@ impl StorageNode {
                     pages: resp.pages,
                     records: resp.records,
                     applied_upto: resp.applied_upto,
+                    guard_epoch: resp.guard_epoch,
+                    guard_range: resp.guard_range,
+                    scl: resp.scl,
+                    gc_floor: resp.gc_floor,
+                    catch_up: resp.catch_up,
                 });
                 ctx.disk_write(bytes, tag);
             }
@@ -736,6 +847,11 @@ impl StorageNode {
                 read_point,
             } => {
                 if let Some(seg) = self.segments.get(&segment) {
+                    let read_point = if self.serve_future {
+                        Lsn(u64::MAX)
+                    } else {
+                        read_point
+                    };
                     let image = seg.materialize(page, read_point);
                     ctx.send(
                         from,
@@ -771,19 +887,77 @@ impl StorageNode {
                 pages,
                 records,
                 applied_upto,
+                guard_epoch,
+                guard_range,
+                scl,
+                gc_floor,
+                catch_up,
             } => {
-                let mut seg = SegmentState::new();
-                for (id, p) in pages {
-                    seg.pages.insert(id, p);
-                }
-                for r in records {
-                    seg.ingest(r);
-                }
-                seg.applied_upto = applied_upto;
-                self.segments.insert(segment, seg);
-                ctx.inc("storage.repairs_installed", 1);
-                if let Some(control) = self.cfg.control {
-                    ctx.send(control, RepairDone { segment });
+                if catch_up {
+                    // Gossip catch-up: this member fell behind the donor's
+                    // GC horizon, so the missing chain prefix can never be
+                    // refilled record-by-record. Merge the donor's copy
+                    // into the *existing* segment — never replace it: a
+                    // wholesale install could drop records this node acked
+                    // after the donor took its snapshot, a durability
+                    // break.
+                    let Some(seg) = self.segments.get_mut(&segment) else {
+                        return;
+                    };
+                    if let Some(range) = guard_range {
+                        // Applies a missed recovery truncation (and its
+                        // chop) if the donor's epoch is newer; idempotent
+                        // no-op if we already hold the same range.
+                        seg.truncate(range);
+                    }
+                    for r in records {
+                        seg.ingest(r);
+                    }
+                    for (id, p) in pages {
+                        let mine = seg.pages.entry(id).or_default();
+                        if p.lsn > mine.lsn {
+                            *mine = p;
+                        }
+                    }
+                    // The donor certified completeness through its SCL;
+                    // local records above it may now chain further.
+                    seg.log.adopt_scl(scl);
+                    if applied_upto > seg.applied_upto {
+                        seg.applied_upto = applied_upto;
+                    }
+                    if gc_floor > seg.gc_floor {
+                        seg.gc_floor = gc_floor;
+                    }
+                    ctx.inc("storage.catchups_installed", 1);
+                } else {
+                    let mut seg = SegmentState::new();
+                    // Adopt the donor's truncation guard *before*
+                    // ingesting: a fresh guard at epoch 0 would both admit
+                    // records the donor's recovery annulled and leave the
+                    // new replica fenceable by a stale pre-recovery
+                    // truncation.
+                    if let Some(range) = guard_range {
+                        seg.guard.offer(range);
+                    }
+                    debug_assert_eq!(seg.guard.epoch(), guard_epoch);
+                    for (id, p) in pages {
+                        seg.pages.insert(id, p);
+                    }
+                    for r in records {
+                        seg.ingest(r);
+                    }
+                    // Completeness below the donor's GC floor cannot be
+                    // re-derived from the shipped records (the chain links
+                    // are gone); the donor's SCL is adopted as a certified
+                    // floor.
+                    seg.log.adopt_scl(scl);
+                    seg.applied_upto = applied_upto;
+                    seg.gc_floor = gc_floor;
+                    self.segments.insert(segment, seg);
+                    ctx.inc("storage.repairs_installed", 1);
+                    if let Some(control) = self.cfg.control {
+                        ctx.send(control, RepairDone { segment });
+                    }
                 }
             }
             PendingOp::Background => {}
@@ -806,6 +980,7 @@ impl StorageNode {
                             GossipPull {
                                 pg: id.pg,
                                 scl: seg.log.scl(),
+                                segment: *id,
                             },
                         ));
                     }

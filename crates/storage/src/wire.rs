@@ -165,6 +165,11 @@ pub struct GossipPull {
     /// so peers address each other by protection group.
     pub pg: aurora_log::PgId,
     pub scl: Lsn,
+    /// The puller's own replica of the PG, so a peer that cannot bridge
+    /// the puller's hole from its retained log (the needed records were
+    /// GC'd) can ship a full catch-up copy addressed to the right
+    /// segment.
+    pub segment: SegmentId,
 }
 
 impl Payload for GossipPull {
@@ -501,6 +506,26 @@ pub struct RepairFetchResp {
     pub pages: Vec<(PageId, Page)>,
     pub records: Vec<LogRecord>,
     pub applied_upto: Lsn,
+    /// The donor's truncation-guard epoch. The replacement adopts it so a
+    /// freshly repaired segment cannot be rolled back by a stale
+    /// pre-recovery truncation (epoch fencing, §4.2.3).
+    pub guard_epoch: VolumeEpoch,
+    /// The donor's accepted truncation range, if any.
+    pub guard_range: Option<TruncationRange>,
+    /// The donor's SCL. The chain links below the donor's GC floor are
+    /// gone, so the receiver cannot re-derive completeness from the
+    /// shipped records alone — it adopts this as a certified
+    /// completeness floor ([`SegmentLog::adopt_scl`]).
+    ///
+    /// [`SegmentLog::adopt_scl`]: aurora_log::SegmentLog::adopt_scl
+    pub scl: Lsn,
+    /// The donor's GC floor: records at or below it are gone from the
+    /// donor's log, so the receiver cannot serve gossip below it either.
+    pub gc_floor: Lsn,
+    /// `false`: repair install (fresh segment, report `RepairDone`).
+    /// `true`: gossip catch-up for a member that fell behind the fleet's
+    /// GC horizon — merged into the existing segment, no `RepairDone`.
+    pub catch_up: bool,
 }
 
 impl Payload for RepairFetchResp {
@@ -638,6 +663,11 @@ mod tests {
             pages: vec![(PageId(0), Page::new()), (PageId(1), Page::new())],
             records: vec![],
             applied_upto: Lsn::ZERO,
+            guard_epoch: VolumeEpoch(0),
+            guard_range: None,
+            scl: Lsn::ZERO,
+            gc_floor: Lsn::ZERO,
+            catch_up: false,
         };
         assert!(resp.wire_size() > 2 * PAGE_SIZE);
     }

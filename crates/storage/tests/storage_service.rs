@@ -292,6 +292,47 @@ fn gossip_fills_holes_on_lagging_replicas() {
 }
 
 #[test]
+fn gossip_converges_under_sustained_packet_loss() {
+    use aurora_sim::PacketChaos;
+
+    let mut f = fixture(false, 0);
+    wire_peers(&mut f);
+
+    // 60 chain records, each delivered to a rotating 4-of-6 subset: every
+    // node misses a third of the chain, every record survives somewhere
+    for r in 0u64..60 {
+        let rec = vec![page_write(r + 1, r, r % 8, 0, &[0], &[r as u8])];
+        let targets: Vec<usize> = (0..4).map(|j| ((r as usize) + j) % 6).collect();
+        send_batch(&mut f, rec, 0, &targets);
+        f.sim.run_for(SimDuration::from_millis(2));
+    }
+
+    // sustained lossy network: gossip itself runs under 30% drop and
+    // must still converge by retrying every interval
+    f.sim.set_packet_chaos(Some(PacketChaos {
+        drop: 0.3,
+        duplicate: 0.02,
+        delay: 0.2,
+        delay_by: SimDuration::from_millis(2),
+    }));
+    f.sim.run_for(SimDuration::from_secs(8));
+
+    for (i, &n) in f.nodes.iter().enumerate() {
+        let node = f.sim.actor::<StorageNode>(n);
+        assert_eq!(
+            node.scl(seg(i as u8)),
+            Some(Lsn(60)),
+            "replica {i} should have converged despite sustained packet loss"
+        );
+    }
+    assert!(
+        f.sim.metrics.counter_total("storage.gossip_filled") > 0,
+        "holes must have been filled by gossip"
+    );
+    f.sim.set_packet_chaos(None);
+}
+
+#[test]
 fn read_point_reads_return_correct_versions() {
     let mut f = fixture(false, 0);
     // format page 0, then two successive writes

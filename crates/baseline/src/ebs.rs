@@ -8,7 +8,7 @@
 //! the baseline engine can read pages back and replay its log during
 //! ARIES-style recovery.
 
-use std::collections::HashMap;
+use aurora_sim::hash::FxHashMap as HashMap;
 
 use aurora_log::{apply_record, Lsn, Page, PageId};
 use aurora_sim::{Actor, ActorEvent, Ctx, NodeId, Tag};
@@ -54,10 +54,10 @@ impl EbsVolume {
     pub fn new(mirror: Option<NodeId>) -> Self {
         EbsVolume {
             mirror,
-            pages: HashMap::new(),
+            pages: HashMap::default(),
             log: Vec::new(),
             binlog_bytes: 0,
-            pending: HashMap::new(),
+            pending: HashMap::default(),
             next_op: 1,
         }
     }

@@ -20,7 +20,9 @@
 //! 5.7 batches better. Both are far from Aurora's fully asynchronous
 //! pipeline.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use aurora_sim::hash::FxHashMap as HashMap;
 
 use aurora_core::btree::{BTree, BTreeError, PageEditor, PageMiss, PageProvider, TreeMeta};
 use aurora_core::buffer::BufferPool;
@@ -368,13 +370,13 @@ impl MysqlEngine {
             commit_queue: VecDeque::new(),
             flush: None,
             locks: LockTable::new(),
-            running: HashMap::new(),
+            running: HashMap::default(),
             next_txn: 1,
             next_req: 1,
             next_synthetic: 1 << 40,
-            reads: HashMap::new(),
-            page_waits: HashMap::new(),
-            evictions: HashMap::new(),
+            reads: HashMap::default(),
+            page_waits: HashMap::default(),
+            evictions: HashMap::default(),
             vcpu_free: vec![SimTime::ZERO; vcpus],
             redo_since_checkpoint: 0,
             checkpoint_active: false,

@@ -11,7 +11,9 @@
 //! and therefore the lag — grows without bound ("the replica lag in MySQL
 //! grows from under a second to 300 seconds").
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use aurora_sim::hash::FxHashMap as HashMap;
 
 use aurora_sim::{Actor, ActorEvent, Ctx, NodeId, SimDuration, Tag};
 
@@ -31,7 +33,7 @@ impl StandbyInstance {
     pub fn new(ebs: NodeId) -> Self {
         StandbyInstance {
             ebs,
-            pending: HashMap::new(),
+            pending: HashMap::default(),
             next_req: 1,
         }
     }

@@ -1,0 +1,246 @@
+//! Criterion benchmarks for the DES substrate hot paths this repo's
+//! experiments live on: raw event-kernel dispatch, the zero-copy log
+//! fan-out building blocks (exact-size encode, scratch reuse, shared
+//! batch slices), the coalesce-style apply loop, the interned-metrics
+//! fast path, and one full DST seed as the end-to-end harness window.
+//!
+//! `BENCH_PR4.json` records the checked-in medians; the bench CI job
+//! re-runs these in quick mode on every PR.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use aurora_bench::dst::{self, DstConfig};
+use aurora_log::{
+    apply_record, codec, LogRecord, Lsn, Page, PageId, Patch, PgId, RecordBody, SegmentLog, TxnId,
+};
+use aurora_sim::{Actor, ActorEvent, Ctx, MetricsRegistry, NodeOpts, Payload, Sim, Zone};
+
+fn write_record(lsn: u64, patch_len: usize) -> LogRecord {
+    LogRecord {
+        lsn: Lsn(lsn),
+        prev_in_pg: Lsn(lsn.saturating_sub(1)),
+        pg: PgId(0),
+        txn: TxnId(1),
+        is_cpl: true,
+        body: RecordBody::PageWrite {
+            page: PageId(lsn % 8),
+            patches: vec![Patch {
+                offset: ((lsn * 97) % 3_500) as u32,
+                before: Bytes::from(vec![0u8; patch_len]),
+                after: Bytes::from(vec![(lsn % 251) as u8; patch_len]),
+            }],
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event kernel: raw dispatch overhead
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Ball;
+impl Payload for Ball {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+/// Ping-pong actor: echoes every ball back until the rally budget runs
+/// out. Two of these exchanging N messages measure per-event kernel cost
+/// (heap push/pop, delivery, actor swap) with a trivial actor body.
+struct PingPong {
+    peer: Option<u32>,
+    remaining: u32,
+}
+
+impl Actor for PingPong {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ActorEvent) {
+        match ev {
+            ActorEvent::Start => {
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, Ball);
+                }
+            }
+            ActorEvent::Message { from, msg }
+                if self.remaining > 0 && msg.downcast_ref::<Ball>().is_some() =>
+            {
+                self.remaining -= 1;
+                ctx.send(from, Ball);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn bench_event_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_kernel");
+    const RALLY: u32 = 2_000;
+    g.throughput(Throughput::Elements(RALLY as u64 * 2));
+    g.bench_function("ping_pong_4000_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let a = sim.add_node(
+                "a",
+                Zone(0),
+                Box::new(PingPong {
+                    peer: None,
+                    remaining: RALLY,
+                }),
+                NodeOpts::default(),
+            );
+            let _b = sim.add_node(
+                "b",
+                Zone(1),
+                Box::new(PingPong {
+                    peer: Some(a),
+                    remaining: RALLY,
+                }),
+                NodeOpts::default(),
+            );
+            sim.run_until_idle(100_000);
+            black_box(sim.events_dispatched())
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy fan-out building blocks
+// ---------------------------------------------------------------------
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fanout");
+    let records: Vec<LogRecord> = (1..=1_000).map(|l| write_record(l, 64)).collect();
+    let total: usize = records.iter().map(codec::encoded_size).sum();
+
+    g.throughput(Throughput::Bytes(total as u64));
+    g.bench_function("encode_batch_1000_presized", |b| {
+        b.iter(|| black_box(codec::encode_batch(black_box(&records))))
+    });
+
+    let rec = write_record(42, 128);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_scratch_reuse", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| black_box(codec::encode_scratch(black_box(&rec), &mut scratch).len()))
+    });
+    g.bench_function("encoded_size_exact", |b| {
+        b.iter(|| black_box(codec::encoded_size(black_box(&rec))))
+    });
+
+    // sharing one batch across a six-way segment fan-out: the unit the
+    // engine ships per protection group, cloned per storage node
+    let batch: Arc<[LogRecord]> = records.clone().into();
+    g.throughput(Throughput::Elements(6));
+    g.bench_function("share_batch_6_nodes_arc", |b| {
+        b.iter(|| {
+            let mut sum = 0usize;
+            for _ in 0..6 {
+                let shared = Arc::clone(&batch);
+                sum += shared.len();
+            }
+            black_box(sum)
+        })
+    });
+    g.bench_function("share_batch_6_nodes_clone", |b| {
+        // the pre-PR behaviour, kept for comparison: deep-copy per node
+        b.iter(|| {
+            let mut sum = 0usize;
+            for _ in 0..6 {
+                let copied: Vec<LogRecord> = batch.iter().cloned().collect();
+                sum += copied.len();
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// Coalesce-style apply loop: ingest into a segment log, then apply the
+// indexed range onto page images (the storage node's background path)
+// ---------------------------------------------------------------------
+
+fn bench_apply_coalesce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coalesce");
+    let records: Vec<LogRecord> = (1..=2_000).map(|l| write_record(l, 32)).collect();
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("ingest_apply_gc_2000", |b| {
+        b.iter(|| {
+            let mut log = SegmentLog::new();
+            for r in &records {
+                log.insert(r.clone());
+            }
+            let mut pages: Vec<Page> = (0..8).map(|_| Page::new()).collect();
+            for r in log.range_iter(Lsn::ZERO, Lsn(2_000)) {
+                if let RecordBody::PageWrite { page, .. } = &r.body {
+                    let _ = apply_record(&mut pages[(page.0 % 8) as usize], r);
+                }
+            }
+            let dropped = log.gc_upto(Lsn(1_500));
+            black_box((dropped, pages[0].lsn))
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// Metrics: interned-handle fast path vs string-keyed path
+// ---------------------------------------------------------------------
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("inc_by_name", |b| {
+        let mut m = MetricsRegistry::new();
+        b.iter(|| {
+            m.inc(3, "engine.commits", 1);
+            black_box(m.counter(3, "engine.commits"))
+        })
+    });
+    g.bench_function("inc_by_id", |b| {
+        let mut m = MetricsRegistry::new();
+        let id = m.metric_id("engine.commits");
+        b.iter(|| {
+            m.inc_id(3, id, 1);
+            black_box(id)
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// End-to-end harness window: one DST seed, moderate intensity
+// ---------------------------------------------------------------------
+
+fn bench_e2e_dst_seed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    g.bench_function("dst_seed_moderate", |b| {
+        b.iter(|| {
+            let report = dst::run_seed(&DstConfig {
+                seed: 7,
+                ..DstConfig::default()
+            });
+            assert!(report.violations.is_empty(), "oracle failure in bench");
+            black_box(report.commits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_event_kernel,
+        bench_fanout,
+        bench_apply_coalesce,
+        bench_metrics,
+        bench_e2e_dst_seed
+}
+criterion_main!(benches);

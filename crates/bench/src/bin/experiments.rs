@@ -4,9 +4,111 @@
 //! cargo run --release -p aurora-bench --bin experiments -- all
 //! cargo run --release -p aurora-bench --bin experiments -- table1 fig7
 //! cargo run --release -p aurora-bench --bin experiments -- --scale 0.5 all
+//! cargo run --release -p aurora-bench --bin experiments -- --scale 0.6 --bench-json BENCH.json all
 //! ```
+//!
+//! `--bench-json PATH` additionally records a wall-clock benchmark
+//! profile of the run — total and per-suite elapsed time, events
+//! dispatched by the simulator, events/sec, and peak RSS — and writes it
+//! as JSON. CI compares this profile against the checked-in
+//! `BENCH_PR4.json` to catch substrate performance regressions.
+
+use std::time::Instant;
 
 use aurora_bench::experiments as ex;
+
+const ALL_SUITES: &[&str] = &[
+    "table1",
+    "fig6",
+    "fig7",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig8",
+    "fig11",
+    "fig12",
+    "recovery",
+    "durability",
+    "ablation_quorum",
+    "ablation_group_commit",
+    "ablation_cpl",
+    "ablation_loss",
+];
+
+/// Run one named suite; false if the name is unknown.
+fn run_suite(name: &str, scale: f64) -> bool {
+    match name {
+        "table1" => {
+            ex::table1(scale);
+        }
+        "fig6" => {
+            ex::fig6(scale);
+        }
+        "fig7" => {
+            ex::fig7(scale);
+        }
+        "table2" => {
+            ex::table2(scale);
+        }
+        "table3" => {
+            ex::table3(scale);
+        }
+        "table4" => {
+            ex::table4(scale);
+        }
+        "table5" => {
+            ex::table5(scale);
+        }
+        "fig8" | "fig9" | "fig10" => {
+            ex::fig8_9_10(scale);
+        }
+        "fig11" => {
+            ex::fig11(scale);
+        }
+        "fig12" => {
+            ex::fig12(scale);
+        }
+        "recovery" => {
+            ex::recovery(scale);
+        }
+        "durability" => {
+            ex::durability(scale);
+        }
+        "ablation_quorum" => {
+            ex::ablation_quorum(scale);
+        }
+        "ablation_group_commit" => {
+            ex::ablation_group_commit(scale);
+        }
+        "ablation_cpl" => {
+            ex::ablation_cpl(scale);
+        }
+        "ablation_loss" => {
+            ex::ablation_loss(scale);
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// Peak resident set size in kB, from `/proc/self/status` VmHWM
+/// (Linux-only; 0 where unavailable).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,69 +119,77 @@ fn main() {
             args.drain(pos..=pos + 1);
         }
     }
+    let mut bench_json: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
+        if pos + 1 < args.len() {
+            bench_json = Some(args[pos + 1].clone());
+            args.drain(pos..=pos + 1);
+        }
+    }
     if args.is_empty() {
-        eprintln!("usage: experiments [--scale F] <name>... | all");
-        eprintln!(
-            "names: table1 fig6 fig7 table2 table3 table4 table5 fig8 fig11 fig12 \
-             recovery durability ablation_quorum ablation_group_commit ablation_cpl ablation_loss"
-        );
+        eprintln!("usage: experiments [--scale F] [--bench-json PATH] <name>... | all");
+        eprintln!("names: {}", ALL_SUITES.join(" "));
         std::process::exit(2);
     }
-    for name in &args {
-        match name.as_str() {
-            "all" => ex::run_all(scale),
-            "table1" => {
-                ex::table1(scale);
+
+    // expand `all` so per-suite timings stay meaningful in bench mode
+    let suites: Vec<String> = args
+        .iter()
+        .flat_map(|a| {
+            if a == "all" {
+                ALL_SUITES.iter().map(|s| s.to_string()).collect()
+            } else {
+                vec![a.clone()]
             }
-            "fig6" => {
-                ex::fig6(scale);
-            }
-            "fig7" => {
-                ex::fig7(scale);
-            }
-            "table2" => {
-                ex::table2(scale);
-            }
-            "table3" => {
-                ex::table3(scale);
-            }
-            "table4" => {
-                ex::table4(scale);
-            }
-            "table5" => {
-                ex::table5(scale);
-            }
-            "fig8" | "fig9" | "fig10" => {
-                ex::fig8_9_10(scale);
-            }
-            "fig11" => {
-                ex::fig11(scale);
-            }
-            "fig12" => {
-                ex::fig12(scale);
-            }
-            "recovery" => {
-                ex::recovery(scale);
-            }
-            "durability" => {
-                ex::durability(scale);
-            }
-            "ablation_quorum" => {
-                ex::ablation_quorum(scale);
-            }
-            "ablation_group_commit" => {
-                ex::ablation_group_commit(scale);
-            }
-            "ablation_cpl" => {
-                ex::ablation_cpl(scale);
-            }
-            "ablation_loss" => {
-                ex::ablation_loss(scale);
-            }
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    for name in &suites {
+        let t0 = Instant::now();
+        if !run_suite(name, scale) {
+            eprintln!("unknown experiment: {name}");
+            std::process::exit(2);
         }
+        timings.push((name.clone(), t0.elapsed().as_secs_f64()));
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    if let Some(path) = bench_json {
+        let events = aurora_sim::sim::events_dispatched_total();
+        let eps = if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        };
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"aurora-bench/v1\",\n");
+        out.push_str(&format!("  \"scale\": {scale},\n"));
+        out.push_str(&format!("  \"wall_clock_s\": {wall:.3},\n"));
+        out.push_str(&format!("  \"events_dispatched\": {events},\n"));
+        out.push_str(&format!("  \"events_per_sec\": {eps:.0},\n"));
+        out.push_str(&format!("  \"peak_rss_kb\": {},\n", peak_rss_kb()));
+        out.push_str("  \"suites\": [\n");
+        for (i, (name, secs)) in timings.iter().enumerate() {
+            let comma = if i + 1 == timings.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_s\": {:.3}}}{}\n",
+                json_escape(name),
+                secs,
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench profile: {wall:.2}s wall, {events} events ({eps:.0}/s), \
+             peak RSS {} kB -> {path}",
+            peak_rss_kb()
+        );
     }
 }

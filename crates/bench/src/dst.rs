@@ -479,6 +479,7 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
 
     let tick = SimDuration::from_millis(20);
     let ticks = cfg.window.nanos() / tick.nanos();
+    let mut resp_cursor = 0usize;
     for t in 0..ticks {
         for k in 0..cfg.keys {
             let ki = k as usize;
@@ -506,14 +507,16 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
         }
         c.sim.run_for(tick);
         oracles.poll(&c);
-        for resp in c.responses() {
+        let (fresh, next_cursor) = c.responses_since(resp_cursor);
+        resp_cursor = next_cursor;
+        for resp in fresh {
             if resp.conn >= 500_000_000 {
                 continue; // replica reads are fire-and-forget
             }
             let key = (resp.conn / 1_000_000) as usize;
             let version = resp.conn % 1_000_000;
             if version != next_version[key] {
-                continue; // responses() is cumulative
+                continue; // chaos can duplicate a response
             }
             in_flight[key] = None;
             match resp.result {

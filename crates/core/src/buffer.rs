@@ -15,7 +15,7 @@
 //! The same pool serves the baseline engine, where eviction of a dirty
 //! page instead forces a page write (returned to the caller to charge IO).
 
-use std::collections::HashMap;
+use aurora_sim::hash::{FxBuildHasher, FxHashMap as HashMap};
 
 use aurora_log::{Lsn, Page, PageId};
 
@@ -40,7 +40,7 @@ impl BufferPool {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         BufferPool {
-            frames: HashMap::with_capacity(capacity),
+            frames: HashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
             capacity,
             tick: 0,
             hits: 0,

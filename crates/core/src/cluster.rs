@@ -338,6 +338,18 @@ impl Cluster {
             .collect()
     }
 
+    /// Client responses received at or after probe-inbox position
+    /// `cursor`, plus the new cursor. Polling loops should prefer this
+    /// over [`Cluster::responses`]: the cumulative form re-clones the
+    /// entire response history on every call.
+    pub fn responses_since(&self, cursor: usize) -> (Vec<crate::wire::ClientResponse>, usize) {
+        let (new, next) = self
+            .sim
+            .actor::<Probe>(self.client)
+            .received_since::<crate::wire::ClientResponse>(cursor);
+        (new.into_iter().map(|(_, r)| r.clone()).collect(), next)
+    }
+
     /// The writer actor, for inspection.
     pub fn engine_actor(&self) -> &EngineActor {
         self.sim.actor::<EngineActor>(self.engine)

@@ -25,7 +25,10 @@
 //! unapply would be unsound here because two transactions can shift rows
 //! within the same leaf.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+
+use aurora_sim::hash::{FxHashMap as HashMap, FxHashSet as HashSet};
+use std::sync::Arc;
 
 use aurora_log::{
     mtr::CplMode, LogRecord, Lsn, LsnAllocator, MtrBuilder, Page, PageId, Patch, PgId, RecordBody,
@@ -208,7 +211,10 @@ struct PendingCommit {
 struct OutBatch {
     // BTreeMap, not HashMap: (re)shipping iterates this map and sends a
     // WriteBatch per entry — send order must be deterministic for replay.
-    by_pg: BTreeMap<PgId, Vec<LogRecord>>,
+    // The shared slices are the same allocations the original sends
+    // carried: retransmissions re-reference them instead of re-cloning
+    // the records (watermark piggybacks are rebuilt fresh each send).
+    by_pg: BTreeMap<PgId, Arc<[LogRecord]>>,
     acked: HashSet<(u32, u8)>,
     last_sent: SimTime,
 }
@@ -247,8 +253,60 @@ struct RecoveryState {
 }
 
 /// The writer-instance actor.
+/// Pre-resolved handles for the engine's per-event counters (see
+/// [`Ctx::inc_id`]): the commit/exec/flush loops run several metric
+/// updates per event, and a handle turns each into a direct slot index.
+/// Resolved lazily on first use; handles stay valid across stat clears
+/// and crash/restart cycles.
+#[derive(Clone, Copy)]
+struct HotIds {
+    txn_ns: aurora_sim::MetricId,
+    commit_ns: aurora_sim::MetricId,
+    commits: aurora_sim::MetricId,
+    read_txns: aurora_sim::MetricId,
+    write_txns: aurora_sim::MetricId,
+    lock_waits: aurora_sim::MetricId,
+    lal_stalls: aurora_sim::MetricId,
+    log_write_ios: aurora_sim::MetricId,
+    batches: aurora_sim::MetricId,
+    records_shipped: aurora_sim::MetricId,
+    page_fetches: aurora_sim::MetricId,
+    page_fetch_ns: aurora_sim::MetricId,
+    select_ns: aurora_sim::MetricId,
+    scan_ns: aurora_sim::MetricId,
+    insert_ns: aurora_sim::MetricId,
+    update_ns: aurora_sim::MetricId,
+    delete_ns: aurora_sim::MetricId,
+}
+
+impl HotIds {
+    fn resolve(ctx: &mut Ctx<'_>) -> Self {
+        HotIds {
+            txn_ns: ctx.metric_id("engine.txn_ns"),
+            commit_ns: ctx.metric_id("engine.commit_ns"),
+            commits: ctx.metric_id("engine.commits"),
+            read_txns: ctx.metric_id("engine.read_txns"),
+            write_txns: ctx.metric_id("engine.write_txns"),
+            lock_waits: ctx.metric_id("engine.lock_waits"),
+            lal_stalls: ctx.metric_id("engine.lal_stalls"),
+            log_write_ios: ctx.metric_id("engine.log_write_ios"),
+            batches: ctx.metric_id("engine.batches"),
+            records_shipped: ctx.metric_id("engine.records_shipped"),
+            page_fetches: ctx.metric_id("engine.page_fetches"),
+            page_fetch_ns: ctx.metric_id("engine.page_fetch_ns"),
+            select_ns: ctx.metric_id("engine.select_ns"),
+            scan_ns: ctx.metric_id("engine.scan_ns"),
+            insert_ns: ctx.metric_id("engine.insert_ns"),
+            update_ns: ctx.metric_id("engine.update_ns"),
+            delete_ns: ctx.metric_id("engine.delete_ns"),
+        }
+    }
+}
+
 pub struct EngineActor {
     cfg: EngineConfig,
+    /// Lazily resolved metric handles (not state: survives crashes).
+    hot: Option<HotIds>,
     tree: BTree,
     status: EngineStatus,
     engine_version: u64,
@@ -477,6 +535,11 @@ pub fn bootstrap_row(key: u64, row_size: usize) -> Vec<u8> {
 }
 
 impl EngineActor {
+    /// Resolve (once) and copy out the hot metric handles.
+    fn hot(&mut self, ctx: &mut Ctx<'_>) -> HotIds {
+        *self.hot.get_or_insert_with(|| HotIds::resolve(ctx))
+    }
+
     pub fn new(cfg: EngineConfig) -> Self {
         let tree = BTree::new(TreeMeta::for_row_size(cfg.row_size, PageId(0)));
         let pool = BufferPool::new(cfg.instance.buffer_pages);
@@ -484,27 +547,28 @@ impl EngineActor {
         let tracker = DurabilityTracker::new(cfg.quorum, Lsn::ZERO);
         let vcpus = cfg.instance.vcpus as usize;
         EngineActor {
+            hot: None,
             tree,
             pool,
             alloc,
             tracker,
             status: EngineStatus::Bootstrapping,
             engine_version: 1,
-            chain_tails: HashMap::new(),
+            chain_tails: HashMap::default(),
             epoch: VolumeEpoch(0),
             staging: Vec::new(),
             staging_cpl: None,
             staging_pgs: Vec::new(),
             commit_waiters: BTreeMap::new(),
             locks: LockTable::new(),
-            running: HashMap::new(),
+            running: HashMap::default(),
             lal_waiters: VecDeque::new(),
             next_txn: 1,
             next_req: 1,
             next_synthetic_conn: CONN_SYNTHETIC_BASE,
-            scls: HashMap::new(),
-            reads: HashMap::new(),
-            page_waits: HashMap::new(),
+            scls: HashMap::default(),
+            reads: HashMap::default(),
+            page_waits: HashMap::default(),
             pending_inserts: Vec::new(),
             outstanding: BTreeMap::new(),
             vcpu_free: vec![SimTime::ZERO; vcpus],
@@ -512,7 +576,7 @@ impl EngineActor {
             last_truncation: None,
             zdp: None,
             patch_queue: Vec::new(),
-            known_conns: HashSet::new(),
+            known_conns: HashSet::default(),
             bootstrap_next: 0,
             cfg,
         }
@@ -673,6 +737,7 @@ impl EngineActor {
     }
 
     fn flush_staging(&mut self, ctx: &mut Ctx<'_>) {
+        let ids = self.hot(ctx);
         if self.staging.is_empty() {
             return;
         }
@@ -684,11 +749,15 @@ impl EngineActor {
         self.tracker.register(batch_end, cpl, &pgs);
         let vdl = self.tracker.vdl();
         let pgmrpl = self.pgmrpl();
-        // shard by PG (§5) and ship to all six replicas of each PG
-        let mut by_pg: BTreeMap<PgId, Vec<LogRecord>> = BTreeMap::new();
+        // shard by PG (§5) and ship to all six replicas of each PG —
+        // each PG's shard is assembled once and every send (and any later
+        // retransmission) shares the same allocation
+        let mut shards: BTreeMap<PgId, Vec<LogRecord>> = BTreeMap::new();
         for r in &records {
-            by_pg.entry(r.pg).or_default().push(r.clone());
+            shards.entry(r.pg).or_default().push(r.clone());
         }
+        let by_pg: BTreeMap<PgId, Arc<[LogRecord]>> =
+            shards.into_iter().map(|(pg, v)| (pg, v.into())).collect();
         for (pg, recs) in &by_pg {
             let m = self.membership(*pg).clone();
             for (slot, node) in m.slots.iter().enumerate() {
@@ -696,38 +765,41 @@ impl EngineActor {
                     *node,
                     swire::WriteBatch {
                         segment: SegmentId::new(*pg, slot as u8),
-                        records: recs.clone(),
+                        records: Arc::clone(recs),
                         batch_end,
                         epoch: self.epoch,
                         vdl,
                         pgmrpl,
                     },
                 );
-                ctx.inc("engine.log_write_ios", 1);
+                ctx.inc_id(ids.log_write_ios, 1);
             }
         }
         self.outstanding.insert(
             batch_end,
             OutBatch {
                 by_pg,
-                acked: HashSet::new(),
+                acked: HashSet::default(),
                 last_sent: ctx.now(),
             },
         );
-        // stream to read replicas (not part of the commit path)
+        // stream to read replicas (not part of the commit path); the
+        // whole-batch slice is likewise shared across every replica send
         let now = ctx.now();
+        let record_count = records.len();
+        let stream: Arc<[LogRecord]> = records.into();
         for replica in self.cfg.replicas.clone() {
             ctx.send(
                 replica,
                 LogStream {
-                    records: records.clone(),
+                    records: Arc::clone(&stream),
                     vdl,
                     sent_at: now,
                 },
             );
         }
-        ctx.inc("engine.batches", 1);
-        ctx.inc("engine.records_shipped", records.len() as u64);
+        ctx.inc_id(ids.batches, 1);
+        ctx.inc_id(ids.records_shipped, record_count as u64);
     }
 
     fn maybe_flush(&mut self, ctx: &mut Ctx<'_>) {
@@ -739,6 +811,7 @@ impl EngineActor {
     // ---- VDL advance reactions ----
 
     fn on_vdl_advance(&mut self, ctx: &mut Ctx<'_>, vdl: Lsn) {
+        let ids = self.hot(ctx);
         self.alloc.advance_vdl(vdl);
         // complete asynchronous commits (§4.2.2)
         let ready: Vec<Lsn> = self.commit_waiters.range(..=vdl).map(|(l, _)| *l).collect();
@@ -746,11 +819,11 @@ impl EngineActor {
         for lsn in ready {
             for pc in self.commit_waiters.remove(&lsn).unwrap() {
                 let latency = now.since(pc.issued_at).nanos();
-                ctx.record("engine.txn_ns", latency);
+                ctx.record_id(ids.txn_ns, latency);
                 if pc.is_write {
-                    ctx.record("engine.commit_ns", latency);
+                    ctx.record_id(ids.commit_ns, latency);
                 }
-                ctx.inc("engine.commits", 1);
+                ctx.inc_id(ids.commits, 1);
                 ctx.send(
                     pc.client,
                     ClientResponse {
@@ -847,6 +920,7 @@ impl EngineActor {
     /// Execute the op at `pc` (after its CPU slice, a page arrival, a lock
     /// grant, or a LAL release).
     fn exec_current_op(&mut self, ctx: &mut Ctx<'_>, conn: u64) {
+        let ids = self.hot(ctx);
         let Some(rt) = self.running.get(&conn) else {
             return;
         };
@@ -862,7 +936,7 @@ impl EngineActor {
             match self.locks.acquire(key, txn) {
                 LockOutcome::Granted => {}
                 LockOutcome::Queued => {
-                    ctx.inc("engine.lock_waits", 1);
+                    ctx.inc_id(ids.lock_waits, 1);
                     let now = ctx.now();
                     if let Some(rt) = self.running.get_mut(&conn) {
                         rt.phase = Phase::LockWait { key, since: now };
@@ -875,17 +949,17 @@ impl EngineActor {
         match self.try_exec_op(conn, &op) {
             Ok(result) => {
                 let kind = match &op {
-                    Op::Get(_) => "engine.select_ns",
-                    Op::Scan(_, _) => "engine.scan_ns",
-                    Op::Insert(_, _) => "engine.insert_ns",
-                    Op::Update(_, _) | Op::Upsert(_, _) => "engine.update_ns",
-                    Op::Delete(_) => "engine.delete_ns",
+                    Op::Get(_) => ids.select_ns,
+                    Op::Scan(_, _) => ids.scan_ns,
+                    Op::Insert(_, _) => ids.insert_ns,
+                    Op::Update(_, _) | Op::Upsert(_, _) => ids.update_ns,
+                    Op::Delete(_) => ids.delete_ns,
                 };
                 let rt = self.running.get_mut(&conn).unwrap();
                 let elapsed = ctx.now().since(rt.op_started).nanos();
                 rt.results.push(result);
                 rt.pc += 1;
-                ctx.record(kind, elapsed);
+                ctx.record_id(kind, elapsed);
                 self.maybe_flush(ctx);
                 self.start_op(ctx, conn);
             }
@@ -900,7 +974,7 @@ impl EngineActor {
                     rt.phase = Phase::LalWait;
                 }
                 self.lal_waiters.push_back(conn);
-                ctx.inc("engine.lal_stalls", 1);
+                ctx.inc_id(ids.lal_stalls, 1);
             }
             Err(ExecStall::Abort(reason)) => {
                 self.abort_txn(ctx, conn, reason);
@@ -1061,9 +1135,10 @@ impl EngineActor {
         }
         if !rt.wrote {
             // read-only: respond immediately, nothing to make durable
-            ctx.inc("engine.read_txns", 1);
-            ctx.inc("engine.commits", 1);
-            ctx.record("engine.txn_ns", ctx.now().since(rt.issued_at).nanos());
+            let ids = self.hot(ctx);
+            ctx.inc_id(ids.read_txns, 1);
+            ctx.inc_id(ids.commits, 1);
+            ctx.record_id(ids.txn_ns, ctx.now().since(rt.issued_at).nanos());
             ctx.send(
                 rt.client,
                 ClientResponse {
@@ -1078,7 +1153,8 @@ impl EngineActor {
         // write txn: log the commit record; ack when VDL covers it
         match self.seal_mtr(rt.txn, vec![RecordBody::TxnCommit]) {
             Ok((_, commit_lsn)) => {
-                ctx.inc("engine.write_txns", 1);
+                let ids = self.hot(ctx);
+                ctx.inc_id(ids.write_txns, 1);
                 // early lock release is safe: the VDL advances in LSN
                 // order, so a dependent commit can never out-run this one
                 self.locks.release_all(rt.txn);
@@ -1230,7 +1306,8 @@ impl EngineActor {
             },
         );
         let node = self.membership(pg).slots[target.replica as usize];
-        ctx.inc("engine.page_fetches", 1);
+        let ids = self.hot(ctx);
+        ctx.inc_id(ids.page_fetches, 1);
         ctx.send(
             node,
             swire::ReadPageReq {
@@ -1286,7 +1363,8 @@ impl EngineActor {
             return; // stale retry
         };
         self.page_waits.remove(&pr.page);
-        ctx.record("engine.page_fetch_ns", ctx.now().since(pr.sent_at).nanos());
+        let ids = self.hot(ctx);
+        ctx.record_id(ids.page_fetch_ns, ctx.now().since(pr.sent_at).nanos());
         // DST snapshot-safety oracle tap: a storage node must never serve
         // a page image materialized past the requested read point.
         if resp.page.lsn > pr.read_point {
@@ -1392,11 +1470,14 @@ impl EngineActor {
                     if ob.acked.contains(&(pg.0, slot as u8)) {
                         continue;
                     }
+                    // Re-reference the originally shipped slice; only the
+                    // watermark piggybacks (epoch/vdl/pgmrpl) are rebuilt,
+                    // because they must reflect *current* state on resend.
                     sends.push((
                         *node,
                         swire::WriteBatch {
                             segment: SegmentId::new(*pg, slot as u8),
-                            records: recs.clone(),
+                            records: Arc::clone(recs),
                             batch_end,
                             epoch,
                             vdl,
@@ -1641,7 +1722,7 @@ impl EngineActor {
         // first post-recovery record's backlink must point at a real chain
         // record or no segment can ever advance its SCL past it again.
         // PGs with no learned tail (provably empty) restart their chain at 0.
-        let mut tails = HashMap::new();
+        let mut tails = HashMap::default();
         for m in &self.cfg.memberships {
             let tail = rec.tails.get(&m.pg.0).copied().unwrap_or(Lsn::ZERO);
             tails.insert(m.pg, tail);
@@ -1655,7 +1736,7 @@ impl EngineActor {
         self.status = EngineStatus::Ready;
 
         // Logical undo, grouped per transaction, newest-first within each.
-        let mut per_txn: HashMap<TxnId, Vec<(Lsn, Op)>> = HashMap::new();
+        let mut per_txn: HashMap<TxnId, Vec<(Lsn, Op)>> = HashMap::default();
         for r in &undo_records {
             if let RecordBody::Undo { data } = &r.body {
                 if let Some((t, op)) = decode_undo(data) {

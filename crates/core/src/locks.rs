@@ -9,7 +9,9 @@
 //! the engine's lock-wait timeout (as in InnoDB's
 //! `innodb_lock_wait_timeout`), which aborts the waiting transaction.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use aurora_sim::hash::FxHashMap as HashMap;
 
 use aurora_log::TxnId;
 

@@ -116,6 +116,25 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Exact encoded size of a record, so encode buffers can be sized once
+/// and never reallocate mid-record.
+pub fn encoded_size(rec: &LogRecord) -> usize {
+    // crc + len + (lsn, prev_in_pg, pg, txn, flags, tag)
+    let body = match &rec.body {
+        RecordBody::PageWrite { patches, .. } => {
+            8 + 2
+                + patches
+                    .iter()
+                    .map(|p| 4 + 4 + p.before.len() + 4 + p.after.len())
+                    .sum::<usize>()
+        }
+        RecordBody::PageFormat { init, .. } => 8 + 4 + init.len(),
+        RecordBody::TxnBegin | RecordBody::TxnCommit | RecordBody::TxnAbort => 0,
+        RecordBody::Undo { data } => 4 + data.len(),
+    };
+    8 + 30 + body
+}
+
 /// Encode one record, appending to `out`.
 pub fn encode_into(rec: &LogRecord, out: &mut Vec<u8>) {
     let start = out.len();
@@ -158,11 +177,24 @@ pub fn encode_into(rec: &LogRecord, out: &mut Vec<u8>) {
     out[start + 4..start + 8].copy_from_slice(&len.to_le_bytes());
 }
 
-/// Encode one record to a fresh buffer.
+/// Encode one record to a fresh buffer, sized exactly up front.
 pub fn encode(rec: &LogRecord) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
+    let mut out = Vec::with_capacity(encoded_size(rec));
     encode_into(rec, &mut out);
     out
+}
+
+/// Encode one record into a reusable scratch buffer (cleared first);
+/// returns the encoded slice. Steady-state callers (the scrub path, write
+/// staging) pay zero allocations once the scratch has warmed up.
+pub fn encode_scratch<'a>(rec: &LogRecord, scratch: &'a mut Vec<u8>) -> &'a [u8] {
+    scratch.clear();
+    let need = encoded_size(rec);
+    if scratch.capacity() < need {
+        scratch.reserve_exact(need - scratch.capacity());
+    }
+    encode_into(rec, scratch);
+    scratch.as_slice()
 }
 
 /// Decode one record from the front of `buf`; returns the record and the
@@ -227,9 +259,9 @@ pub fn decode(buf: &[u8]) -> Result<(LogRecord, usize), DecodeError> {
     ))
 }
 
-/// Encode a batch of records back-to-back.
+/// Encode a batch of records back-to-back, sized exactly up front.
 pub fn encode_batch(recs: &[LogRecord]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(recs.len() * 64);
+    let mut out = Vec::with_capacity(recs.iter().map(encoded_size).sum());
     for r in recs {
         encode_into(r, &mut out);
     }
@@ -312,6 +344,55 @@ mod tests {
             assert_eq!(n, buf.len());
             assert_eq!(back, rec);
         }
+    }
+
+    #[test]
+    fn encoded_size_is_exact() {
+        let variants = vec![
+            sample(),
+            LogRecord {
+                body: RecordBody::PageFormat {
+                    page: PageId(5),
+                    init: Bytes::from_static(b"header"),
+                },
+                ..sample()
+            },
+            LogRecord {
+                body: RecordBody::TxnBegin,
+                ..sample()
+            },
+            LogRecord {
+                body: RecordBody::Undo {
+                    data: Bytes::from_static(b"inverse-op"),
+                },
+                ..sample()
+            },
+        ];
+        for rec in variants {
+            let buf = encode(&rec);
+            assert_eq!(buf.len(), encoded_size(&rec));
+            assert_eq!(buf.capacity(), encoded_size(&rec));
+        }
+    }
+
+    #[test]
+    fn scratch_encoding_matches_fresh() {
+        let mut scratch = Vec::new();
+        let recs = [
+            sample(),
+            LogRecord {
+                lsn: Lsn(43),
+                body: RecordBody::TxnCommit,
+                ..sample()
+            },
+        ];
+        for rec in &recs {
+            let fresh = encode(rec);
+            let reused = encode_scratch(rec, &mut scratch);
+            assert_eq!(reused, fresh.as_slice());
+        }
+        // the scratch kept its (largest) capacity across records
+        assert!(scratch.capacity() >= recs.iter().map(encoded_size).max().unwrap());
     }
 
     #[test]

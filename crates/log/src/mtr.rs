@@ -11,7 +11,7 @@
 //! allocates a contiguous LSN range (honouring LAL back-pressure), threads
 //! the per-PG backlinks, and tags the CPL.
 
-use std::collections::HashMap;
+use aurora_sim::hash::FxHashMap;
 
 use crate::lsn::{LalExceeded, Lsn, LsnAllocator, PgId, TxnId};
 use crate::page::PageId;
@@ -64,7 +64,7 @@ impl MtrBuilder {
         self,
         alloc: &mut LsnAllocator,
         mut pg_of_page: impl FnMut(PageId) -> PgId,
-        chain_tails: &mut HashMap<PgId, Lsn>,
+        chain_tails: &mut FxHashMap<PgId, Lsn>,
         cpl_mode: CplMode,
     ) -> Result<Vec<LogRecord>, (MtrBuilder, LalExceeded)> {
         if self.entries.is_empty() {
@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn empty_mtr_produces_nothing() {
         let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
-        let mut tails = HashMap::new();
+        let mut tails = FxHashMap::default();
         let recs = MtrBuilder::new()
             .finish(&mut alloc, |_| PgId(0), &mut tails, CplMode::LastOnly)
             .map_err(|_| ())
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn contiguous_lsns_and_cpl_on_last() {
         let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
-        let mut tails = HashMap::new();
+        let mut tails = FxHashMap::default();
         let mut b = MtrBuilder::new();
         b.push(TxnId(1), body(0));
         b.push(TxnId(1), body(1));
@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn backlinks_thread_per_pg() {
         let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
-        let mut tails = HashMap::new();
+        let mut tails = FxHashMap::default();
         let mut b = MtrBuilder::new();
         // pages 0,2 -> PG0; page 1 -> PG1
         b.push(TxnId(1), body(0));
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn txn_control_goes_to_pg0() {
         let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
-        let mut tails = HashMap::new();
+        let mut tails = FxHashMap::default();
         let mut b = MtrBuilder::new();
         b.push(TxnId(9), RecordBody::TxnCommit);
         let recs = b
@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn cpl_every_mode() {
         let mut alloc = LsnAllocator::new(Lsn::ZERO, LAL_DEFAULT);
-        let mut tails = HashMap::new();
+        let mut tails = FxHashMap::default();
         let mut b = MtrBuilder::new();
         b.push(TxnId(1), body(0));
         b.push(TxnId(1), body(1));
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn lal_back_pressure_returns_builder_intact() {
         let mut alloc = LsnAllocator::new(Lsn::ZERO, 2);
-        let mut tails = HashMap::new();
+        let mut tails = FxHashMap::default();
         let mut b = MtrBuilder::new();
         b.push(TxnId(1), body(0));
         b.push(TxnId(1), body(1));

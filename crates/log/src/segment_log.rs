@@ -13,7 +13,9 @@
 //! recovery-time truncation of records above the new VDL, and garbage
 //! collection below the PGMRPL once records are materialized into pages.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use aurora_sim::hash::FxHashMap;
 
 use crate::lsn::Lsn;
 use crate::record::LogRecord;
@@ -25,7 +27,7 @@ pub struct SegmentLog {
     records: BTreeMap<Lsn, LogRecord>,
     /// chain index: prev_in_pg -> lsn (the chain is a linked list, so the
     /// mapping is injective within one PG).
-    by_prev: HashMap<Lsn, Lsn>,
+    by_prev: FxHashMap<Lsn, Lsn>,
     /// Segment Complete LSN: every chain record at or below this is present
     /// (or was present before being garbage-collected).
     scl: Lsn,
@@ -97,6 +99,22 @@ impl SegmentLog {
             .range(from_exclusive.next()..=to_inclusive)
             .map(|(_, r)| r.clone())
             .collect()
+    }
+
+    /// Borrowing variant of [`SegmentLog::range`]: records in `(from, to]`
+    /// in LSN order, without cloning. The coalescing scan applies records
+    /// in place and never needs owned copies.
+    pub fn range_iter(
+        &self,
+        from_exclusive: Lsn,
+        to_inclusive: Lsn,
+    ) -> impl Iterator<Item = &LogRecord> {
+        let inner = if from_exclusive >= to_inclusive {
+            None
+        } else {
+            Some(self.records.range(from_exclusive.next()..=to_inclusive))
+        };
+        inner.into_iter().flatten().map(|(_, r)| r)
     }
 
     /// All records in LSN order (recovery / coalescing scans).

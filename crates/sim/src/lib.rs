@@ -25,6 +25,7 @@
 
 pub mod dist;
 pub mod fault;
+pub mod hash;
 pub mod metrics;
 pub mod msg;
 pub mod net;
@@ -36,7 +37,8 @@ pub mod time;
 
 pub use dist::Dist;
 pub use fault::{FaultAction, FaultPlan, FaultPlanError, PacketChaos};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use hash::{FxHashMap, FxHashSet};
+pub use metrics::{Histogram, MetricId, MetricsRegistry};
 pub use msg::{Msg, Payload};
 pub use net::{LinkSpec, NetPolicy, NetStats};
 pub use probe::{Probe, Relay};

@@ -5,8 +5,19 @@
 //! registry. Histograms are log-bucketed (HDR-style: power-of-two buckets
 //! each split into 16 linear sub-buckets), which keeps relative error under
 //! ~6% across the nanosecond-to-minute range we record.
+//!
+//! Metric names are `&'static str` at the API surface but are interned to
+//! dense `u32` ids internally: the first touch of a name resolves it
+//! through a pointer-keyed map (string literals have stable addresses, so
+//! repeat touches never hash the string content), and counter storage is a
+//! dense `Vec<u64>` per owner. Hot actors can go one step further and
+//! cache a [`MetricId`] so the per-event cost is a bounds-checked add.
+//! Interning survives [`MetricsRegistry::clear`], so handles resolved
+//! before a warm-up boundary stay valid after it.
 
 use std::collections::HashMap;
+
+pub(crate) use crate::hash::FxHashMap as FxMap;
 
 /// A log-bucketed histogram of `u64` values (we record nanoseconds).
 #[derive(Debug, Clone)]
@@ -158,78 +169,210 @@ impl Histogram {
     }
 }
 
+/// An interned metric name: a dense index into the registry's tables.
+/// Resolve once with [`MetricsRegistry::metric_id`] (or `Ctx::metric_id`)
+/// and use `inc_id`/`record_id` in hot loops. Ids are stable across
+/// [`MetricsRegistry::clear`] but are only meaningful for the registry
+/// that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(pub(crate) u32);
+
 /// Registry of named counters and histograms, keyed by `(owner, name)`.
 /// `owner` is a node id in practice; `u32::MAX` is used for global metrics.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: HashMap<(u32, &'static str), u64>,
-    histograms: HashMap<(u32, &'static str), Histogram>,
+    /// Fast path: `&'static str` address -> id. Literals have one address
+    /// per crate at least; duplicates fall through to `by_name` once.
+    by_ptr: FxMap<(usize, usize), u32>,
+    /// Content-keyed map: the source of truth for name -> id.
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+    /// counters[owner_slot][metric_id]; slot 0 is GLOBAL, slot n+1 node n.
+    counters: Vec<Vec<u64>>,
+    /// `true` once any owner touched the id since the last clear — keeps
+    /// `counter_names` faithful to the old map-of-entries behaviour.
+    counter_touched: Vec<bool>,
+    histograms: Vec<Vec<Option<Box<Histogram>>>>,
 }
 
 /// Owner id used for simulation-global metrics.
 pub const GLOBAL: u32 = u32::MAX;
+
+#[inline]
+fn slot(owner: u32) -> usize {
+    if owner == GLOBAL {
+        0
+    } else {
+        owner as usize + 1
+    }
+}
 
 impl MetricsRegistry {
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Intern a metric name to a dense id (idempotent).
+    pub fn metric_id(&mut self, name: &'static str) -> MetricId {
+        let key = (name.as_ptr() as usize, name.len());
+        if let Some(&id) = self.by_ptr.get(&key) {
+            return MetricId(id);
+        }
+        let id = match self.by_name.get(name) {
+            Some(&id) => id,
+            None => {
+                let id = self.names.len() as u32;
+                self.names.push(name);
+                self.by_name.insert(name, id);
+                self.counter_touched.push(false);
+                id
+            }
+        };
+        self.by_ptr.insert(key, id);
+        MetricId(id)
+    }
+
+    /// Look up an already-interned name without mutating (readers).
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
     /// Add `v` to a counter.
+    #[inline]
     pub fn inc(&mut self, owner: u32, name: &'static str, v: u64) {
-        *self.counters.entry((owner, name)).or_insert(0) += v;
+        let id = self.metric_id(name);
+        self.inc_id(owner, id, v);
+    }
+
+    /// Add `v` to a counter through a pre-resolved handle (no hashing).
+    #[inline]
+    pub fn inc_id(&mut self, owner: u32, id: MetricId, v: u64) {
+        let s = slot(owner);
+        let i = id.0 as usize;
+        if s >= self.counters.len() {
+            self.counters.resize_with(s + 1, Vec::new);
+        }
+        let row = &mut self.counters[s];
+        if i >= row.len() {
+            row.resize(self.names.len().max(i + 1), 0);
+        }
+        row[i] += v;
+        self.counter_touched[i] = true;
     }
 
     /// Read a counter (0 if never written).
     pub fn counter(&self, owner: u32, name: &'static str) -> u64 {
-        self.counters.get(&(owner, name)).copied().unwrap_or(0)
+        let Some(id) = self.lookup(name) else {
+            return 0;
+        };
+        self.counters
+            .get(slot(owner))
+            .and_then(|row| row.get(id as usize))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Sum of a counter across all owners.
     pub fn counter_total(&self, name: &'static str) -> u64 {
+        let Some(id) = self.lookup(name) else {
+            return 0;
+        };
         self.counters
             .iter()
-            .filter(|((_, n), _)| *n == name)
-            .map(|(_, v)| *v)
+            .filter_map(|row| row.get(id as usize))
             .sum()
     }
 
     /// Record into a histogram.
+    #[inline]
     pub fn record(&mut self, owner: u32, name: &'static str, value: u64) {
-        self.histograms
-            .entry((owner, name))
-            .or_default()
-            .record(value);
+        let id = self.metric_id(name);
+        self.record_id(owner, id, value);
+    }
+
+    /// Record into a histogram through a pre-resolved handle.
+    #[inline]
+    pub fn record_id(&mut self, owner: u32, id: MetricId, value: u64) {
+        let s = slot(owner);
+        let i = id.0 as usize;
+        if s >= self.histograms.len() {
+            self.histograms.resize_with(s + 1, Vec::new);
+        }
+        let row = &mut self.histograms[s];
+        if i >= row.len() {
+            row.resize_with(self.names.len().max(i + 1), || None);
+        }
+        row[i].get_or_insert_with(Default::default).record(value);
     }
 
     /// Read a histogram, if any values were recorded.
     pub fn histogram(&self, owner: u32, name: &'static str) -> Option<&Histogram> {
-        self.histograms.get(&(owner, name))
+        let id = self.lookup(name)?;
+        self.histograms
+            .get(slot(owner))?
+            .get(id as usize)?
+            .as_deref()
+            .filter(|h| h.count() > 0)
     }
 
     /// Merged histogram across all owners with this name.
     pub fn histogram_total(&self, name: &'static str) -> Histogram {
         let mut out = Histogram::new();
-        for ((_, n), h) in self.histograms.iter() {
-            if *n == name {
+        let Some(id) = self.lookup(name) else {
+            return out;
+        };
+        for row in self.histograms.iter() {
+            if let Some(Some(h)) = row.get(id as usize) {
                 out.merge(h);
             }
         }
         out
     }
 
-    /// Clear every metric (warm-up boundary).
+    /// Clear every metric (warm-up boundary). Interned ids stay valid —
+    /// only the recorded values reset.
     pub fn clear(&mut self) {
-        self.counters.clear();
-        self.histograms.clear();
+        for row in self.counters.iter_mut() {
+            row.iter_mut().for_each(|v| *v = 0);
+        }
+        for row in self.histograms.iter_mut() {
+            for h in row.iter_mut().flatten() {
+                h.clear();
+            }
+        }
+        self.counter_touched.iter_mut().for_each(|t| *t = false);
     }
 
     /// All counter names currently present (sorted, deduped) — handy for
     /// debugging experiments.
     pub fn counter_names(&self) -> Vec<&'static str> {
-        let mut names: Vec<&'static str> = self.counters.keys().map(|(_, n)| *n).collect();
+        let mut names: Vec<&'static str> = self
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.counter_touched[*i])
+            .map(|(_, n)| *n)
+            .collect();
         names.sort_unstable();
         names.dedup();
         names
+    }
+
+    /// Deterministic dump of every non-zero counter as
+    /// `(owner, name, value)`, sorted by `(owner, name)`. The replay
+    /// regression tests compare this across same-seed runs bit-for-bit.
+    pub fn counters_snapshot(&self) -> Vec<(u32, &'static str, u64)> {
+        let mut out = Vec::new();
+        for (s, row) in self.counters.iter().enumerate() {
+            let owner = if s == 0 { GLOBAL } else { (s - 1) as u32 };
+            for (i, &v) in row.iter().enumerate() {
+                if v != 0 {
+                    out.push((owner, self.names[i], v));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(o, n, _)| (*o, *n));
+        out
     }
 }
 
@@ -330,5 +473,41 @@ mod tests {
         h.record(20);
         h.record(30);
         assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ids_are_stable_and_aliased_literals_unify() {
+        let mut m = MetricsRegistry::new();
+        let a = m.metric_id("engine.commits");
+        let b = m.metric_id("engine.commits");
+        assert_eq!(a, b);
+        m.inc_id(GLOBAL, a, 2);
+        m.inc(7, "engine.commits", 3);
+        assert_eq!(m.counter_total("engine.commits"), 5);
+        // handles survive a warm-up clear
+        m.clear();
+        assert_eq!(m.counter_total("engine.commits"), 0);
+        m.inc_id(7, b, 1);
+        assert_eq!(m.counter(7, "engine.commits"), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_skips_zeroes() {
+        let mut m = MetricsRegistry::new();
+        m.inc(2, "b", 1);
+        m.inc(1, "a", 4);
+        m.inc(GLOBAL, "a", 9);
+        m.inc(1, "zero", 0);
+        let snap = m.counters_snapshot();
+        assert_eq!(snap, vec![(1, "a", 4), (2, "b", 1), (GLOBAL, "a", 9)]);
+    }
+
+    #[test]
+    fn histogram_after_clear_reports_none() {
+        let mut m = MetricsRegistry::new();
+        m.record(1, "lat", 10);
+        m.clear();
+        assert!(m.histogram(1, "lat").is_none());
+        assert_eq!(m.histogram_total("lat").count(), 0);
     }
 }

@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 
 use crate::dist::Dist;
+use crate::metrics::FxMap;
 use crate::rng::SimRng;
 use crate::sim::{NodeId, Zone};
 use crate::time::{SimDuration, SimTime};
@@ -110,14 +111,28 @@ impl NetPolicy {
 }
 
 /// Per-class and per-node traffic accounting.
+///
+/// This is on the per-packet fast path (every `Ctx::send` lands here), so
+/// class names are interned through a pointer-keyed map — repeat sends of
+/// the same message class never hash string content — and per-node tallies
+/// live in dense vectors indexed by node id. [`crate::sim::EXTERNAL`]
+/// traffic (injected client requests) gets a dedicated overflow cell
+/// instead of a `u32::MAX`-sized table.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    /// (class) -> (packets, bytes)
-    by_class: HashMap<&'static str, (u64, u64)>,
-    /// (src) -> (packets, bytes) sent
-    sent_by_node: HashMap<NodeId, (u64, u64)>,
-    /// (dst) -> (packets, bytes) received
-    recv_by_node: HashMap<NodeId, (u64, u64)>,
+    /// `&'static str` address -> dense class index (fast path).
+    class_by_ptr: FxMap<(usize, usize), u32>,
+    /// Content-keyed class lookup for readers and aliased literals.
+    class_by_name: HashMap<&'static str, u32>,
+    /// class index -> (packets, bytes)
+    by_class: Vec<(u64, u64)>,
+    /// node id -> (packets, bytes) sent; grown on demand.
+    sent_by_node: Vec<(u64, u64)>,
+    /// node id -> (packets, bytes) received; grown on demand.
+    recv_by_node: Vec<(u64, u64)>,
+    /// Traffic attributed to [`crate::sim::EXTERNAL`].
+    sent_external: (u64, u64),
+    recv_external: (u64, u64),
     /// totals
     pub packets: u64,
     pub bytes: u64,
@@ -130,57 +145,117 @@ pub struct NetStats {
     pub chaos_delayed: u64,
 }
 
+/// Sentinel matching [`crate::sim::EXTERNAL`] without a circular import
+/// headache at definition order; asserted equal in tests.
+const EXTERNAL_NODE: NodeId = u32::MAX;
+
+#[inline]
+fn bump(cell: &mut (u64, u64), bytes: u64) {
+    cell.0 += 1;
+    cell.1 += bytes;
+}
+
 impl NetStats {
     pub fn new() -> Self {
         Self::default()
     }
 
+    fn class_index(&mut self, class: &'static str) -> usize {
+        let key = (class.as_ptr() as usize, class.len());
+        if let Some(&i) = self.class_by_ptr.get(&key) {
+            return i as usize;
+        }
+        let i = match self.class_by_name.get(class) {
+            Some(&i) => i,
+            None => {
+                let i = self.by_class.len() as u32;
+                self.by_class.push((0, 0));
+                self.class_by_name.insert(class, i);
+                i
+            }
+        };
+        self.class_by_ptr.insert(key, i);
+        i as usize
+    }
+
     pub(crate) fn on_send(&mut self, src: NodeId, class: &'static str, bytes: usize) {
-        let e = self.by_class.entry(class).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += bytes as u64;
-        let s = self.sent_by_node.entry(src).or_insert((0, 0));
-        s.0 += 1;
-        s.1 += bytes as u64;
+        let i = self.class_index(class);
+        bump(&mut self.by_class[i], bytes as u64);
+        if src == EXTERNAL_NODE {
+            bump(&mut self.sent_external, bytes as u64);
+        } else {
+            let s = src as usize;
+            if s >= self.sent_by_node.len() {
+                self.sent_by_node.resize(s + 1, (0, 0));
+            }
+            bump(&mut self.sent_by_node[s], bytes as u64);
+        }
         self.packets += 1;
         self.bytes += bytes as u64;
     }
 
     pub(crate) fn on_recv(&mut self, dst: NodeId, bytes: usize) {
-        let r = self.recv_by_node.entry(dst).or_insert((0, 0));
-        r.0 += 1;
-        r.1 += bytes as u64;
+        if dst == EXTERNAL_NODE {
+            bump(&mut self.recv_external, bytes as u64);
+        } else {
+            let d = dst as usize;
+            if d >= self.recv_by_node.len() {
+                self.recv_by_node.resize(d + 1, (0, 0));
+            }
+            bump(&mut self.recv_by_node[d], bytes as u64);
+        }
     }
 
     pub(crate) fn on_drop(&mut self) {
         self.dropped += 1;
     }
 
+    fn class_cell(&self, class: &str) -> (u64, u64) {
+        self.class_by_name
+            .get(class)
+            .map(|&i| self.by_class[i as usize])
+            .unwrap_or((0, 0))
+    }
+
     /// Packets sent in this class.
     pub fn class_packets(&self, class: &'static str) -> u64 {
-        self.by_class.get(class).map(|e| e.0).unwrap_or(0)
+        self.class_cell(class).0
     }
 
     /// Bytes sent in this class.
     pub fn class_bytes(&self, class: &'static str) -> u64 {
-        self.by_class.get(class).map(|e| e.1).unwrap_or(0)
+        self.class_cell(class).1
     }
 
     /// (packets, bytes) sent by a node.
     pub fn sent_by(&self, node: NodeId) -> (u64, u64) {
-        self.sent_by_node.get(&node).copied().unwrap_or((0, 0))
+        if node == EXTERNAL_NODE {
+            return self.sent_external;
+        }
+        self.sent_by_node
+            .get(node as usize)
+            .copied()
+            .unwrap_or((0, 0))
     }
 
     /// (packets, bytes) received by a node.
     pub fn recv_by(&self, node: NodeId) -> (u64, u64) {
-        self.recv_by_node.get(&node).copied().unwrap_or((0, 0))
+        if node == EXTERNAL_NODE {
+            return self.recv_external;
+        }
+        self.recv_by_node
+            .get(node as usize)
+            .copied()
+            .unwrap_or((0, 0))
     }
 
-    /// Reset all counters (warm-up boundary).
+    /// Reset all counters (warm-up boundary). Class interning survives.
     pub fn clear(&mut self) {
-        self.by_class.clear();
-        self.sent_by_node.clear();
-        self.recv_by_node.clear();
+        self.by_class.iter_mut().for_each(|c| *c = (0, 0));
+        self.sent_by_node.iter_mut().for_each(|c| *c = (0, 0));
+        self.recv_by_node.iter_mut().for_each(|c| *c = (0, 0));
+        self.sent_external = (0, 0);
+        self.recv_external = (0, 0);
         self.packets = 0;
         self.bytes = 0;
         self.dropped = 0;
@@ -255,5 +330,20 @@ mod tests {
         s.clear();
         assert_eq!(s.packets, 0);
         assert_eq!(s.sent_by(1), (0, 0));
+    }
+
+    #[test]
+    fn external_traffic_has_its_own_cell() {
+        assert_eq!(EXTERNAL_NODE, crate::sim::EXTERNAL);
+        let mut s = NetStats::new();
+        s.on_send(EXTERNAL_NODE, "client", 64);
+        s.on_recv(EXTERNAL_NODE, 32);
+        assert_eq!(s.sent_by(EXTERNAL_NODE), (1, 64));
+        assert_eq!(s.recv_by(EXTERNAL_NODE), (1, 32));
+        assert_eq!(s.packets, 1);
+        // class stats survive a same-content, different-address lookup
+        let name = String::from("client");
+        let leaked: &'static str = Box::leak(name.into_boxed_str());
+        assert_eq!(s.class_packets(leaked), 1);
     }
 }

@@ -58,6 +58,19 @@ impl Probe {
     pub fn count<T: Payload>(&self) -> usize {
         self.received::<T>().len()
     }
+
+    /// Messages of type `T` at or after inbox position `cursor`, plus the
+    /// new cursor (the current inbox length). Lets harness tick loops poll
+    /// incrementally instead of re-scanning the whole cumulative inbox —
+    /// the difference between O(n) and O(n²) over a long run.
+    pub fn received_since<T: Payload>(&self, cursor: usize) -> (Vec<(NodeId, &T)>, usize) {
+        let start = cursor.min(self.inbox.len());
+        let out = self.inbox[start..]
+            .iter()
+            .filter_map(|(from, m)| m.downcast_ref::<T>().map(|t| (*from, t)))
+            .collect();
+        (out, self.inbox.len())
+    }
 }
 
 impl Actor for Probe {

@@ -20,7 +20,9 @@
 
 use std::any::Any;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
+
+use crate::hash::{FxHashMap, FxHashSet};
 
 use crate::dist::Dist;
 use crate::fault::{FaultAction, FaultPlan, PacketChaos};
@@ -202,19 +204,46 @@ pub struct Sim {
     /// Named counters/histograms written by actors and read by harnesses.
     pub metrics: MetricsRegistry,
     net: NetStats,
-    cancelled_timers: HashSet<u64>,
+    cancelled_timers: FxHashSet<u64>,
     next_timer_id: u64,
-    partitions: HashSet<(NodeId, NodeId)>,
+    partitions: FxHashSet<(NodeId, NodeId)>,
     /// FIFO (TCP-like) delivery per ordered node pair: a message never
     /// overtakes an earlier one on the same (src, dst) stream. On by
     /// default; disable to model pure datagram reordering.
     pub fifo_links: bool,
-    fifo_last: std::collections::HashMap<(NodeId, NodeId), SimTime>,
+    /// Dense last-delivery matrix, `src * fifo_stride + dst` — replaces a
+    /// per-packet `HashMap<(src, dst), _>` probe on the hot send path.
+    fifo_last: Vec<SimTime>,
+    fifo_stride: usize,
+    /// FIFO clamp for endpoints outside the dense matrix (e.g. messages
+    /// whose src is [`EXTERNAL`]); cold path.
+    fifo_overflow: FxHashMap<(NodeId, NodeId), SimTime>,
     /// Pending fault-plan entries, sorted by (at, seq).
     faults: Vec<ScheduledFault>,
     fault_seq: u64,
     /// Active packet-chaos overlay (see [`PacketChaos`]).
     net_chaos: Option<PacketChaos>,
+    /// Events dispatched by this `Sim` (flushed into the process-wide
+    /// total on drop; see [`events_dispatched_total`]).
+    events_dispatched: u64,
+}
+
+/// Process-wide tally of events dispatched across every `Sim` that has
+/// been dropped, plus explicit flushes. The benchmark JSON reports
+/// events/sec from this; it is reporting-only and never read by the
+/// simulation itself, so determinism is unaffected.
+static EVENTS_DISPATCHED_TOTAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total events dispatched by all completed simulations in this process.
+pub fn events_dispatched_total() -> u64 {
+    EVENTS_DISPATCHED_TOTAL.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        EVENTS_DISPATCHED_TOTAL
+            .fetch_add(self.events_dispatched, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 impl Sim {
@@ -223,21 +252,43 @@ impl Sim {
         Sim {
             time: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: BinaryHeap::with_capacity(1024),
             nodes: Vec::new(),
             policy: NetPolicy::default(),
             rng: SimRng::new(seed),
             metrics: MetricsRegistry::new(),
             net: NetStats::new(),
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: FxHashSet::default(),
             next_timer_id: 0,
-            partitions: HashSet::new(),
+            partitions: FxHashSet::default(),
             fifo_links: true,
-            fifo_last: std::collections::HashMap::new(),
+            fifo_last: Vec::new(),
+            fifo_stride: 0,
+            fifo_overflow: FxHashMap::default(),
             faults: Vec::new(),
             fault_seq: 0,
             net_chaos: None,
+            events_dispatched: 0,
         }
+    }
+
+    /// Events dispatched by this simulation so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Grow the dense FIFO matrix to cover `n` nodes, remapping existing
+    /// clamp times. Node additions are rare; sends are not.
+    fn grow_fifo(&mut self, n: usize) {
+        let new_stride = n.next_power_of_two();
+        let mut grown = vec![SimTime::ZERO; new_stride * new_stride];
+        for s in 0..self.fifo_stride {
+            for d in 0..self.fifo_stride {
+                grown[s * new_stride + d] = self.fifo_last[s * self.fifo_stride + d];
+            }
+        }
+        self.fifo_last = grown;
+        self.fifo_stride = new_stride;
     }
 
     /// Add a node; its actor receives [`ActorEvent::Start`] at the current time.
@@ -555,7 +606,18 @@ impl Sim {
     fn deliver_after(&mut self, src: NodeId, dst: NodeId, msg: Msg, latency: SimDuration) {
         let mut at = self.time + latency;
         if self.fifo_links {
-            let last = self.fifo_last.entry((src, dst)).or_insert(SimTime::ZERO);
+            let (s, d) = (src as usize, dst as usize);
+            let n = self.nodes.len();
+            let last = if s < n && d < n {
+                if self.fifo_stride < n {
+                    self.grow_fifo(n);
+                }
+                &mut self.fifo_last[s * self.fifo_stride + d]
+            } else {
+                self.fifo_overflow
+                    .entry((src, dst))
+                    .or_insert(SimTime::ZERO)
+            };
             if at < *last {
                 at = *last;
             }
@@ -632,6 +694,7 @@ impl Sim {
             self.time = ev.at;
             self.dispatch(ev);
         }
+        self.events_dispatched += 1;
         true
     }
 
@@ -679,7 +742,10 @@ impl Sim {
                     self.net.on_drop();
                     return;
                 }
-                if src != EXTERNAL && self.partitions.contains(&(src, ev.dst)) {
+                if src != EXTERNAL
+                    && !self.partitions.is_empty()
+                    && self.partitions.contains(&(src, ev.dst))
+                {
                     self.net.on_drop();
                     return;
                 }
@@ -691,7 +757,7 @@ impl Sim {
                 id,
                 incarnation,
             } => {
-                if self.cancelled_timers.remove(&id) {
+                if !self.cancelled_timers.is_empty() && self.cancelled_timers.remove(&id) {
                     return;
                 }
                 if !node_up || incarnation != cur_inc {
@@ -815,6 +881,25 @@ impl<'a> Ctx<'a> {
     /// Record into a per-node histogram.
     pub fn record(&mut self, name: &'static str, value: u64) {
         self.sim.metrics.record(self.node, name, value);
+    }
+
+    /// Resolve a metric name to a reusable handle. Hot actors resolve
+    /// their counters once and use [`Ctx::inc_id`]/[`Ctx::record_id`]
+    /// per event, skipping the name lookup entirely.
+    pub fn metric_id(&mut self, name: &'static str) -> crate::metrics::MetricId {
+        self.sim.metrics.metric_id(name)
+    }
+
+    /// Increment a per-node counter through a pre-resolved handle.
+    #[inline]
+    pub fn inc_id(&mut self, id: crate::metrics::MetricId, v: u64) {
+        self.sim.metrics.inc_id(self.node, id, v);
+    }
+
+    /// Record into a per-node histogram through a pre-resolved handle.
+    #[inline]
+    pub fn record_id(&mut self, id: crate::metrics::MetricId, value: u64) {
+        self.sim.metrics.record_id(self.node, id, value);
     }
 
     /// Read one of this node's counters back.

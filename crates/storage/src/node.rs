@@ -16,7 +16,10 @@
 //! "background processing has negative correlation with foreground
 //! processing").
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, VecDeque};
+
+use aurora_sim::hash::{FxHashMap, FxHashSet};
+use std::sync::Arc;
 
 use aurora_log::{
     apply_record, codec, ApplyError, LogRecord, Lsn, Page, PageId, SegmentId, SegmentLog,
@@ -81,9 +84,9 @@ struct SegmentState {
     log: SegmentLog,
     /// Materialized pages — "simply a cache of log applications" (§3.2),
     /// but durable on this node's disk.
-    pages: HashMap<PageId, Page>,
+    pages: FxHashMap<PageId, Page>,
     /// Per-page LSN index into the log, for on-demand materialization.
-    page_index: HashMap<PageId, Vec<Lsn>>,
+    page_index: FxHashMap<PageId, Vec<Lsn>>,
     guard: TruncationGuard,
     /// All records at or below this have been coalesced into `pages`.
     applied_upto: Lsn,
@@ -99,14 +102,26 @@ struct SegmentState {
     /// serve a peer whose SCL is below it (the chain link is gone) — such
     /// a peer needs a full catch-up copy instead.
     gc_floor: Lsn,
+    /// Bounded cache of materialized read images (§3.2: pages are "simply
+    /// a cache of log applications" — this caches the applications too).
+    /// Invalidated per page on record arrival and wholesale on truncation;
+    /// purely an ingest-side accelerator, never observable in results.
+    mat_cache: FxHashMap<PageId, Page>,
+    /// Insertion-order eviction queue for `mat_cache`. Cache keys are
+    /// always a subset of the queued ids, so bounding the queue bounds
+    /// the cache.
+    mat_order: VecDeque<PageId>,
 }
+
+/// Per-segment cap on cached materialized page images.
+const MAT_CACHE_PAGES: usize = 64;
 
 impl SegmentState {
     fn new() -> Self {
         SegmentState {
             log: SegmentLog::new(),
-            pages: HashMap::new(),
-            page_index: HashMap::new(),
+            pages: FxHashMap::default(),
+            page_index: FxHashMap::default(),
             guard: TruncationGuard::new(),
             applied_upto: Lsn::ZERO,
             vdl_hint: Lsn::ZERO,
@@ -115,6 +130,8 @@ impl SegmentState {
             archived_upto: Lsn::ZERO,
             backup_count: 0,
             gc_floor: Lsn::ZERO,
+            mat_cache: FxHashMap::default(),
+            mat_order: VecDeque::new(),
         }
     }
 
@@ -131,6 +148,10 @@ impl SegmentState {
                     Ok(_) => {}
                     Err(pos) => idx.insert(pos, lsn),
                 }
+                // A new record can land *below* a cached image's LSN (a
+                // gossip-filled hole), which the image silently lacks —
+                // drop the entry rather than track chain completeness.
+                self.mat_cache.remove(&p);
             }
             true
         } else {
@@ -138,26 +159,79 @@ impl SegmentState {
         }
     }
 
-    /// Materialize a page image as of `read_point`.
+    /// Materialize a page image as of `read_point` (pure; used by the
+    /// inspection hooks and as the cache's compute path).
     fn materialize(&self, page_id: PageId, read_point: Lsn) -> Page {
-        let mut page = self.pages.get(&page_id).cloned().unwrap_or_default();
+        let page = self.pages.get(&page_id).cloned().unwrap_or_default();
+        self.materialize_from(page, page_id, read_point)
+    }
+
+    /// Roll `page` forward through the indexed records in
+    /// `(page.lsn, read_point]`, seeking with `partition_point` instead of
+    /// scanning the whole per-page history.
+    fn materialize_from(&self, mut page: Page, page_id: PageId, read_point: Lsn) -> Page {
         if let Some(lsns) = self.page_index.get(&page_id) {
             // index is kept LSN-sorted by `ingest`
-            for &lsn in lsns {
-                if lsn > read_point {
-                    break;
-                }
-                if lsn <= page.lsn {
-                    continue;
-                }
+            let start = lsns.partition_point(|&l| l <= page.lsn);
+            let end = lsns.partition_point(|&l| l <= read_point);
+            for &lsn in &lsns[start..end] {
                 if let Some(rec) = self.log.get(lsn) {
-                    // AlreadyApplied can't happen (filtered); other errors
-                    // indicate a malformed chain and are surfaced by tests.
+                    // AlreadyApplied can't happen (the seek skipped those);
+                    // other errors indicate a malformed chain and are
+                    // surfaced by tests.
                     let _ = apply_record(&mut page, rec);
                 }
             }
         }
         page
+    }
+
+    /// Serve a read through the materialization cache. The image a read
+    /// observes is a pure function of the page's record chain at or below
+    /// `read_point`, so a cached image whose LSN matches the newest
+    /// applicable record can be returned verbatim; a colder one is rolled
+    /// forward instead of re-applying the whole history.
+    fn materialize_cached(&mut self, page_id: PageId, read_point: Lsn) -> Page {
+        let base = self.pages.get(&page_id).cloned().unwrap_or_default();
+        let want = match self.page_index.get(&page_id) {
+            Some(lsns) => {
+                let end = lsns.partition_point(|&l| l <= read_point);
+                if end > 0 {
+                    lsns[end - 1].max(base.lsn)
+                } else {
+                    base.lsn
+                }
+            }
+            None => base.lsn,
+        };
+        let seed = match self.mat_cache.get(&page_id) {
+            Some(c) if c.lsn == want => return c.clone(),
+            // Warm-forward: sound because every record arrival for this
+            // page invalidates the entry, so the cached image covers
+            // exactly the indexed records at or below its LSN.
+            Some(c) if c.lsn >= base.lsn && c.lsn < want => c.clone(),
+            _ => base,
+        };
+        let image = self.materialize_from(seed, page_id, read_point);
+        let cached_lsn = self.mat_cache.get(&page_id).map_or(Lsn::ZERO, |c| c.lsn);
+        if image.lsn >= cached_lsn {
+            self.cache_insert(page_id, image.clone());
+        }
+        image
+    }
+
+    fn cache_insert(&mut self, page_id: PageId, image: Page) {
+        if self.mat_cache.insert(page_id, image).is_none() {
+            self.mat_order.push_back(page_id);
+        }
+        while self.mat_order.len() > MAT_CACHE_PAGES {
+            match self.mat_order.pop_front() {
+                Some(old) => {
+                    self.mat_cache.remove(&old);
+                }
+                None => break,
+            }
+        }
     }
 
     /// Coalesce (Fig. 4 step 5): fold records up to min(SCL, VDL) into the
@@ -168,11 +242,12 @@ impl SegmentState {
             return (0, 0);
         }
         let mut applied = 0;
-        let mut dirty = std::collections::HashSet::new();
-        let records: Vec<LogRecord> = self.log.range(self.applied_upto, target);
-        for rec in &records {
+        let mut dirty = FxHashSet::default();
+        // Split borrows: the scan borrows the log while pages mutate.
+        let (log, pages) = (&self.log, &mut self.pages);
+        for rec in log.range_iter(self.applied_upto, target) {
             if let Some(page_id) = rec.page() {
-                let page = self.pages.entry(page_id).or_default();
+                let page = pages.entry(page_id).or_default();
                 match apply_record(page, rec) {
                     Ok(()) => {
                         applied += 1;
@@ -223,6 +298,10 @@ impl SegmentState {
         if self.guard.offer(range) == GuardOutcome::StaleEpoch {
             return;
         }
+        // Truncation removes records without going through `ingest`, so
+        // cached images could silently include annulled history.
+        self.mat_cache.clear();
+        self.mat_order.clear();
         let dropped_above = range.above;
         self.log.truncate_above(dropped_above);
         for lsns in self.page_index.values_mut() {
@@ -254,13 +333,15 @@ enum PendingOp {
     PersistBatch {
         from: NodeId,
         segment: SegmentId,
-        records: Vec<LogRecord>,
+        /// Shared with the sender's wire message (and, on the common
+        /// all-admitted path, with every other replica's copy).
+        records: Arc<[LogRecord]>,
         batch_end: Lsn,
         received_at: SimTime,
     },
     PersistGossip {
         segment: SegmentId,
-        records: Vec<LogRecord>,
+        records: Arc<[LogRecord]>,
     },
     ReadPage {
         from: NodeId,
@@ -277,7 +358,7 @@ enum PendingOp {
     PersistRepair {
         segment: SegmentId,
         pages: Vec<(PageId, Page)>,
-        records: Vec<LogRecord>,
+        records: Arc<[LogRecord]>,
         applied_upto: Lsn,
         guard_epoch: aurora_quorum::VolumeEpoch,
         guard_range: Option<aurora_quorum::TruncationRange>,
@@ -288,8 +369,35 @@ enum PendingOp {
     Background,
 }
 
+/// Precomputed metric handles for the per-event hot paths. Resolved once
+/// per process (lazily) so the hot loops never hash metric-name strings.
+#[derive(Clone, Copy)]
+struct HotIds {
+    batches_in: aurora_sim::MetricId,
+    page_reads: aurora_sim::MetricId,
+    persist_ns: aurora_sim::MetricId,
+    gossip_filled: aurora_sim::MetricId,
+    coalesced: aurora_sim::MetricId,
+    gc_records: aurora_sim::MetricId,
+}
+
+impl HotIds {
+    fn resolve(ctx: &mut Ctx<'_>) -> Self {
+        HotIds {
+            batches_in: ctx.metric_id("storage.batches_in"),
+            page_reads: ctx.metric_id("storage.page_reads"),
+            persist_ns: ctx.metric_id("storage.persist_ns"),
+            gossip_filled: ctx.metric_id("storage.gossip_filled"),
+            coalesced: ctx.metric_id("storage.coalesced"),
+            gc_records: ctx.metric_id("storage.gc_records"),
+        }
+    }
+}
+
 /// The storage node actor.
 pub struct StorageNode {
+    /// Lazily resolved metric handles (not state: survives crashes).
+    hot: Option<HotIds>,
     cfg: StorageNodeConfig,
     /// Durable state (survives crashes). BTreeMap, not HashMap: the
     /// gossip/coalesce/backup timers iterate hosted segments and draw from
@@ -297,7 +405,7 @@ pub struct StorageNode {
     /// deterministic for seed-replay.
     segments: BTreeMap<SegmentId, SegmentState>,
     /// Volatile.
-    pending: HashMap<Tag, PendingOp>,
+    pending: FxHashMap<Tag, PendingOp>,
     next_op: Tag,
     /// Test hook: serve reads materialized past the read point (see
     /// [`StorageNode::test_serve_future`]).
@@ -307,12 +415,18 @@ pub struct StorageNode {
 impl StorageNode {
     pub fn new(cfg: StorageNodeConfig) -> Self {
         StorageNode {
+            hot: None,
             cfg,
             segments: BTreeMap::new(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             next_op: TAG_OP_BASE,
             serve_future: false,
         }
+    }
+
+    /// Resolve (once) and copy out the hot metric handles.
+    fn hot(&mut self, ctx: &mut Ctx<'_>) -> HotIds {
+        *self.hot.get_or_insert_with(|| HotIds::resolve(ctx))
     }
 
     /// Test/inspection: the SCL of a hosted segment.
@@ -363,6 +477,8 @@ impl StorageNode {
         let Some(seg) = self.segments.get_mut(&segment) else {
             return;
         };
+        seg.mat_cache.clear();
+        seg.mat_order.clear();
         seg.log.truncate_above(above);
         for lsns in seg.page_index.values_mut() {
             lsns.retain(|l| *l <= above);
@@ -453,10 +569,11 @@ impl StorageNode {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: aurora_sim::Msg) {
+        let ids = self.hot(ctx);
         // Foreground path: write batches and page reads.
         let msg = match msg.downcast::<WriteBatch>() {
             Ok(wb) => {
-                ctx.inc("storage.batches_in", 1);
+                ctx.inc_id(ids.batches_in, 1);
                 let seg = self
                     .segments
                     .entry(wb.segment)
@@ -492,11 +609,19 @@ impl StorageNode {
                 // stale writer must never assemble a quorum — and the
                 // rejection tells it to step down.
                 let had_records = !wb.records.is_empty();
-                let admitted: Vec<LogRecord> = wb
-                    .records
-                    .into_iter()
-                    .filter(|r| seg.guard.admits(r.lsn, wb.epoch))
-                    .collect();
+                // Common case: every record is admitted, and the shared
+                // slice is reference-counted straight into the pending op
+                // — no copy of the batch is ever made on this node.
+                let admitted: Arc<[LogRecord]> =
+                    if wb.records.iter().all(|r| seg.guard.admits(r.lsn, wb.epoch)) {
+                        Arc::clone(&wb.records)
+                    } else {
+                        wb.records
+                            .iter()
+                            .filter(|r| seg.guard.admits(r.lsn, wb.epoch))
+                            .cloned()
+                            .collect()
+                    };
                 if had_records && admitted.is_empty() {
                     ctx.inc("storage.fenced_batches", 1);
                     let epoch = seg.guard.epoch();
@@ -526,7 +651,7 @@ impl StorageNode {
         };
         let msg = match msg.downcast::<ReadPageReq>() {
             Ok(req) => {
-                ctx.inc("storage.page_reads", 1);
+                ctx.inc_id(ids.page_reads, 1);
                 let Some(seg) = self.segments.get(&req.segment) else {
                     // not hosted (repair in progress): nack so the engine
                     // redirects immediately instead of waiting out the
@@ -599,7 +724,7 @@ impl StorageNode {
                                 from,
                                 GossipPush {
                                     pg: pull.pg,
-                                    records,
+                                    records: records.into(),
                                     epoch: seg.guard.epoch(),
                                 },
                             );
@@ -616,11 +741,19 @@ impl StorageNode {
                     return; // we no longer host this PG
                 };
                 let seg = self.segments.get_mut(&segment).expect("just looked up");
-                let admitted: Vec<LogRecord> = push
+                let admitted: Arc<[LogRecord]> = if push
                     .records
-                    .into_iter()
-                    .filter(|r| seg.guard.admits(r.lsn, push.epoch))
-                    .collect();
+                    .iter()
+                    .all(|r| seg.guard.admits(r.lsn, push.epoch))
+                {
+                    Arc::clone(&push.records)
+                } else {
+                    push.records
+                        .iter()
+                        .filter(|r| seg.guard.admits(r.lsn, push.epoch))
+                        .cloned()
+                        .collect()
+                };
                 if !admitted.is_empty() {
                     let bytes: usize = admitted.iter().map(|r| r.wire_size()).sum();
                     let tag = self.op(PendingOp::PersistGossip {
@@ -797,6 +930,7 @@ impl StorageNode {
     }
 
     fn on_disk_done(&mut self, ctx: &mut Ctx<'_>, tag: Tag) {
+        let ids = self.hot(ctx);
         let Some(op) = self.pending.remove(&tag) else {
             return;
         };
@@ -812,11 +946,11 @@ impl StorageNode {
                     .segments
                     .entry(segment)
                     .or_insert_with(SegmentState::new);
-                for r in records {
-                    seg.ingest(r);
+                for r in records.iter() {
+                    seg.ingest(r.clone());
                 }
                 let scl = seg.log.scl();
-                ctx.record("storage.persist_ns", ctx.now().since(received_at).nanos());
+                ctx.record_id(ids.persist_ns, ctx.now().since(received_at).nanos());
                 ctx.send(
                     from,
                     WriteAck {
@@ -832,12 +966,12 @@ impl StorageNode {
                     .entry(segment)
                     .or_insert_with(SegmentState::new);
                 let mut n = 0;
-                for r in records {
-                    if seg.ingest(r) {
+                for r in records.iter() {
+                    if seg.ingest(r.clone()) {
                         n += 1;
                     }
                 }
-                ctx.inc("storage.gossip_filled", n);
+                ctx.inc_id(ids.gossip_filled, n);
             }
             PendingOp::ReadPage {
                 from,
@@ -846,13 +980,13 @@ impl StorageNode {
                 page,
                 read_point,
             } => {
-                if let Some(seg) = self.segments.get(&segment) {
+                if let Some(seg) = self.segments.get_mut(&segment) {
                     let read_point = if self.serve_future {
                         Lsn(u64::MAX)
                     } else {
                         read_point
                     };
-                    let image = seg.materialize(page, read_point);
+                    let image = seg.materialize_cached(page, read_point);
                     ctx.send(
                         from,
                         ReadPageResp {
@@ -910,8 +1044,8 @@ impl StorageNode {
                         // no-op if we already hold the same range.
                         seg.truncate(range);
                     }
-                    for r in records {
-                        seg.ingest(r);
+                    for r in records.iter() {
+                        seg.ingest(r.clone());
                     }
                     for (id, p) in pages {
                         let mine = seg.pages.entry(id).or_default();
@@ -943,8 +1077,8 @@ impl StorageNode {
                     for (id, p) in pages {
                         seg.pages.insert(id, p);
                     }
-                    for r in records {
-                        seg.ingest(r);
+                    for r in records.iter() {
+                        seg.ingest(r.clone());
                     }
                     // Completeness below the donor's GC floor cannot be
                     // re-derived from the shipped records (the chain links
@@ -965,6 +1099,7 @@ impl StorageNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: Tag) {
+        let ids = self.hot(ctx);
         match tag {
             TAG_GOSSIP => {
                 if !self.busy() {
@@ -1008,8 +1143,8 @@ impl StorageNode {
                         let tag = self.op(PendingOp::Background);
                         ctx.disk_write(total_dirty * aurora_log::PAGE_SIZE, tag);
                     }
-                    ctx.inc("storage.coalesced", total_applied as u64);
-                    ctx.inc("storage.gc_records", total_gc as u64);
+                    ctx.inc_id(ids.coalesced, total_applied as u64);
+                    ctx.inc_id(ids.gc_records, total_gc as u64);
                 }
                 ctx.set_timer(self.cfg.coalesce_interval, TAG_COALESCE);
             }
@@ -1046,15 +1181,17 @@ impl StorageNode {
                 if !self.busy() {
                     let mut pages = 0u64;
                     let mut records = 0u64;
+                    let mut scratch = Vec::new();
                     for seg in self.segments.values() {
                         for p in seg.pages.values() {
                             let _ = p.crc();
                             pages += 1;
                         }
-                        // validate the codec on a sample of records
+                        // validate the codec on a sample of records,
+                        // reusing one scratch buffer across segments
                         if let Some(r) = seg.log.iter().next() {
-                            let buf = codec::encode(r);
-                            debug_assert!(codec::decode(&buf).is_ok());
+                            let buf = codec::encode_scratch(r, &mut scratch);
+                            debug_assert!(codec::decode(buf).is_ok());
                             records += 1;
                         }
                     }

@@ -4,6 +4,8 @@
 //! statistics class; the Table 1 experiment counts `log_write` packets
 //! leaving the database node, exactly as the paper counts write IOs.
 
+use std::sync::Arc;
+
 use aurora_log::{LogRecord, Lsn, Page, PageId, SegmentId, TxnId, PAGE_SIZE};
 use aurora_quorum::{TruncationRange, VolumeEpoch};
 use aurora_sim::{Msg, NodeId, Payload};
@@ -17,10 +19,13 @@ fn records_size(records: &[LogRecord]) -> usize {
 /// A batch of redo records for one segment (§3.2: "The IO flow batches
 /// fully ordered log records based on a common destination (a logical
 /// segment, i.e., a PG) and delivers each batch to all 6 replicas").
+/// `records` is a shared slice: the engine encodes a PG's batch once and
+/// every replica send, the retransmission window, and chaos-duplicated
+/// copies of this message reference the same allocation.
 #[derive(Debug, Clone)]
 pub struct WriteBatch {
     pub segment: SegmentId,
-    pub records: Vec<LogRecord>,
+    pub records: Arc<[LogRecord]>,
     /// Last LSN of the *volume-level* batch this shipment belongs to (the
     /// ack key for the durability tracker).
     pub batch_end: Lsn,
@@ -190,7 +195,7 @@ impl Payload for GossipPull {
 #[derive(Debug, Clone)]
 pub struct GossipPush {
     pub pg: aurora_log::PgId,
-    pub records: Vec<LogRecord>,
+    pub records: Arc<[LogRecord]>,
     pub epoch: VolumeEpoch,
 }
 
@@ -504,7 +509,7 @@ impl Payload for RepairFetchReq {
 pub struct RepairFetchResp {
     pub segment: SegmentId,
     pub pages: Vec<(PageId, Page)>,
-    pub records: Vec<LogRecord>,
+    pub records: Arc<[LogRecord]>,
     pub applied_upto: Lsn,
     /// The donor's truncation-guard epoch. The replacement adopts it so a
     /// freshly repaired segment cannot be rolled back by a stale
@@ -600,7 +605,7 @@ mod tests {
     fn classes_are_distinct_where_it_matters() {
         let wb = WriteBatch {
             segment: seg(),
-            records: vec![rec(1)],
+            records: vec![rec(1)].into(),
             batch_end: Lsn(1),
             epoch: VolumeEpoch(0),
             vdl: Lsn::ZERO,
@@ -643,14 +648,14 @@ mod tests {
     fn batch_size_scales_with_records() {
         let one = WriteBatch {
             segment: seg(),
-            records: vec![rec(1)],
+            records: vec![rec(1)].into(),
             batch_end: Lsn(1),
             epoch: VolumeEpoch(0),
             vdl: Lsn::ZERO,
             pgmrpl: Lsn::ZERO,
         };
         let three = WriteBatch {
-            records: vec![rec(1), rec(2), rec(3)],
+            records: vec![rec(1), rec(2), rec(3)].into(),
             ..one.clone()
         };
         assert!(three.wire_size() > one.wire_size());
@@ -661,7 +666,7 @@ mod tests {
         let resp = RepairFetchResp {
             segment: seg(),
             pages: vec![(PageId(0), Page::new()), (PageId(1), Page::new())],
-            records: vec![],
+            records: Vec::new().into(),
             applied_upto: Lsn::ZERO,
             guard_epoch: VolumeEpoch(0),
             guard_range: None,

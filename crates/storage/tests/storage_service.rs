@@ -198,7 +198,7 @@ fn send_batch(f: &mut Fixture, records: Vec<LogRecord>, vdl: u64, targets: &[usi
     for &i in targets {
         let wb = WriteBatch {
             segment: seg(i as u8),
-            records: records.clone(),
+            records: records.clone().into(),
             batch_end,
             epoch: VolumeEpoch(0),
             vdl: Lsn(vdl),
@@ -441,7 +441,7 @@ fn coalescing_materializes_and_gc_drops_log() {
     let batch_end = Lsn(2);
     let wb = WriteBatch {
         segment: seg(0),
-        records: recs,
+        records: recs.into(),
         batch_end,
         epoch: VolumeEpoch(0),
         vdl: Lsn(2),
@@ -482,7 +482,7 @@ fn truncation_fences_stale_epoch_writes() {
     // a zombie writer from epoch 0 tries to append lsn 2: fenced
     let wb = WriteBatch {
         segment: seg(0),
-        records: vec![page_write(2, 1, 0, 1, &[0], &[9])],
+        records: vec![page_write(2, 1, 0, 1, &[0], &[9])].into(),
         batch_end: Lsn(2),
         epoch: VolumeEpoch(0),
         vdl: Lsn::ZERO,
@@ -495,7 +495,7 @@ fn truncation_fences_stale_epoch_writes() {
     // the new-epoch writer reuses lsn 2 legitimately
     let wb = WriteBatch {
         segment: seg(0),
-        records: vec![page_write(2, 1, 0, 1, &[0], &[7])],
+        records: vec![page_write(2, 1, 0, 1, &[0], &[7])].into(),
         batch_end: Lsn(2),
         epoch: VolumeEpoch(1),
         vdl: Lsn::ZERO,
@@ -660,7 +660,7 @@ fn backup_to_object_store_and_pitr_restore() {
     ];
     let wb = WriteBatch {
         segment: seg(0),
-        records: recs,
+        records: recs.into(),
         batch_end: Lsn(3),
         epoch: VolumeEpoch(0),
         vdl: Lsn(3),
@@ -743,7 +743,7 @@ fn scrubber_validates_pages_in_background() {
     // vdl hint lets the node coalesce the pages that scrub then validates
     let wb = WriteBatch {
         segment: seg(0),
-        records: recs,
+        records: recs.into(),
         batch_end: Lsn(2),
         epoch: VolumeEpoch(0),
         vdl: Lsn(2),

@@ -203,7 +203,17 @@ fn fault_plan_chaos_replays_identically_from_seed() {
     use aurora::sim::fault::{FaultPlan, PacketChaos};
     use aurora::sim::sim::DiskSpec;
 
-    fn run() -> (Vec<(u64, bool)>, u64, u64, u64, u64, u64) {
+    type ChaosDigest = (
+        Vec<(u64, bool)>,
+        u64,
+        u64,
+        u64,
+        u64,
+        u64,
+        Vec<(u32, String, u64)>,
+    );
+
+    fn run() -> ChaosDigest {
         let mut c = Cluster::build(ClusterConfig {
             seed: 2026,
             pgs: 2,
@@ -248,6 +258,15 @@ fn fault_plan_chaos_replays_identically_from_seed() {
             .iter()
             .map(|r| (r.conn, matches!(r.result, TxnResult::Committed(_))))
             .collect();
+        // every per-node counter, sorted by (owner, name): any divergence
+        // in per-node work — not just the aggregate — fails the replay
+        let counters: Vec<(u32, String, u64)> = c
+            .sim
+            .metrics
+            .counters_snapshot()
+            .into_iter()
+            .map(|(o, n, v)| (o, n.to_string(), v))
+            .collect();
         (
             responses,
             c.sim.metrics.counter_total("engine.commits"),
@@ -255,6 +274,7 @@ fn fault_plan_chaos_replays_identically_from_seed() {
             c.sim.net().bytes,
             c.sim.net().chaos_duplicated,
             c.sim.now().nanos(),
+            counters,
         )
     }
 
@@ -262,5 +282,6 @@ fn fault_plan_chaos_replays_identically_from_seed() {
     let b = run();
     assert!(a.1 > 0, "transactions must commit through the chaos");
     assert!(a.4 > 0, "packet duplication must have fired");
+    assert!(!a.6.is_empty(), "counters must have been recorded");
     assert_eq!(a, b, "same seed + same plan must replay identically");
 }

@@ -93,6 +93,42 @@ fn same_seed_gives_identical_report() {
     assert_eq!(a, b, "replay diverged");
 }
 
+/// Same seed => bit-identical *per-node metric counters* and network
+/// accounting, not just the report digest. This pins the substrate fast
+/// paths (interned metric ids, shared log batches, materialization
+/// cache, fast-hash maps): none of them may shift a single counter on
+/// any node between two runs of the same seed.
+#[test]
+fn same_seed_gives_identical_metric_counters() {
+    type Digest = (Vec<(u32, String, u64)>, u64, u64, u64, u64);
+    fn digest() -> Digest {
+        let cfg = DstConfig {
+            seed: 11,
+            ..Default::default()
+        };
+        let (c, acked) = cluster_with_load(&cfg, 25);
+        let counters: Vec<(u32, String, u64)> = c
+            .sim
+            .metrics
+            .counters_snapshot()
+            .into_iter()
+            .map(|(o, n, v)| (o, n.to_string(), v))
+            .collect();
+        (
+            counters,
+            acked.iter().sum::<u64>(),
+            c.sim.net().packets,
+            c.sim.net().bytes,
+            c.sim.now().nanos(),
+        )
+    }
+    let a = digest();
+    let b = digest();
+    assert!(a.1 > 0, "load must make progress");
+    assert!(!a.0.is_empty(), "counters must have been recorded");
+    assert_eq!(a, b, "per-node counters diverged between same-seed runs");
+}
+
 // ------------------------------------------------- oracle negative tests
 
 /// The SCL oracle flags a storage node that silently loses durable log

@@ -2,9 +2,10 @@
 //! experiments live on: raw event-kernel dispatch, the zero-copy log
 //! fan-out building blocks (exact-size encode, scratch reuse, shared
 //! batch slices), the coalesce-style apply loop, the interned-metrics
-//! fast path, and one full DST seed as the end-to-end harness window.
+//! fast path, the trace emit path (enabled vs disabled), and one full
+//! DST seed as the end-to-end harness window (plain and traced).
 //!
-//! `BENCH_PR4.json` records the checked-in medians; the bench CI job
+//! `BENCH_PR5.json` records the checked-in medians; the bench CI job
 //! re-runs these in quick mode on every PR.
 
 use std::sync::Arc;
@@ -16,7 +17,9 @@ use aurora_bench::dst::{self, DstConfig};
 use aurora_log::{
     apply_record, codec, LogRecord, Lsn, Page, PageId, Patch, PgId, RecordBody, SegmentLog, TxnId,
 };
-use aurora_sim::{Actor, ActorEvent, Ctx, MetricsRegistry, NodeOpts, Payload, Sim, Zone};
+use aurora_sim::{
+    Actor, ActorEvent, Ctx, MetricsRegistry, NodeOpts, Payload, Sim, SpanId, TraceBuffer, Zone,
+};
 
 fn write_record(lsn: u64, patch_len: usize) -> LogRecord {
     LogRecord {
@@ -213,7 +216,100 @@ fn bench_metrics(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------
-// End-to-end harness window: one DST seed, moderate intensity
+// Trace: per-emit cost on vs off, and the end-to-end tax on a DST seed
+// ---------------------------------------------------------------------
+
+/// Ping-pong with one trace instant per ball: the kernel rally with the
+/// per-event emit site the instrumented actors pay.
+struct TracingPingPong {
+    peer: Option<u32>,
+    remaining: u32,
+}
+
+impl Actor for TracingPingPong {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ActorEvent) {
+        match ev {
+            ActorEvent::Start => {
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, Ball);
+                }
+            }
+            ActorEvent::Message { from, msg }
+                if self.remaining > 0 && msg.downcast_ref::<Ball>().is_some() =>
+            {
+                self.remaining -= 1;
+                ctx.trace_instant("bench.ball", SpanId::NONE, self.remaining as u64, 0);
+                ctx.send(from, Ball);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn traced_rally(rally: u32, traced: bool) -> u64 {
+    let mut sim = Sim::new(1);
+    if traced {
+        sim.trace.enable(65_536);
+    }
+    let a = sim.add_node(
+        "a",
+        Zone(0),
+        Box::new(TracingPingPong {
+            peer: None,
+            remaining: rally,
+        }),
+        NodeOpts::default(),
+    );
+    let _b = sim.add_node(
+        "b",
+        Zone(1),
+        Box::new(TracingPingPong {
+            peer: Some(a),
+            remaining: rally,
+        }),
+        NodeOpts::default(),
+    );
+    sim.run_until_idle(100_000);
+    sim.events_dispatched()
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    const RALLY: u32 = 2_000;
+    g.throughput(Throughput::Elements(RALLY as u64 * 2));
+    g.bench_function("ping_pong_4000_events_trace_off", |b| {
+        b.iter(|| black_box(traced_rally(RALLY, false)))
+    });
+    g.bench_function("ping_pong_4000_events_trace_on", |b| {
+        b.iter(|| black_box(traced_rally(RALLY, true)))
+    });
+    g.throughput(Throughput::Elements(1));
+    // the instrumented hot paths pay exactly this when tracing is off:
+    // one enabled-check branch per emit site
+    g.bench_function("span_pair_disabled", |b| {
+        let mut t = TraceBuffer::new();
+        b.iter(|| {
+            let s = t.begin(1_000, 3, "engine.commit", SpanId::NONE, 42, 7);
+            t.end(2_000, 3, "engine.commit", s, 42, 1);
+            black_box(t.len())
+        })
+    });
+    g.bench_function("span_pair_enabled", |b| {
+        let mut t = TraceBuffer::new();
+        t.enable(65_536);
+        b.iter(|| {
+            let s = t.begin(1_000, 3, "engine.commit", SpanId::NONE, 42, 7);
+            t.end(2_000, 3, "engine.commit", s, 42, 1);
+            black_box(t.len())
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// End-to-end harness window: one DST seed, moderate intensity. The
+// traced variant measures the full tracing tax (emit + ring + render);
+// the plain one must stay on the BENCH_PR4 baseline.
 // ---------------------------------------------------------------------
 
 fn bench_e2e_dst_seed(c: &mut Criterion) {
@@ -226,6 +322,17 @@ fn bench_e2e_dst_seed(c: &mut Criterion) {
             });
             assert!(report.violations.is_empty(), "oracle failure in bench");
             black_box(report.commits)
+        })
+    });
+    g.bench_function("dst_seed_moderate_traced", |b| {
+        b.iter(|| {
+            let report = dst::run_seed(&DstConfig {
+                seed: 7,
+                trace: true,
+                ..DstConfig::default()
+            });
+            assert!(report.violations.is_empty(), "oracle failure in bench");
+            black_box(report.trace.map(|d| d.ndjson.len()))
         })
     });
     g.finish();
@@ -241,6 +348,7 @@ criterion_group! {
         bench_fanout,
         bench_apply_coalesce,
         bench_metrics,
+        bench_trace,
         bench_e2e_dst_seed
 }
 criterion_main!(benches);

@@ -11,12 +11,15 @@
 //!
 //! Exit code 1 if any seed fails. Failing seeds land in
 //! `<out>/failing_seeds.txt`; shrunk plans in `<out>/seed_<n>_shrunk.txt`
-//! (both uploaded as CI artifacts by the nightly workflow).
+//! (both uploaded as CI artifacts by the nightly workflow). Every failing
+//! seed is automatically re-run traced and its forensics — Chrome trace,
+//! NDJSON event log, watermark timeline — land beside the shrunk plan.
+//! `--trace` additionally captures those artifacts for a `--replay` run.
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use aurora_bench::dst::{self, DstConfig};
+use aurora_bench::dst::{self, DstConfig, TraceDump};
 use aurora_sim::Intensity;
 
 struct Args {
@@ -25,6 +28,7 @@ struct Args {
     intensity: String,
     shrink: bool,
     replay: Option<u64>,
+    trace: bool,
     out: PathBuf,
 }
 
@@ -35,6 +39,7 @@ fn parse_args() -> Args {
         intensity: "moderate".into(),
         shrink: false,
         replay: None,
+        trace: false,
         out: PathBuf::from("target/dst"),
     };
     let mut it = std::env::args().skip(1);
@@ -50,12 +55,13 @@ fn parse_args() -> Args {
             "--smoke" => args.seeds = 25,
             "--shrink" => args.shrink = true,
             "--replay" => args.replay = Some(val("--replay").parse().expect("--replay SEED")),
+            "--trace" => args.trace = true,
             "--out" => args.out = PathBuf::from(val("--out")),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: dst [--seeds N] [--start N] [--intensity light|moderate|heavy] \
-                     [--smoke] [--shrink] [--replay SEED] [--out DIR]"
+                     [--smoke] [--shrink] [--replay SEED] [--trace] [--out DIR]"
                 );
                 std::process::exit(2);
             }
@@ -81,12 +87,30 @@ fn config_for(seed: u64, intensity: &str) -> DstConfig {
     }
 }
 
+/// Write a traced run's artifacts next to the other seed outputs.
+fn write_trace(out: &Path, seed: u64, dump: &TraceDump) {
+    let chrome = out.join(format!("seed_{seed}.trace.json"));
+    std::fs::write(&chrome, &dump.chrome).expect("write chrome trace");
+    std::fs::write(out.join(format!("seed_{seed}.trace.ndjson")), &dump.ndjson)
+        .expect("write ndjson trace");
+    std::fs::write(
+        out.join(format!("seed_{seed}.watermarks.txt")),
+        &dump.watermarks,
+    )
+    .expect("write watermark timeline");
+    println!(
+        "seed {seed}: trace artifacts in {} (open the .json in chrome://tracing)",
+        out.display()
+    );
+}
+
 fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("create output dir");
 
     if let Some(seed) = args.replay {
-        let cfg = config_for(seed, &args.intensity);
+        let mut cfg = config_for(seed, &args.intensity);
+        cfg.trace = args.trace;
         let plan = dst::plan_for_seed(&cfg);
         println!("seed {seed}: {} actions", plan.len());
         print!("{}", dst::format_plan(&plan));
@@ -99,6 +123,9 @@ fn main() {
         );
         for v in &report.violations {
             println!("  VIOLATION: {v}");
+        }
+        if let Some(dump) = &report.trace {
+            write_trace(&args.out, seed, dump);
         }
         if args.shrink && !report.passed() {
             let minimal = dst::shrink_failing(&cfg, &plan);
@@ -151,6 +178,17 @@ fn main() {
             writeln!(f, "{seed}").unwrap();
         }
         println!("failing seeds written to {}", list.display());
+        // Forensics: re-run every failing seed traced (same seed ⇒ same
+        // run, now with the causal record) and dump the artifacts next to
+        // the shrunk schedule.
+        for seed in &failing {
+            let mut cfg = config_for(*seed, &args.intensity);
+            cfg.trace = true;
+            let report = dst::run_seed(&cfg);
+            if let Some(dump) = &report.trace {
+                write_trace(&args.out, *seed, dump);
+            }
+        }
         if args.shrink {
             for seed in &failing {
                 let cfg = config_for(*seed, &args.intensity);

@@ -9,13 +9,21 @@
 //!
 //! `--bench-json PATH` additionally records a wall-clock benchmark
 //! profile of the run — total and per-suite elapsed time, events
-//! dispatched by the simulator, events/sec, and peak RSS — and writes it
-//! as JSON. CI compares this profile against the checked-in
-//! `BENCH_PR4.json` to catch substrate performance regressions.
+//! dispatched by the simulator, events/sec, peak RSS, and a latency
+//! section (commit / storage-ack / replica-lag percentiles from one
+//! representative run) — and writes it as JSON. CI compares this profile
+//! against the checked-in `BENCH_PR4.json` to catch substrate
+//! performance regressions.
+//!
+//! `--trace DIR` captures a deterministic causal trace of every Aurora
+//! run's measurement window into DIR (Chrome `trace_event` JSON +
+//! NDJSON + watermark timeline per run).
 
 use std::time::Instant;
 
 use aurora_bench::experiments as ex;
+use aurora_bench::harness::{self, run_aurora, AuroraParams};
+use aurora_bench::workload::Mix;
 
 const ALL_SUITES: &[&str] = &[
     "table1",
@@ -126,8 +134,17 @@ fn main() {
             args.drain(pos..=pos + 1);
         }
     }
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        if pos + 1 < args.len() {
+            let dir = std::path::PathBuf::from(&args[pos + 1]);
+            args.drain(pos..=pos + 1);
+            harness::set_trace_dir(Some(dir));
+        }
+    }
     if args.is_empty() {
-        eprintln!("usage: experiments [--scale F] [--bench-json PATH] <name>... | all");
+        eprintln!(
+            "usage: experiments [--scale F] [--bench-json PATH] [--trace DIR] <name>... | all"
+        );
         eprintln!("names: {}", ALL_SUITES.join(" "));
         std::process::exit(2);
     }
@@ -163,6 +180,12 @@ fn main() {
         } else {
             0.0
         };
+        // One representative run for the latency section: a write mix
+        // with a replica exercises the full commit chain (commit, ack)
+        // and the replica-lag path.
+        let mut lat = AuroraParams::new(Mix::WriteOnly { writes: 1 });
+        lat.replicas = 1;
+        let ls = run_aurora(&lat);
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"schema\": \"aurora-bench/v1\",\n");
@@ -171,6 +194,23 @@ fn main() {
         out.push_str(&format!("  \"events_dispatched\": {events},\n"));
         out.push_str(&format!("  \"events_per_sec\": {eps:.0},\n"));
         out.push_str(&format!("  \"peak_rss_kb\": {},\n", peak_rss_kb()));
+        out.push_str("  \"latency\": {\n");
+        out.push_str(&format!(
+            "    \"commit_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n",
+            ls.commit_p50_ms, ls.commit_p95_ms, ls.commit_p99_ms, ls.commit_max_ms
+        ));
+        out.push_str(&format!(
+            "    \"ack_us\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n",
+            ls.ack_p50_us, ls.ack_p95_us, ls.ack_p99_us, ls.ack_max_us
+        ));
+        out.push_str(&format!(
+            "    \"replica_lag_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}\n",
+            ls.lag_p50_ms.unwrap_or(0.0),
+            ls.lag_p95_ms.unwrap_or(0.0),
+            ls.lag_p99_ms.unwrap_or(0.0),
+            ls.lag_max_ms.unwrap_or(0.0)
+        ));
+        out.push_str("  },\n");
         out.push_str("  \"suites\": [\n");
         for (i, (name, secs)) in timings.iter().enumerate() {
             let comma = if i + 1 == timings.len() { "" } else { "," };

@@ -35,7 +35,7 @@ use aurora_core::wire::{Op, OpResult, TxnResult, TxnSpec};
 use aurora_log::{Lsn, SegmentId};
 use aurora_quorum::VolumeEpoch;
 use aurora_sim::schedule::{self, Intensity, ScheduleSpec};
-use aurora_sim::{FaultAction, FaultPlan, NodeId, SimDuration, Zone};
+use aurora_sim::{trace, FaultAction, FaultPlan, NodeId, SimDuration, Zone};
 use aurora_storage::{ControlConfig, ControlPlane, StorageNode};
 
 /// One DST run's shape: the world to build and how hard to shake it.
@@ -57,7 +57,15 @@ pub struct DstConfig {
     /// How long after heal the cluster gets to converge before the
     /// liveness watchdog calls it wedged.
     pub converge_budget: SimDuration,
+    /// Capture a causal trace of the run (spans + watermark timeline);
+    /// the rendered artifacts ride back on [`DstReport::trace`]. Tracing
+    /// records only simulated time, so it never perturbs the verdict.
+    pub trace: bool,
 }
+
+/// Ring capacity for traced DST runs: large enough to hold the causal
+/// window around a violation, small enough to render instantly.
+pub const TRACE_CAPACITY: usize = 65_536;
 
 impl Default for DstConfig {
     fn default() -> Self {
@@ -72,6 +80,7 @@ impl Default for DstConfig {
             replicas: 1,
             repair_timeout: Some(SimDuration::from_millis(400)),
             converge_budget: SimDuration::from_secs(20),
+            trace: false,
         }
     }
 }
@@ -158,11 +167,63 @@ pub struct DstReport {
     /// divergence in event order shows up here.
     pub clock_ns: u64,
     pub violations: Vec<OracleViolation>,
+    /// Rendered trace artifacts (only when [`DstConfig::trace`] is set).
+    /// Part of the `PartialEq` digest: two same-seed traced runs must
+    /// produce byte-identical artifacts.
+    pub trace: Option<TraceDump>,
 }
 
 impl DstReport {
     pub fn passed(&self) -> bool {
         self.violations.is_empty()
+    }
+}
+
+/// Rendered trace artifacts captured from a traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDump {
+    /// Chrome `trace_event` JSON — open in `chrome://tracing` / Perfetto.
+    pub chrome: String,
+    /// Newline-delimited JSON, one event per line (grep/jq-friendly).
+    pub ndjson: String,
+    /// Per-PG watermark timeline table (VDL/VCL/SCL/PGMRPL advances).
+    pub watermarks: String,
+}
+
+/// Human-readable role of a node in the DST topology (for trace actor
+/// names): the layout mirrors [`Cluster::build`].
+pub fn node_name(c: &Cluster, node: NodeId) -> String {
+    if node == c.client {
+        return "client".into();
+    }
+    if node == c.engine {
+        return "writer".into();
+    }
+    if Some(node) == c.standby {
+        return "standby".into();
+    }
+    if Some(node) == c.control {
+        return "control".into();
+    }
+    if let Some(i) = c.replicas.iter().position(|n| *n == node) {
+        return format!("replica-{i}");
+    }
+    if let Some(i) = c.storage.iter().position(|n| *n == node) {
+        return format!("storage-{i}");
+    }
+    if let Some(i) = c.spares.iter().position(|n| *n == node) {
+        return format!("spare-{i}");
+    }
+    format!("node-{node}")
+}
+
+/// Render the cluster's trace ring into portable artifacts.
+pub fn render_trace(c: &Cluster) -> TraceDump {
+    let name_of = |n: u32| node_name(c, n as NodeId);
+    TraceDump {
+        chrome: trace::chrome_trace(&c.sim.trace, name_of),
+        ndjson: trace::ndjson(&c.sim.trace, name_of),
+        watermarks: trace::watermark_table(&c.sim.trace),
     }
 }
 
@@ -462,6 +523,9 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
     plan.validate(cfg.window)
         .unwrap_or_else(|e| panic!("seed {}: invalid plan: {e}", cfg.seed));
     let mut c = Cluster::build(cluster_config(cfg));
+    if cfg.trace {
+        c.sim.trace.enable(TRACE_CAPACITY);
+    }
     c.sim.run_for(SimDuration::from_millis(300));
     let mut oracles = Oracles::new();
     oracles.poll(&c);
@@ -594,12 +658,14 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
             .push(OracleViolation::StaleRead { count: stale });
     }
 
+    let trace = cfg.trace.then(|| render_trace(&c));
     DstReport {
         seed: cfg.seed,
         plan_len: plan.len(),
         commits: c.sim.metrics.counter_total("engine.commits"),
         clock_ns: c.sim.now().nanos(),
         violations: oracles.into_violations(),
+        trace,
     }
 }
 

@@ -19,6 +19,9 @@
 //! quorum writes — is emergent from the modeled IO paths, not calibrated.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use aurora_baseline::{MysqlCluster, MysqlClusterConfig, MysqlEngine, MysqlFlavor};
 use aurora_core::cluster::{Cluster, ClusterConfig};
@@ -152,8 +155,22 @@ pub struct RunStats {
     pub insert_p95_us: f64,
     /// Write IOs issued by the database node per committed transaction.
     pub ios_per_txn: f64,
+    /// Commit latency distribution (ms): seal-to-durable-ack for write
+    /// transactions (the paper's Fig. 6 measurement).
+    pub commit_p50_ms: f64,
+    pub commit_p95_ms: f64,
+    pub commit_p99_ms: f64,
+    pub commit_max_ms: f64,
+    /// Storage ack latency distribution (µs): batch first-send to each
+    /// segment ack at the writer.
+    pub ack_p50_us: f64,
+    pub ack_p95_us: f64,
+    pub ack_p99_us: f64,
+    pub ack_max_us: f64,
     /// Replica lag (ms), if replicas were present.
     pub lag_p50_ms: Option<f64>,
+    pub lag_p95_ms: Option<f64>,
+    pub lag_p99_ms: Option<f64>,
     pub lag_max_ms: Option<f64>,
     /// Anything else an experiment wants to carry.
     pub extra: BTreeMap<String, f64>,
@@ -164,6 +181,40 @@ fn ns_ms(v: u64) -> f64 {
 }
 fn ns_us(v: u64) -> f64 {
     v as f64 / 1e3
+}
+
+/// Process-global trace capture directory for harness runs (set by
+/// `experiments --trace DIR`). When set, every Aurora run records a
+/// causal trace over its measurement window and writes the artifacts
+/// (Chrome JSON, NDJSON, watermark table) into the directory, named
+/// after the run label. Reporting-only: tracing records simulated time,
+/// so enabling it never changes measured results.
+static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// Distinguishes multiple runs with the same label within one process.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+pub fn set_trace_dir(dir: Option<PathBuf>) {
+    *TRACE_DIR.lock().unwrap() = dir;
+}
+
+fn trace_dir() -> Option<PathBuf> {
+    TRACE_DIR.lock().unwrap().clone()
+}
+
+fn write_run_trace(dir: &PathBuf, label: &str, c: &Cluster) {
+    let dump = crate::dst::render_trace(c);
+    let slug: String = label
+        .chars()
+        .map(|ch| if ch.is_ascii_alphanumeric() { ch } else { '-' })
+        .collect();
+    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let base = format!("{slug}_{seq:03}");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(dir.join(format!("{base}.trace.json")), &dump.chrome);
+    let _ = std::fs::write(dir.join(format!("{base}.trace.ndjson")), &dump.ndjson);
+    let _ = std::fs::write(dir.join(format!("{base}.watermarks.txt")), &dump.watermarks);
 }
 
 /// Run an Aurora configuration and return its statistics.
@@ -235,6 +286,10 @@ pub fn run_aurora_with(
 
     c.sim.run_for(p.warmup);
     c.sim.clear_stats();
+    let tracing_to = trace_dir();
+    if tracing_to.is_some() {
+        c.sim.trace.enable(crate::dst::TRACE_CAPACITY);
+    }
     if let Some(plan) = &p.fault_plan {
         plan.validate(p.window)
             .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
@@ -250,6 +305,8 @@ pub fn run_aurora_with(
     let txn = m.histogram_total("client.txn_ns");
     let sel = m.histogram_total("engine.select_ns");
     let ins = m.histogram_total("engine.update_ns");
+    let commit = m.histogram_total("engine.commit_ns");
+    let ack = m.histogram_total("engine.ack_ns");
     let log_ios = c.sim.net().class_packets("log_write");
     let lag = m.histogram_total("replica.lag_ns");
 
@@ -269,8 +326,12 @@ pub fn run_aurora_with(
     ] {
         extra.insert(name.to_string(), m.counter_total(name) as f64);
     }
+    let label = format!("aurora/{}", p.instance.name);
+    if let Some(dir) = tracing_to {
+        write_run_trace(&dir, &label, &c);
+    }
     RunStats {
-        label: format!("aurora/{}", p.instance.name),
+        label,
         window_secs: secs,
         commits,
         aborts,
@@ -288,7 +349,17 @@ pub fn run_aurora_with(
         } else {
             0.0
         },
+        commit_p50_ms: ns_ms(commit.p50()),
+        commit_p95_ms: ns_ms(commit.p95()),
+        commit_p99_ms: ns_ms(commit.p99()),
+        commit_max_ms: ns_ms(commit.max()),
+        ack_p50_us: ns_us(ack.p50()),
+        ack_p95_us: ns_us(ack.p95()),
+        ack_p99_us: ns_us(ack.p99()),
+        ack_max_us: ns_us(ack.max()),
         lag_p50_ms: (lag.count() > 0).then(|| ns_ms(lag.p50())),
+        lag_p95_ms: (lag.count() > 0).then(|| ns_ms(lag.p95())),
+        lag_p99_ms: (lag.count() > 0).then(|| ns_ms(lag.p99())),
         lag_max_ms: (lag.count() > 0).then(|| ns_ms(lag.max())),
         extra,
     }
@@ -409,8 +480,12 @@ pub fn run_mysql_with(
             0.0
         },
         lag_p50_ms: (lag.count() > 0).then(|| ns_ms(lag.p50())),
+        lag_p95_ms: (lag.count() > 0).then(|| ns_ms(lag.p95())),
+        lag_p99_ms: (lag.count() > 0).then(|| ns_ms(lag.p99())),
         lag_max_ms: (lag.count() > 0).then(|| ns_ms(lag.max())),
         extra,
+        // MySQL has no quorum ack path; commit latency is inside txn_ns
+        ..Default::default()
     }
 }
 

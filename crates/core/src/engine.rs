@@ -35,7 +35,7 @@ use aurora_log::{
     SegmentId, TxnId, LAL_DEFAULT,
 };
 use aurora_quorum::{AckOutcome, DurabilityTracker, QuorumConfig, TruncationRange, VolumeEpoch};
-use aurora_sim::{Actor, ActorEvent, Ctx, Msg, NodeId, SimDuration, SimTime, Tag};
+use aurora_sim::{Actor, ActorEvent, Ctx, Msg, NodeId, SimDuration, SimTime, SpanId, Tag};
 use aurora_storage::wire as swire;
 use aurora_storage::{PgMembership, VolumeLayout};
 use bytes::Bytes;
@@ -206,6 +206,10 @@ struct PendingCommit {
     issued_at: SimTime,
     results: Vec<OpResult>,
     is_write: bool,
+    /// Open `engine.commit` trace span (NONE when tracing is off). Lives
+    /// and dies with the waiter: crash/fence clears the map and the span
+    /// simply never closes, which is exactly what the trace should show.
+    span: SpanId,
 }
 
 struct OutBatch {
@@ -217,6 +221,11 @@ struct OutBatch {
     by_pg: BTreeMap<PgId, Arc<[LogRecord]>>,
     acked: HashSet<(u32, u8)>,
     last_sent: SimTime,
+    /// When the batch was first shipped — ack latency is measured from
+    /// here, not from retransmissions.
+    first_sent: SimTime,
+    /// Open `engine.batch_quorum` trace span (NONE when tracing is off).
+    span: SpanId,
 }
 
 struct PendingRead {
@@ -250,6 +259,8 @@ struct RecoveryState {
     undo_done: HashSet<u32>,
     max_txn_seen: u64,
     started: SimTime,
+    /// Open `engine.recovery` trace span (NONE when tracing is off).
+    span: SpanId,
 }
 
 /// The writer-instance actor.
@@ -262,6 +273,7 @@ struct RecoveryState {
 struct HotIds {
     txn_ns: aurora_sim::MetricId,
     commit_ns: aurora_sim::MetricId,
+    ack_ns: aurora_sim::MetricId,
     commits: aurora_sim::MetricId,
     read_txns: aurora_sim::MetricId,
     write_txns: aurora_sim::MetricId,
@@ -284,6 +296,7 @@ impl HotIds {
         HotIds {
             txn_ns: ctx.metric_id("engine.txn_ns"),
             commit_ns: ctx.metric_id("engine.commit_ns"),
+            ack_ns: ctx.metric_id("engine.ack_ns"),
             commits: ctx.metric_id("engine.commits"),
             read_txns: ctx.metric_id("engine.read_txns"),
             write_txns: ctx.metric_id("engine.write_txns"),
@@ -749,6 +762,15 @@ impl EngineActor {
         self.tracker.register(batch_end, cpl, &pgs);
         let vdl = self.tracker.vdl();
         let pgmrpl = self.pgmrpl();
+        // the batch-quorum span opens when the first copy leaves the
+        // engine and closes when the 4/6 write quorum has acked it
+        let span = ctx.trace_begin(
+            "engine.batch_quorum",
+            SpanId::NONE,
+            batch_end.0,
+            records.len() as u64,
+        );
+        ctx.trace_instant("wm.pgmrpl", span, pgmrpl.0, 0);
         // shard by PG (§5) and ship to all six replicas of each PG —
         // each PG's shard is assembled once and every send (and any later
         // retransmission) shares the same allocation
@@ -781,6 +803,8 @@ impl EngineActor {
                 by_pg,
                 acked: HashSet::default(),
                 last_sent: ctx.now(),
+                first_sent: ctx.now(),
+                span,
             },
         );
         // stream to read replicas (not part of the commit path); the
@@ -813,6 +837,7 @@ impl EngineActor {
     fn on_vdl_advance(&mut self, ctx: &mut Ctx<'_>, vdl: Lsn) {
         let ids = self.hot(ctx);
         self.alloc.advance_vdl(vdl);
+        ctx.trace_instant("wm.vdl", SpanId::NONE, vdl.0, 0);
         // complete asynchronous commits (§4.2.2)
         let ready: Vec<Lsn> = self.commit_waiters.range(..=vdl).map(|(l, _)| *l).collect();
         let now = ctx.now();
@@ -824,6 +849,7 @@ impl EngineActor {
                     ctx.record_id(ids.commit_ns, latency);
                 }
                 ctx.inc_id(ids.commits, 1);
+                ctx.trace_end("engine.commit", pc.span, lsn.0, latency);
                 ctx.send(
                     pc.client,
                     ClientResponse {
@@ -1159,6 +1185,7 @@ impl EngineActor {
                 // order, so a dependent commit can never out-run this one
                 self.locks.release_all(rt.txn);
                 self.resume_lock_waiters(ctx);
+                let span = ctx.trace_begin("engine.commit", SpanId::NONE, commit_lsn.0, rt.txn.0);
                 self.commit_waiters
                     .entry(commit_lsn)
                     .or_default()
@@ -1168,6 +1195,7 @@ impl EngineActor {
                         issued_at: rt.issued_at,
                         results: rt.results,
                         is_write: true,
+                        span,
                     });
                 // the group-commit window (flush timer / batch cap) ships
                 // this; forcing a flush here would defeat batching
@@ -1549,6 +1577,7 @@ impl EngineActor {
         self.status = EngineStatus::Recovering;
         let rec = RecoveryState {
             started: ctx.now(),
+            span: ctx.trace_begin("engine.recovery", SpanId::NONE, 0, 0),
             ..Default::default()
         };
         for m in self.cfg.memberships.clone() {
@@ -1600,6 +1629,7 @@ impl EngineActor {
                 .min()
                 .unwrap_or(Lsn::ZERO);
             rec.vcl = Some(vcl);
+            ctx.trace_instant("wm.vcl", rec.span, vcl.0, 0);
             let reqs: Vec<(NodeId, swire::CplBelowReq)> = self
                 .cfg
                 .memberships
@@ -1633,6 +1663,7 @@ impl EngineActor {
             }
             let vdl = rec.cpls.values().copied().max().unwrap_or(Lsn::ZERO);
             rec.vdl = Some(vdl);
+            ctx.trace_instant("wm.vdl", rec.span, vdl.0, 0);
             let new_epoch = rec.max_epoch.next();
             // provably above any LSN the dead incarnation could have issued
             let ceiling = Lsn(vdl.0 + self.cfg.lal + LAL_DEFAULT);
@@ -1716,6 +1747,7 @@ impl EngineActor {
         let undo_records = std::mem::take(&mut rec.undo_records);
         let max_txn = rec.max_txn_seen;
         let started = rec.started;
+        let rec_span = rec.span;
         // Seed each PG's backlink anchor with the PG's *true chain tail*
         // (learned from the post-truncation SCL of a segment that was
         // complete through the VDL), never with the volume-level VDL: the
@@ -1767,6 +1799,7 @@ impl EngineActor {
         ctx.inc("engine.recoveries", 1);
         ctx.inc("engine.recovery_undone_ops", n_undone as u64);
         ctx.record("engine.recovery_ns", ctx.now().since(started).nanos());
+        ctx.trace_end("engine.recovery", rec_span, vdl.0, n_undone as u64);
     }
 
     /// Every 50ms while recovering, re-drive whichever phase is stalled.
@@ -1879,9 +1912,13 @@ impl EngineActor {
     fn on_storage_msg(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Msg) {
         let msg = match msg.downcast::<swire::WriteAck>() {
             Ok(ack) => {
+                let ids = self.hot(ctx);
                 self.scls.insert(ack.segment, ack.scl);
                 if let Some(ob) = self.outstanding.get_mut(&ack.batch_end) {
-                    ob.acked.insert((ack.segment.pg.0, ack.segment.replica));
+                    if ob.acked.insert((ack.segment.pg.0, ack.segment.replica)) {
+                        let ack_latency = ctx.now().since(ob.first_sent).nanos();
+                        ctx.record_id(ids.ack_ns, ack_latency);
+                    }
                 }
                 match self
                     .tracker
@@ -1894,7 +1931,14 @@ impl EngineActor {
                 let durable_to = self.tracker.durable_to();
                 while let Some((&first, _)) = self.outstanding.iter().next() {
                     if first <= durable_to {
-                        self.outstanding.remove(&first);
+                        if let Some(ob) = self.outstanding.remove(&first) {
+                            ctx.trace_end(
+                                "engine.batch_quorum",
+                                ob.span,
+                                first.0,
+                                ob.acked.len() as u64,
+                            );
+                        }
                     } else {
                         break;
                     }

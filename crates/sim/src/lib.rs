@@ -34,6 +34,7 @@ pub mod rng;
 pub mod schedule;
 pub mod sim;
 pub mod time;
+pub mod trace;
 
 pub use dist::Dist;
 pub use fault::{FaultAction, FaultPlan, FaultPlanError, PacketChaos};
@@ -46,3 +47,4 @@ pub use rng::SimRng;
 pub use schedule::{generate, shrink, Intensity, ScheduleSpec};
 pub use sim::{Actor, ActorEvent, Ctx, DiskSpec, NodeId, NodeOpts, Sim, Tag, TimerId, Zone};
 pub use time::{SimDuration, SimTime};
+pub use trace::{SpanId, TraceBuffer, TraceEvent, TracePhase};

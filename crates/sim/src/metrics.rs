@@ -374,6 +374,34 @@ impl MetricsRegistry {
         out.sort_unstable_by_key(|(o, n, _)| (*o, *n));
         out
     }
+
+    /// Deterministic dump of every non-empty histogram as
+    /// `(owner, name, count, p50, p95, p99, max)`, sorted by
+    /// `(owner, name)` — the percentile twin of
+    /// [`MetricsRegistry::counters_snapshot`] for latency reports.
+    pub fn histograms_snapshot(&self) -> Vec<(u32, &'static str, u64, u64, u64, u64, u64)> {
+        let mut out = Vec::new();
+        for (s, row) in self.histograms.iter().enumerate() {
+            let owner = if s == 0 { GLOBAL } else { (s - 1) as u32 };
+            for (i, h) in row.iter().enumerate() {
+                if let Some(h) = h {
+                    if h.count() > 0 {
+                        out.push((
+                            owner,
+                            self.names[i],
+                            h.count(),
+                            h.p50(),
+                            h.p95(),
+                            h.p99(),
+                            h.max(),
+                        ));
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(o, n, ..)| (*o, *n));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -500,6 +528,23 @@ mod tests {
         m.inc(1, "zero", 0);
         let snap = m.counters_snapshot();
         assert_eq!(snap, vec![(1, "a", 4), (2, "b", 1), (GLOBAL, "a", 9)]);
+    }
+
+    #[test]
+    fn histograms_snapshot_is_sorted_and_skips_empties() {
+        let mut m = MetricsRegistry::new();
+        m.record(2, "b_ns", 100);
+        m.record(1, "a_ns", 50);
+        m.record(1, "a_ns", 150);
+        m.inc(1, "counter_only", 1);
+        let snap = m.histograms_snapshot();
+        assert_eq!(snap.len(), 2);
+        let (owner, name, count, p50, _p95, _p99, max) = snap[0];
+        assert_eq!((owner, name, count), (1, "a_ns", 2));
+        assert!(p50 >= 50 && max == 150, "p50={p50} max={max}");
+        assert_eq!((snap[1].0, snap[1].1), (2, "b_ns"));
+        m.clear();
+        assert!(m.histograms_snapshot().is_empty());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::msg::{Msg, Payload};
 use crate::net::{NetPolicy, NetStats};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{SpanId, TraceBuffer};
 
 /// Identifier of a simulated node.
 pub type NodeId = u32;
@@ -203,6 +204,9 @@ pub struct Sim {
     rng: SimRng,
     /// Named counters/histograms written by actors and read by harnesses.
     pub metrics: MetricsRegistry,
+    /// Deterministic causal trace, recorded on simulated time. Off by
+    /// default (`trace.enable(cap)` turns it on); see [`crate::trace`].
+    pub trace: TraceBuffer,
     net: NetStats,
     cancelled_timers: FxHashSet<u64>,
     next_timer_id: u64,
@@ -257,6 +261,7 @@ impl Sim {
             policy: NetPolicy::default(),
             rng: SimRng::new(seed),
             metrics: MetricsRegistry::new(),
+            trace: TraceBuffer::new(),
             net: NetStats::new(),
             cancelled_timers: FxHashSet::default(),
             next_timer_id: 0,
@@ -361,10 +366,13 @@ impl Sim {
         &self.net
     }
 
-    /// Clear metrics and network statistics — used at warm-up boundaries.
+    /// Clear metrics, network statistics, and recorded trace events —
+    /// used at warm-up boundaries. Interned metric ids and trace kinds
+    /// stay valid.
     pub fn clear_stats(&mut self) {
         self.metrics.clear();
         self.net.clear();
+        self.trace.clear_events();
     }
 
     /// Mutable access to the network policy (for ablations that slow down
@@ -912,6 +920,37 @@ impl<'a> Ctx<'a> {
     /// timeouts instead.)
     pub fn peer_up(&self, node: NodeId) -> bool {
         self.sim.nodes[node as usize].up
+    }
+
+    /// Is causal tracing currently recording? Emit sites that need to
+    /// compute attributes may gate on this; the `trace_*` emitters below
+    /// already cost only one branch when tracing is off.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.sim.trace.is_enabled()
+    }
+
+    /// Open a trace span at the current simulated time. Returns
+    /// [`SpanId::NONE`] when tracing is off; threading that sentinel
+    /// through pending-operation state and later ending it is a no-op.
+    #[inline]
+    pub fn trace_begin(&mut self, name: &'static str, parent: SpanId, a0: u64, a1: u64) -> SpanId {
+        let at = self.sim.time.nanos();
+        self.sim.trace.begin(at, self.node, name, parent, a0, a1)
+    }
+
+    /// Close a trace span at the current simulated time.
+    #[inline]
+    pub fn trace_end(&mut self, name: &'static str, span: SpanId, a0: u64, a1: u64) {
+        let at = self.sim.time.nanos();
+        self.sim.trace.end(at, self.node, name, span, a0, a1);
+    }
+
+    /// Record a standalone trace event (watermark advance, apply mark).
+    #[inline]
+    pub fn trace_instant(&mut self, name: &'static str, parent: SpanId, a0: u64, a1: u64) {
+        let at = self.sim.time.nanos();
+        self.sim.trace.instant(at, self.node, name, parent, a0, a1);
     }
 }
 

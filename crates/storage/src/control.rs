@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use aurora_log::SegmentId;
 use aurora_quorum::TruncationRange;
-use aurora_sim::{Actor, ActorEvent, Ctx, NodeId, SimDuration, SimTime, Tag, Zone};
+use aurora_sim::{Actor, ActorEvent, Ctx, NodeId, SimDuration, SimTime, SpanId, Tag, Zone};
 
 use crate::volume::PgMembership;
 use crate::wire::*;
@@ -70,6 +70,9 @@ struct RepairJob {
     /// the pool under the right AZ.
     spare_zone: Zone,
     started_at: SimTime,
+    /// Open `control.repair` trace span (NONE when tracing is off).
+    /// An abandoned job's span is closed by the expiry sweep.
+    span: SpanId,
 }
 
 /// The control plane actor.
@@ -178,13 +181,14 @@ impl ControlPlane {
         let mut expired = Vec::new();
         self.in_repair.retain(|j| {
             if now.since(j.started_at) > deadline {
-                expired.push((j.replacement, j.spare_zone));
+                expired.push((j.replacement, j.spare_zone, j.span, j.segment));
                 false
             } else {
                 true
             }
         });
-        for (replacement, zone) in expired {
+        for (replacement, zone, span, segment) in expired {
+            ctx.trace_end("control.repair", span, segment.pg.0 as u64, 0);
             self.repairs_requeued += 1;
             ctx.inc("control.repairs_requeued", 1);
             let seen = self
@@ -296,12 +300,19 @@ impl ControlPlane {
             };
             let donor_slot = m.slot_of(donor).expect("donor is a member");
             // optimistic membership update (installed on RepairDone)
+            let span = ctx.trace_begin(
+                "control.repair",
+                SpanId::NONE,
+                segment.pg.0 as u64,
+                segment.replica as u64,
+            );
             self.in_repair.push(RepairJob {
                 segment,
                 replacement,
                 donor,
                 spare_zone,
                 started_at: now,
+                span,
             });
             jobs.push((
                 SegmentId::new(m.pg, donor_slot),
@@ -331,7 +342,13 @@ impl ControlPlane {
         else {
             return;
         };
-        self.in_repair.remove(pos);
+        let job = self.in_repair.remove(pos);
+        ctx.trace_end(
+            "control.repair",
+            job.span,
+            segment.pg.0 as u64,
+            segment.replica as u64,
+        );
         if let Some(m) = self.memberships.iter_mut().find(|m| m.pg == segment.pg) {
             m.slots[segment.replica as usize] = from;
         }

@@ -25,7 +25,7 @@ use aurora_log::{
     apply_record, codec, ApplyError, LogRecord, Lsn, Page, PageId, SegmentId, SegmentLog,
 };
 use aurora_quorum::TruncationGuard;
-use aurora_sim::{Actor, ActorEvent, Ctx, NodeId, SimDuration, SimTime, Tag};
+use aurora_sim::{Actor, ActorEvent, Ctx, NodeId, SimDuration, SimTime, SpanId, Tag};
 
 use crate::object_store::{ObjectStore, SegmentBackup};
 use crate::wire::*;
@@ -338,6 +338,9 @@ enum PendingOp {
         records: Arc<[LogRecord]>,
         batch_end: Lsn,
         received_at: SimTime,
+        /// Open `storage.persist` trace span (NONE when tracing is off).
+        /// Volatile like the op itself: a crash drops it unclosed.
+        span: SpanId,
     },
     PersistGossip {
         segment: SegmentId,
@@ -636,12 +639,19 @@ impl StorageNode {
                     return;
                 }
                 let bytes: usize = admitted.iter().map(|r| r.wire_size()).sum();
+                let span = ctx.trace_begin(
+                    "storage.persist",
+                    SpanId::NONE,
+                    wb.batch_end.0,
+                    wb.segment.pg.0 as u64,
+                );
                 let tag = self.op(PendingOp::PersistBatch {
                     from,
                     segment: wb.segment,
                     records: admitted,
                     batch_end: wb.batch_end,
                     received_at: ctx.now(),
+                    span,
                 });
                 // Step (2): persist on disk, ack on completion.
                 ctx.disk_write(bytes.max(64), tag);
@@ -941,16 +951,22 @@ impl StorageNode {
                 records,
                 batch_end,
                 received_at,
+                span,
             } => {
                 let seg = self
                     .segments
                     .entry(segment)
                     .or_insert_with(SegmentState::new);
+                let before = seg.log.scl();
                 for r in records.iter() {
                     seg.ingest(r.clone());
                 }
                 let scl = seg.log.scl();
                 ctx.record_id(ids.persist_ns, ctx.now().since(received_at).nanos());
+                ctx.trace_end("storage.persist", span, batch_end.0, scl.0);
+                if scl > before {
+                    ctx.trace_instant("wm.scl", span, scl.0, segment.pg.0 as u64);
+                }
                 ctx.send(
                     from,
                     WriteAck {
@@ -965,11 +981,19 @@ impl StorageNode {
                     .segments
                     .entry(segment)
                     .or_insert_with(SegmentState::new);
+                let before = seg.log.scl();
                 let mut n = 0;
                 for r in records.iter() {
                     if seg.ingest(r.clone()) {
                         n += 1;
                     }
+                }
+                let scl = seg.log.scl();
+                if n > 0 {
+                    ctx.trace_instant("storage.gossip_fill", SpanId::NONE, n, segment.pg.0 as u64);
+                }
+                if scl > before {
+                    ctx.trace_instant("wm.scl", SpanId::NONE, scl.0, segment.pg.0 as u64);
                 }
                 ctx.inc_id(ids.gossip_filled, n);
             }
@@ -1006,6 +1030,9 @@ impl StorageNode {
                 if let Some(seg) = self.segments.get_mut(&segment) {
                     seg.truncate(range);
                     let scl = seg.log.scl();
+                    // post-truncation completeness: the timeline must show
+                    // the SCL resetting, not only advancing
+                    ctx.trace_instant("wm.scl", SpanId::NONE, scl.0, segment.pg.0 as u64);
                     ctx.send(
                         from,
                         TruncateAck {
@@ -1062,6 +1089,12 @@ impl StorageNode {
                     if gc_floor > seg.gc_floor {
                         seg.gc_floor = gc_floor;
                     }
+                    ctx.trace_instant(
+                        "storage.catchup_install",
+                        SpanId::NONE,
+                        scl.0,
+                        segment.pg.0 as u64,
+                    );
                     ctx.inc("storage.catchups_installed", 1);
                 } else {
                     let mut seg = SegmentState::new();
@@ -1088,6 +1121,12 @@ impl StorageNode {
                     seg.applied_upto = applied_upto;
                     seg.gc_floor = gc_floor;
                     self.segments.insert(segment, seg);
+                    ctx.trace_instant(
+                        "storage.repair_install",
+                        SpanId::NONE,
+                        scl.0,
+                        segment.pg.0 as u64,
+                    );
                     ctx.inc("storage.repairs_installed", 1);
                     if let Some(control) = self.cfg.control {
                         ctx.send(control, RepairDone { segment });
@@ -1142,6 +1181,14 @@ impl StorageNode {
                         // foreground path).
                         let tag = self.op(PendingOp::Background);
                         ctx.disk_write(total_dirty * aurora_log::PAGE_SIZE, tag);
+                    }
+                    if total_applied > 0 {
+                        ctx.trace_instant(
+                            "storage.coalesce",
+                            SpanId::NONE,
+                            total_applied as u64,
+                            total_dirty as u64,
+                        );
                     }
                     ctx.inc_id(ids.coalesced, total_applied as u64);
                     ctx.inc_id(ids.gc_records, total_gc as u64);

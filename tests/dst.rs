@@ -11,7 +11,7 @@ use aurora::core::cluster::Cluster;
 use aurora::core::engine::{EngineActor, EngineStatus};
 use aurora::core::wire::{Op, OpResult, TxnResult, TxnSpec};
 use aurora::log::Lsn;
-use aurora::sim::{FaultAction, FaultPlan, PacketChaos, SimDuration};
+use aurora::sim::{trace, FaultAction, FaultPlan, PacketChaos, SimDuration};
 use aurora::storage::{ControlPlane, StorageNode};
 
 fn conn_of(key: u64, version: u64) -> u64 {
@@ -33,6 +33,9 @@ fn decode_version(row: &[u8]) -> u64 {
 /// sequential writes. Returns the cluster and last acked version per key.
 fn cluster_with_load(cfg: &DstConfig, ticks: u64) -> (Cluster, Vec<u64>) {
     let mut c = Cluster::build(dst::cluster_config(cfg));
+    if cfg.trace {
+        c.sim.trace.enable(dst::TRACE_CAPACITY);
+    }
     c.sim.run_for(SimDuration::from_millis(300));
     let keys = cfg.keys as usize;
     let mut next_version = vec![1u64; keys];
@@ -93,6 +96,34 @@ fn same_seed_gives_identical_report() {
     assert_eq!(a, b, "replay diverged");
 }
 
+/// Same seed with tracing on => byte-identical rendered traces (Chrome
+/// JSON, NDJSON, watermark timeline). The trace rides on simulated time
+/// and interned kinds only, so it is as deterministic as the run itself
+/// — and it must capture the commit causal chain, not just be empty.
+#[test]
+fn same_seed_gives_identical_trace() {
+    let cfg = DstConfig {
+        seed: 7,
+        trace: true,
+        ..Default::default()
+    };
+    let a = dst::run_seed(&cfg);
+    let b = dst::run_seed(&cfg);
+    let dump = a.trace.as_ref().expect("traced run must carry a dump");
+    for kind in ["engine.commit", "engine.batch_quorum", "storage.persist"] {
+        assert!(
+            dump.ndjson.contains(kind),
+            "trace missing {kind} spans from the commit chain"
+        );
+    }
+    assert!(
+        dump.watermarks.contains("wm.vdl"),
+        "watermark timeline must record VDL advances"
+    );
+    assert_eq!(a.trace, b.trace, "traces diverged between same-seed runs");
+    assert_eq!(a, b, "replay diverged");
+}
+
 /// Same seed => bit-identical *per-node metric counters* and network
 /// accounting, not just the report digest. This pins the substrate fast
 /// paths (interned metric ids, shared log batches, materialization
@@ -132,10 +163,15 @@ fn same_seed_gives_identical_metric_counters() {
 // ------------------------------------------------- oracle negative tests
 
 /// The SCL oracle flags a storage node that silently loses durable log
-/// tail (no epoch bump to justify it).
+/// tail (no epoch bump to justify it). Runs traced so the failure
+/// message carries the per-PG watermark timeline — the same forensics
+/// the DST runner dumps for failing seeds.
 #[test]
 fn scl_oracle_detects_forgotten_tail() {
-    let cfg = DstConfig::default();
+    let cfg = DstConfig {
+        trace: true,
+        ..Default::default()
+    };
     let (mut c, _) = cluster_with_load(&cfg, 20);
     let mut oracles = Oracles::new();
     oracles.poll(&c);
@@ -159,8 +195,9 @@ fn scl_oracle_detects_forgotten_tail() {
             |v| matches!(v, OracleViolation::SclRegressed { node: n, segment: s, .. }
                 if *n == node && *s == segment)
         ),
-        "SCL regression not detected: {:?}",
-        oracles.violations()
+        "SCL regression not detected: {:?}\nwatermark timeline at failure:\n{}",
+        oracles.violations(),
+        trace::watermark_table(&c.sim.trace)
     );
 }
 

@@ -42,6 +42,7 @@ const ALL_SUITES: &[&str] = &[
     "ablation_group_commit",
     "ablation_cpl",
     "ablation_loss",
+    "frontier",
 ];
 
 /// Run one named suite; false if the name is unknown.
@@ -95,6 +96,9 @@ fn run_suite(name: &str, scale: f64) -> bool {
         "ablation_loss" => {
             ex::ablation_loss(scale);
         }
+        "frontier" => {
+            ex::frontier(scale);
+        }
         _ => return false,
     }
     true
@@ -116,6 +120,15 @@ fn peak_rss_kb() -> u64 {
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// JSON number or `null` — absent percentiles (no samples) must not be
+/// conflated with a measured 0.
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.3}"),
+        _ => "null".to_string(),
+    }
 }
 
 fn main() {
@@ -163,9 +176,13 @@ fn main() {
 
     let started = Instant::now();
     let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut frontier_points: Option<Vec<ex::FrontierPoint>> = None;
     for name in &suites {
         let t0 = Instant::now();
-        if !run_suite(name, scale) {
+        if name == "frontier" {
+            // keep the points so bench-json doesn't re-run the sweep
+            frontier_points = Some(ex::frontier(scale));
+        } else if !run_suite(name, scale) {
             eprintln!("unknown experiment: {name}");
             std::process::exit(2);
         }
@@ -196,21 +213,48 @@ fn main() {
         out.push_str(&format!("  \"peak_rss_kb\": {},\n", peak_rss_kb()));
         out.push_str("  \"latency\": {\n");
         out.push_str(&format!(
-            "    \"commit_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n",
-            ls.commit_p50_ms, ls.commit_p95_ms, ls.commit_p99_ms, ls.commit_max_ms
+            "    \"commit_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
+            json_f64(ls.commit_p50_ms),
+            json_f64(ls.commit_p95_ms),
+            json_f64(ls.commit_p99_ms),
+            json_f64(ls.commit_max_ms)
         ));
         out.push_str(&format!(
-            "    \"ack_us\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n",
-            ls.ack_p50_us, ls.ack_p95_us, ls.ack_p99_us, ls.ack_max_us
+            "    \"ack_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}},\n",
+            json_f64(ls.ack_p50_us),
+            json_f64(ls.ack_p95_us),
+            json_f64(ls.ack_p99_us),
+            json_f64(ls.ack_max_us)
         ));
         out.push_str(&format!(
-            "    \"replica_lag_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}\n",
-            ls.lag_p50_ms.unwrap_or(0.0),
-            ls.lag_p95_ms.unwrap_or(0.0),
-            ls.lag_p99_ms.unwrap_or(0.0),
-            ls.lag_max_ms.unwrap_or(0.0)
+            "    \"replica_lag_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}\n",
+            json_f64(ls.lag_p50_ms),
+            json_f64(ls.lag_p95_ms),
+            json_f64(ls.lag_p99_ms),
+            json_f64(ls.lag_max_ms)
         ));
         out.push_str("  },\n");
+        // The latency-vs-throughput frontier: adaptive vs fixed ship
+        // policy at equal offered load, the PR6 acceptance measurement.
+        let points = frontier_points.unwrap_or_else(|| ex::frontier(scale));
+        out.push_str("  \"frontier\": [\n");
+        for (i, pt) in points.iter().enumerate() {
+            let comma = if i + 1 == points.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"policy\": \"{}\", \"offered_tps\": {:.0}, \"tps\": {:.0}, \
+                 \"ack_p50_us\": {}, \"ack_p99_us\": {}, \
+                 \"commit_p50_ms\": {}, \"commit_p99_ms\": {}}}{}\n",
+                json_escape(pt.policy),
+                pt.offered_tps,
+                pt.stats.tps,
+                json_f64(pt.stats.ack_p50_us),
+                json_f64(pt.stats.ack_p99_us),
+                json_f64(pt.stats.commit_p50_ms),
+                json_f64(pt.stats.commit_p99_ms),
+                comma
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"suites\": [\n");
         for (i, (name, secs)) in timings.iter().enumerate() {
             let comma = if i + 1 == timings.len() { "" } else { "," };

@@ -443,8 +443,17 @@ pub fn await_convergence(
         oracles.poll(c);
         let writer_ready = c.sim.is_up(c.engine)
             && c.sim.actor::<EngineActor>(c.engine).status() == EngineStatus::Ready;
+        // Commit-path liveness: with no load offered, a Ready writer must
+        // drain its group-commit staging buffer within any flush deadline.
+        // A batch that stays staged forever is a wedged commit path even
+        // though every storage-side convergence check looks healthy.
+        let staged = if c.sim.is_up(c.engine) {
+            c.sim.actor::<EngineActor>(c.engine).staged_records()
+        } else {
+            0
+        };
         let remaining = Oracles::check_convergence(c);
-        if writer_ready && remaining.is_empty() {
+        if writer_ready && staged == 0 && remaining.is_empty() {
             return Vec::new();
         }
         if c.sim.now() >= deadline {
@@ -452,6 +461,12 @@ pub fn await_convergence(
             if !writer_ready {
                 v.push(OracleViolation::Wedged {
                     detail: "writer never returned to Ready".into(),
+                });
+            } else if staged > 0 {
+                v.push(OracleViolation::Wedged {
+                    detail: format!(
+                        "{staged} staged record(s) never shipped (group commit stalled)"
+                    ),
                 });
             }
             return v;

@@ -8,7 +8,7 @@
 //! EXPERIMENTS.md, smaller for the `cargo bench` smoke suite.
 
 use aurora_baseline::MysqlFlavor;
-use aurora_core::engine::InstanceSpec;
+use aurora_core::engine::{InstanceSpec, ShipPolicy};
 use aurora_quorum::{mc_quorum_loss, p_double_fault, repair_time_secs, McParams, QuorumConfig};
 use aurora_sim::SimDuration;
 
@@ -734,6 +734,8 @@ pub fn ablation_quorum(scale: f64) -> Vec<(String, RunStats)> {
 }
 
 /// Ablation — group-commit window: commit latency vs throughput vs IOs.
+/// Pinned to the fixed-interval policy: the sweep measures the cadence
+/// itself, which the adaptive policy would bypass at this concurrency.
 pub fn ablation_group_commit(scale: f64) -> Vec<(String, RunStats)> {
     hdr("Ablation: group-commit window (flush interval)");
     let mut out = Vec::new();
@@ -746,6 +748,7 @@ pub fn ablation_group_commit(scale: f64) -> Vec<(String, RunStats)> {
         p.rows = 10_000;
         p.connections = 32; // low concurrency: the window shows in latency
         p.window = window(scale, 1.5);
+        p.ship_policy = Some(ShipPolicy::FixedInterval);
         let r = harness::run_aurora_with(
             &p,
             |e| {
@@ -758,6 +761,64 @@ pub fn ablation_group_commit(scale: f64) -> Vec<(String, RunStats)> {
             us, r.wps, r.txn_p50_ms, r.ios_per_txn
         );
         out.push((format!("flush-{us}us"), r));
+    }
+    out
+}
+
+/// One measured point on the latency-vs-throughput frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    pub policy: &'static str,
+    /// Offered open-loop arrival rate (txn/s).
+    pub offered_tps: f64,
+    pub stats: RunStats,
+}
+
+/// Frontier — commit latency vs offered throughput, adaptive group
+/// commit vs the fixed 500µs cadence.
+///
+/// §4.2.2's asynchronous group commit means the only synchronous work on
+/// the commit path is shipping redo to the 4/6 quorum; the ship policy
+/// decides how long a sealed commit record waits before that ship
+/// starts. Sweeping an open-loop arrival rate (so both policies face the
+/// same offered load) maps each policy's position on the latency/
+/// throughput plane: the fixed cadence pays up to a full window at low
+/// load where the adaptive policy ships immediately, and the two must
+/// converge at saturation where the size cap dominates.
+pub fn frontier(scale: f64) -> Vec<FrontierPoint> {
+    hdr("Frontier: ack/commit latency vs offered throughput (ship policy)");
+    let mut out = Vec::new();
+    println!(
+        "{:<22} {:>9} {:>11} {:>11} {:>12} {:>12}",
+        "policy @ rate", "tps", "ack p50 µs", "ack p99 µs", "commit p50ms", "commit p99ms"
+    );
+    for (policy, ship) in [
+        ("fixed-500us", ShipPolicy::FixedInterval),
+        ("adaptive", ShipPolicy::Adaptive),
+    ] {
+        for offered in [500.0f64, 2_000.0, 8_000.0, 16_000.0] {
+            let mut p = AuroraParams::new(Mix::WriteOnly { writes: 2 });
+            p.rows = 10_000;
+            p.connections = 128;
+            p.rate = Some(offered);
+            p.ship_policy = Some(ship);
+            p.window = window(scale, 1.5);
+            let stats = harness::run_aurora(&p);
+            println!(
+                "{:<22} {:>9.0} {:>11.1} {:>11.1} {:>12.3} {:>12.3}",
+                format!("{policy} @ {offered:.0}"),
+                stats.tps,
+                stats.ack_p50_us.unwrap_or(f64::NAN),
+                stats.ack_p99_us.unwrap_or(f64::NAN),
+                stats.commit_p50_ms.unwrap_or(f64::NAN),
+                stats.commit_p99_ms.unwrap_or(f64::NAN),
+            );
+            out.push(FrontierPoint {
+                policy,
+                offered_tps: offered,
+                stats,
+            });
+        }
     }
     out
 }
@@ -849,4 +910,5 @@ pub fn run_all(scale: f64) {
     ablation_group_commit(scale);
     ablation_cpl(scale);
     ablation_loss(scale);
+    frontier(scale);
 }

@@ -72,6 +72,9 @@ pub struct AuroraParams {
     /// are relative to the measurement window start), replayable
     /// bit-for-bit from the run's seed.
     pub fault_plan: Option<FaultPlan>,
+    /// Group-commit ship policy (None = engine default, the adaptive
+    /// immediate/deadline hybrid).
+    pub ship_policy: Option<aurora_core::engine::ShipPolicy>,
 }
 
 impl AuroraParams {
@@ -90,6 +93,7 @@ impl AuroraParams {
             quorum: QuorumConfig::aurora(),
             storage_nodes: 6,
             fault_plan: None,
+            ship_policy: None,
         }
     }
 }
@@ -156,17 +160,20 @@ pub struct RunStats {
     /// Write IOs issued by the database node per committed transaction.
     pub ios_per_txn: f64,
     /// Commit latency distribution (ms): seal-to-durable-ack for write
-    /// transactions (the paper's Fig. 6 measurement).
-    pub commit_p50_ms: f64,
-    pub commit_p95_ms: f64,
-    pub commit_p99_ms: f64,
-    pub commit_max_ms: f64,
-    /// Storage ack latency distribution (µs): batch first-send to each
-    /// segment ack at the writer.
-    pub ack_p50_us: f64,
-    pub ack_p95_us: f64,
-    pub ack_p99_us: f64,
-    pub ack_max_us: f64,
+    /// transactions (the paper's Fig. 6 measurement). `None` when the
+    /// window saw no commits — read-only mixes and wedged runs must not
+    /// masquerade as zero-latency ones.
+    pub commit_p50_ms: Option<f64>,
+    pub commit_p95_ms: Option<f64>,
+    pub commit_p99_ms: Option<f64>,
+    pub commit_max_ms: Option<f64>,
+    /// Storage ack latency distribution (µs): batch send to each segment
+    /// ack at the writer (retransmitted batches measure from the resend).
+    /// `None` when no acks arrived in the window.
+    pub ack_p50_us: Option<f64>,
+    pub ack_p95_us: Option<f64>,
+    pub ack_p99_us: Option<f64>,
+    pub ack_max_us: Option<f64>,
     /// Replica lag (ms), if replicas were present.
     pub lag_p50_ms: Option<f64>,
     pub lag_p95_ms: Option<f64>,
@@ -251,6 +258,9 @@ pub fn run_aurora_with(
             e.cpu_per_commit = calib::commit();
             if let Some(bp) = p.buffer_pages {
                 e.instance.buffer_pages = bp;
+            }
+            if let Some(sp) = p.ship_policy {
+                e.ship_policy = sp;
             }
             tweak(e);
         },
@@ -349,14 +359,14 @@ pub fn run_aurora_with(
         } else {
             0.0
         },
-        commit_p50_ms: ns_ms(commit.p50()),
-        commit_p95_ms: ns_ms(commit.p95()),
-        commit_p99_ms: ns_ms(commit.p99()),
-        commit_max_ms: ns_ms(commit.max()),
-        ack_p50_us: ns_us(ack.p50()),
-        ack_p95_us: ns_us(ack.p95()),
-        ack_p99_us: ns_us(ack.p99()),
-        ack_max_us: ns_us(ack.max()),
+        commit_p50_ms: commit.try_quantile(0.50).map(ns_ms),
+        commit_p95_ms: commit.try_quantile(0.95).map(ns_ms),
+        commit_p99_ms: commit.try_quantile(0.99).map(ns_ms),
+        commit_max_ms: (commit.count() > 0).then(|| ns_ms(commit.max())),
+        ack_p50_us: ack.try_quantile(0.50).map(ns_us),
+        ack_p95_us: ack.try_quantile(0.95).map(ns_us),
+        ack_p99_us: ack.try_quantile(0.99).map(ns_us),
+        ack_max_us: (ack.count() > 0).then(|| ns_us(ack.max())),
         lag_p50_ms: (lag.count() > 0).then(|| ns_ms(lag.p50())),
         lag_p95_ms: (lag.count() > 0).then(|| ns_ms(lag.p95())),
         lag_p99_ms: (lag.count() > 0).then(|| ns_ms(lag.p99())),

@@ -35,7 +35,7 @@ use aurora_log::{
     SegmentId, TxnId, LAL_DEFAULT,
 };
 use aurora_quorum::{AckOutcome, DurabilityTracker, QuorumConfig, TruncationRange, VolumeEpoch};
-use aurora_sim::{Actor, ActorEvent, Ctx, Msg, NodeId, SimDuration, SimTime, SpanId, Tag};
+use aurora_sim::{Actor, ActorEvent, Ctx, Msg, NodeId, SimDuration, SimTime, SpanId, Tag, TimerId};
 use aurora_storage::wire as swire;
 use aurora_storage::{PgMembership, VolumeLayout};
 use bytes::Bytes;
@@ -90,6 +90,27 @@ impl InstanceSpec {
     }
 }
 
+/// When staged redo ships to storage — the group-commit policy.
+///
+/// The paper's §4.2.2 group commit amortizes quorum round-trips, but a
+/// fixed cadence charges every low-load commit up to a full window of
+/// queueing delay it never needed. The adaptive policy ships immediately
+/// while the pipe is idle and falls back to batching only once enough
+/// batches are in flight to absorb the amortization win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipPolicy {
+    /// A periodic timer every `flush_interval` ships whatever is staged —
+    /// the original fixed group-commit cadence, kept for A/B comparison.
+    FixedInterval,
+    /// Hybrid immediate/deadline: ship as soon as records stage while
+    /// fewer than `ship_pipeline_depth` batches are in flight; once the
+    /// pipe is full, batch until `max_batch_records` or a one-shot
+    /// `flush_interval` deadline, whichever comes first. Acks draining
+    /// the pipe release the staged batch early, so the system is
+    /// self-clocked under load.
+    Adaptive,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -113,10 +134,18 @@ pub struct EngineConfig {
     pub cpu_per_read: SimDuration,
     /// Extra CPU per commit.
     pub cpu_per_commit: SimDuration,
-    /// Group-commit window: staged records are shipped at least this often.
+    /// Group-commit window: staged records are shipped at least this often
+    /// (the periodic cadence under [`ShipPolicy::FixedInterval`], the
+    /// one-shot deadline under [`ShipPolicy::Adaptive`]).
     pub flush_interval: SimDuration,
     /// Ship immediately once this many records are staged.
     pub max_batch_records: usize,
+    /// How the group-commit window closes (see [`ShipPolicy`]).
+    pub ship_policy: ShipPolicy,
+    /// Adaptive policy only: the pipe counts as idle — staged records ship
+    /// with no added delay — while fewer than this many batches are
+    /// outstanding (shipped but not yet durable).
+    pub ship_pipeline_depth: usize,
     /// Re-issue a storage read after this long.
     pub read_timeout: SimDuration,
     /// Abort a lock waiter after this long (deadlock breaker).
@@ -148,6 +177,8 @@ impl EngineConfig {
             cpu_per_commit: SimDuration::from_micros(30),
             flush_interval: SimDuration::from_micros(500),
             max_batch_records: 256,
+            ship_policy: ShipPolicy::Adaptive,
+            ship_pipeline_depth: 4,
             read_timeout: SimDuration::from_millis(20),
             lock_wait_timeout: SimDuration::from_millis(100),
             bootstrap_rows: 0,
@@ -220,12 +251,29 @@ struct OutBatch {
     // the records (watermark piggybacks are rebuilt fresh each send).
     by_pg: BTreeMap<PgId, Arc<[LogRecord]>>,
     acked: HashSet<(u32, u8)>,
+    /// When this batch was last (re)shipped. `engine.ack_ns` measures from
+    /// here: a late ack for a retransmitted batch is attributed to the
+    /// send that plausibly elicited it, not the original ship — measuring
+    /// from first ship would smear every network-loss retry (15ms+) into
+    /// the commit-path histogram.
     last_sent: SimTime,
-    /// When the batch was first shipped — ack latency is measured from
-    /// here, not from retransmissions.
-    first_sent: SimTime,
     /// Open `engine.batch_quorum` trace span (NONE when tracing is off).
     span: SpanId,
+}
+
+/// Why a staged batch left the engine now. Traced per ship decision
+/// (`engine.ship` instants) and counted per reason, so the policy's
+/// immediate/deadline split is visible in both forensics and metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShipReason {
+    /// Adaptive policy, pipe idle: shipped with no added delay.
+    Immediate = 0,
+    /// `max_batch_records` reached.
+    Size = 1,
+    /// Group-commit window closed (periodic tick or one-shot deadline).
+    Deadline = 2,
+    /// Forced outside the policy: rollback end, bootstrap, recovery.
+    Forced = 3,
 }
 
 struct PendingRead {
@@ -282,6 +330,10 @@ struct HotIds {
     log_write_ios: aurora_sim::MetricId,
     batches: aurora_sim::MetricId,
     records_shipped: aurora_sim::MetricId,
+    ship_immediate: aurora_sim::MetricId,
+    ship_size: aurora_sim::MetricId,
+    ship_deadline: aurora_sim::MetricId,
+    ship_forced: aurora_sim::MetricId,
     page_fetches: aurora_sim::MetricId,
     page_fetch_ns: aurora_sim::MetricId,
     select_ns: aurora_sim::MetricId,
@@ -305,6 +357,10 @@ impl HotIds {
             log_write_ios: ctx.metric_id("engine.log_write_ios"),
             batches: ctx.metric_id("engine.batches"),
             records_shipped: ctx.metric_id("engine.records_shipped"),
+            ship_immediate: ctx.metric_id("engine.ship_immediate"),
+            ship_size: ctx.metric_id("engine.ship_size"),
+            ship_deadline: ctx.metric_id("engine.ship_deadline"),
+            ship_forced: ctx.metric_id("engine.ship_forced"),
             page_fetches: ctx.metric_id("engine.page_fetches"),
             page_fetch_ns: ctx.metric_id("engine.page_fetch_ns"),
             select_ns: ctx.metric_id("engine.select_ns"),
@@ -320,6 +376,11 @@ pub struct EngineActor {
     cfg: EngineConfig,
     /// Lazily resolved metric handles (not state: survives crashes).
     hot: Option<HotIds>,
+    /// Test-only fault: when set, `flush_staging` silently drops its ship
+    /// decision and records stay staged forever. Deliberately NOT cleared
+    /// by `on_crash` — it models a persistent ship-path defect, so the
+    /// DST liveness oracle must catch it even across restarts.
+    stall_ship: bool,
     tree: BTree,
     status: EngineStatus,
     engine_version: u64,
@@ -333,6 +394,11 @@ pub struct EngineActor {
     staging: Vec<LogRecord>,
     staging_cpl: Option<Lsn>,
     staging_pgs: Vec<PgId>,
+    /// The armed TAG_FLUSH timer, if any (the armed-guard: every arm site
+    /// funnels through [`EngineActor::arm_flush_timer`], so re-entering
+    /// the ready path after recovery/failover can never stack a second
+    /// flush timer). Volatile: stale timers die with the incarnation.
+    flush_timer: Option<TimerId>,
     commit_waiters: BTreeMap<Lsn, Vec<PendingCommit>>,
     locks: LockTable,
     running: HashMap<u64, RunningTxn>,
@@ -561,6 +627,7 @@ impl EngineActor {
         let vcpus = cfg.instance.vcpus as usize;
         EngineActor {
             hot: None,
+            stall_ship: false,
             tree,
             pool,
             alloc,
@@ -572,6 +639,7 @@ impl EngineActor {
             staging: Vec::new(),
             staging_cpl: None,
             staging_pgs: Vec::new(),
+            flush_timer: None,
             commit_waiters: BTreeMap::new(),
             locks: LockTable::new(),
             running: HashMap::default(),
@@ -614,6 +682,20 @@ impl EngineActor {
     /// Engine version (for ZDP tests).
     pub fn version(&self) -> u64 {
         self.engine_version
+    }
+
+    /// Test-only failure injection: stall the ship path so staged records
+    /// are never shipped (batch staged, never flushed). The DST negative
+    /// test uses this to prove the liveness oracle catches a stuck flush.
+    #[doc(hidden)]
+    pub fn test_stall_ship(&mut self, stalled: bool) {
+        self.stall_ship = stalled;
+    }
+
+    /// Number of staged-but-unshipped records — inspection for tests.
+    #[doc(hidden)]
+    pub fn staged_records(&self) -> usize {
+        self.staging.len()
     }
 
     /// Buffer cache (hits, misses) — inspection.
@@ -749,10 +831,25 @@ impl EngineActor {
         }
     }
 
-    fn flush_staging(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_staging(&mut self, ctx: &mut Ctx<'_>, reason: ShipReason) {
         let ids = self.hot(ctx);
         if self.staging.is_empty() {
             return;
+        }
+        if self.stall_ship {
+            return; // injected ship-path defect (see `test_stall_ship`)
+        }
+        // an adaptive deadline covers only the records staged when it was
+        // armed; shipping them by any other route disarms it (the periodic
+        // fixed-interval timer, by contrast, outlives every ship)
+        if self.cfg.ship_policy == ShipPolicy::Adaptive {
+            self.cancel_flush_timer(ctx);
+        }
+        match reason {
+            ShipReason::Immediate => ctx.inc_id(ids.ship_immediate, 1),
+            ShipReason::Size => ctx.inc_id(ids.ship_size, 1),
+            ShipReason::Deadline => ctx.inc_id(ids.ship_deadline, 1),
+            ShipReason::Forced => ctx.inc_id(ids.ship_forced, 1),
         }
         self.ensure_memberships(ctx);
         let records = std::mem::take(&mut self.staging);
@@ -771,6 +868,7 @@ impl EngineActor {
             records.len() as u64,
         );
         ctx.trace_instant("wm.pgmrpl", span, pgmrpl.0, 0);
+        ctx.trace_instant("engine.ship", span, reason as u64, records.len() as u64);
         // shard by PG (§5) and ship to all six replicas of each PG —
         // each PG's shard is assembled once and every send (and any later
         // retransmission) shares the same allocation
@@ -803,7 +901,6 @@ impl EngineActor {
                 by_pg,
                 acked: HashSet::default(),
                 last_sent: ctx.now(),
-                first_sent: ctx.now(),
                 span,
             },
         );
@@ -826,9 +923,45 @@ impl EngineActor {
         ctx.inc_id(ids.records_shipped, record_count as u64);
     }
 
+    /// The ship-policy decision point, run after every staging step (and
+    /// after acks drain the pipe, so freed slots release staged records
+    /// without waiting out the deadline).
     fn maybe_flush(&mut self, ctx: &mut Ctx<'_>) {
+        if self.staging.is_empty() {
+            return;
+        }
         if self.staging.len() >= self.cfg.max_batch_records {
-            self.flush_staging(ctx);
+            self.flush_staging(ctx, ShipReason::Size);
+            return;
+        }
+        match self.cfg.ship_policy {
+            // the periodic TAG_FLUSH tick ships it
+            ShipPolicy::FixedInterval => {}
+            ShipPolicy::Adaptive => {
+                if self.outstanding.len() < self.cfg.ship_pipeline_depth {
+                    self.flush_staging(ctx, ShipReason::Immediate);
+                } else {
+                    // pipe full: hold for the size cap or the deadline
+                    self.arm_flush_timer(ctx);
+                }
+            }
+        }
+    }
+
+    /// Arm the group-commit timer unless one is already armed. The
+    /// armed-guard fixes a long-standing double-timer bug: Start,
+    /// Restarted and Promote each blindly armed TAG_FLUSH, so a standby
+    /// that was promoted after a restart ticked twice per interval —
+    /// spurious extra flush ticks that changed batching per seed.
+    fn arm_flush_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.flush_timer.is_none() {
+            self.flush_timer = Some(ctx.set_timer(self.cfg.flush_interval, TAG_FLUSH));
+        }
+    }
+
+    fn cancel_flush_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(id) = self.flush_timer.take() {
+            ctx.cancel_timer(id);
         }
     }
 
@@ -1154,7 +1287,7 @@ impl EngineActor {
             let _ = self.seal_mtr(rt.txn, vec![RecordBody::TxnAbort]);
             self.locks.release_all(rt.txn);
             self.resume_lock_waiters(ctx);
-            self.flush_staging(ctx);
+            self.flush_staging(ctx, ShipReason::Forced);
             ctx.inc("engine.rollbacks_completed", 1);
             self.after_txn_end(ctx);
             return;
@@ -1558,10 +1691,10 @@ impl EngineActor {
             };
             self.seal_mtr(TxnId::SYSTEM, bodies).expect("LAL");
             if self.staging.len() >= 512 {
-                self.flush_staging(ctx);
+                self.flush_staging(ctx, ShipReason::Forced);
             }
         }
-        self.flush_staging(ctx);
+        self.flush_staging(ctx, ShipReason::Forced);
         self.bootstrap_next = end;
         if end < rows {
             ctx.set_timer(SimDuration::from_millis(2), TAG_BOOTSTRAP);
@@ -1795,7 +1928,7 @@ impl EngineActor {
                 let _ = self.seal_mtr(t, vec![RecordBody::TxnAbort]);
             }
         }
-        self.flush_staging(ctx);
+        self.flush_staging(ctx, ShipReason::Forced);
         ctx.inc("engine.recoveries", 1);
         ctx.inc("engine.recovery_undone_ops", n_undone as u64);
         ctx.record("engine.recovery_ns", ctx.now().since(started).nanos());
@@ -1915,8 +2048,10 @@ impl EngineActor {
                 let ids = self.hot(ctx);
                 self.scls.insert(ack.segment, ack.scl);
                 if let Some(ob) = self.outstanding.get_mut(&ack.batch_end) {
+                    // `acked.insert` dedups: a duplicated ack (network
+                    // chaos, regenerated by a retransmit) records nothing
                     if ob.acked.insert((ack.segment.pg.0, ack.segment.replica)) {
-                        let ack_latency = ctx.now().since(ob.first_sent).nanos();
+                        let ack_latency = ctx.now().since(ob.last_sent).nanos();
                         ctx.record_id(ids.ack_ns, ack_latency);
                     }
                 }
@@ -1943,6 +2078,9 @@ impl EngineActor {
                         break;
                     }
                 }
+                // the drain freed pipeline slots: staged records may now
+                // ship immediately instead of waiting out the deadline
+                self.maybe_flush(ctx);
                 return;
             }
             Err(m) => m,
@@ -2173,7 +2311,9 @@ impl Actor for EngineActor {
                     return;
                 }
                 self.bootstrap(ctx);
-                ctx.set_timer(self.cfg.flush_interval, TAG_FLUSH);
+                if self.cfg.ship_policy == ShipPolicy::FixedInterval {
+                    self.arm_flush_timer(ctx);
+                }
                 ctx.set_timer(SimDuration::from_millis(5), TAG_SWEEP);
             }
             ActorEvent::Restarted => {
@@ -2181,13 +2321,22 @@ impl Actor for EngineActor {
                     return; // unpromoted standby: still idle after a blip
                 }
                 self.start_recovery(ctx);
-                ctx.set_timer(self.cfg.flush_interval, TAG_FLUSH);
+                if self.cfg.ship_policy == ShipPolicy::FixedInterval {
+                    self.arm_flush_timer(ctx);
+                }
                 ctx.set_timer(SimDuration::from_millis(5), TAG_SWEEP);
             }
             ActorEvent::Timer { tag } => match tag {
                 TAG_FLUSH => {
-                    self.flush_staging(ctx);
-                    ctx.set_timer(self.cfg.flush_interval, TAG_FLUSH);
+                    // counted even when staging is empty: the tick cadence
+                    // itself is the observable for the double-armed-timer
+                    // regression test
+                    ctx.inc("engine.flush_ticks", 1);
+                    self.flush_timer = None;
+                    self.flush_staging(ctx, ShipReason::Deadline);
+                    if self.cfg.ship_policy == ShipPolicy::FixedInterval {
+                        self.arm_flush_timer(ctx);
+                    }
                 }
                 TAG_SWEEP => {
                     self.sweep(ctx);
@@ -2229,7 +2378,9 @@ impl Actor for EngineActor {
                             // unacknowledged tail and rejects its future
                             // writes)
                             self.start_recovery(ctx);
-                            ctx.set_timer(self.cfg.flush_interval, TAG_FLUSH);
+                            if self.cfg.ship_policy == ShipPolicy::FixedInterval {
+                                self.arm_flush_timer(ctx);
+                            }
                             ctx.set_timer(SimDuration::from_millis(5), TAG_SWEEP);
                         }
                         return;
@@ -2260,6 +2411,9 @@ impl Actor for EngineActor {
         self.staging.clear();
         self.staging_cpl = None;
         self.staging_pgs.clear();
+        // the armed timer itself dies with the incarnation (stale timers
+        // are filtered); only the guard needs resetting
+        self.flush_timer = None;
         self.commit_waiters.clear();
         self.locks = LockTable::new();
         self.running.clear();

@@ -259,6 +259,259 @@ pub fn decode(buf: &[u8]) -> Result<(LogRecord, usize), DecodeError> {
     ))
 }
 
+// ------------------------------------------------------------------
+// Delta/varint batch format (PR6 wire slimming)
+// ------------------------------------------------------------------
+//
+// The per-record format above spends 38 fixed header bytes per record
+// (crc, len, and four full-width ids). Inside one shipped batch those ids
+// are heavily correlated: LSNs ascend in small steps, the PG backlink
+// points a short distance back along the same chain, pg/txn/page repeat
+// in runs. The batch format exploits that:
+//
+// ```text
+// u32 crc          — IEEE CRC-32 of everything after this field
+// varint count
+// per record:
+//   varint  zigzag(lsn   - prev record's lsn)     (first: delta from 0)
+//   varint  lsn - prev_in_pg                      (backlink distance)
+//   varint  zigzag(pg    - prev record's pg)
+//   varint  zigzag(txn   - prev record's txn)
+//   u8      tag | cpl-bit(0x08)
+//   body    (page ids zigzag-delta'd against the previous page id;
+//            all lengths and offsets varint)
+// ```
+//
+// All varints are LEB128. One CRC covers the whole batch — storage
+// validates batches, not records, so per-record CRCs bought nothing.
+// [`batch_wire_size`] computes the exact encoded size without encoding,
+// which is what the network and disk accounting use.
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encoded length of a LEB128 varint.
+fn varint_len(v: u64) -> usize {
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+impl Reader<'_> {
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err(DecodeError::Truncated);
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Running delta state shared by the encoder, decoder, and sizer so the
+/// three can never disagree about the format.
+#[derive(Default)]
+struct DeltaCtx {
+    lsn: u64,
+    pg: i64,
+    txn: i64,
+    page: i64,
+}
+
+/// Exact size of [`encode_batch_delta`]'s output for these records —
+/// allocation-free, for wire and disk accounting on the hot path.
+pub fn batch_wire_size(recs: &[LogRecord]) -> usize {
+    let mut d = DeltaCtx::default();
+    let mut n = 4 + varint_len(recs.len() as u64);
+    for rec in recs {
+        n += varint_len(zigzag(rec.lsn.0 as i64 - d.lsn as i64));
+        n += varint_len(rec.lsn.0.wrapping_sub(rec.prev_in_pg.0));
+        n += varint_len(zigzag(rec.pg.0 as i64 - d.pg));
+        n += varint_len(zigzag(rec.txn.0 as i64 - d.txn));
+        n += 1; // tag | cpl
+        d.lsn = rec.lsn.0;
+        d.pg = rec.pg.0 as i64;
+        d.txn = rec.txn.0 as i64;
+        match &rec.body {
+            RecordBody::PageWrite { page, patches } => {
+                n += varint_len(zigzag(page.0 as i64 - d.page));
+                d.page = page.0 as i64;
+                n += varint_len(patches.len() as u64);
+                for p in patches {
+                    n += varint_len(p.offset as u64);
+                    n += varint_len(p.before.len() as u64) + p.before.len();
+                    n += varint_len(p.after.len() as u64) + p.after.len();
+                }
+            }
+            RecordBody::PageFormat { page, init } => {
+                n += varint_len(zigzag(page.0 as i64 - d.page));
+                d.page = page.0 as i64;
+                n += varint_len(init.len() as u64) + init.len();
+            }
+            RecordBody::TxnBegin | RecordBody::TxnCommit | RecordBody::TxnAbort => {}
+            RecordBody::Undo { data } => {
+                n += varint_len(data.len() as u64) + data.len();
+            }
+        }
+    }
+    n
+}
+
+/// Encode a batch in the delta/varint format.
+pub fn encode_batch_delta(recs: &[LogRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(batch_wire_size(recs));
+    put_u32(&mut out, 0); // crc placeholder
+    let mut d = DeltaCtx::default();
+    put_varint(&mut out, recs.len() as u64);
+    for rec in recs {
+        put_varint(&mut out, zigzag(rec.lsn.0 as i64 - d.lsn as i64));
+        put_varint(&mut out, rec.lsn.0.wrapping_sub(rec.prev_in_pg.0));
+        put_varint(&mut out, zigzag(rec.pg.0 as i64 - d.pg));
+        put_varint(&mut out, zigzag(rec.txn.0 as i64 - d.txn));
+        d.lsn = rec.lsn.0;
+        d.pg = rec.pg.0 as i64;
+        d.txn = rec.txn.0 as i64;
+        let cpl = if rec.is_cpl { 0x08 } else { 0 };
+        match &rec.body {
+            RecordBody::PageWrite { page, patches } => {
+                out.push(cpl);
+                put_varint(&mut out, zigzag(page.0 as i64 - d.page));
+                d.page = page.0 as i64;
+                put_varint(&mut out, patches.len() as u64);
+                for p in patches {
+                    put_varint(&mut out, p.offset as u64);
+                    put_varint(&mut out, p.before.len() as u64);
+                    out.extend_from_slice(&p.before);
+                    put_varint(&mut out, p.after.len() as u64);
+                    out.extend_from_slice(&p.after);
+                }
+            }
+            RecordBody::PageFormat { page, init } => {
+                out.push(1 | cpl);
+                put_varint(&mut out, zigzag(page.0 as i64 - d.page));
+                d.page = page.0 as i64;
+                put_varint(&mut out, init.len() as u64);
+                out.extend_from_slice(init);
+            }
+            RecordBody::TxnBegin => out.push(2 | cpl),
+            RecordBody::TxnCommit => out.push(3 | cpl),
+            RecordBody::TxnAbort => out.push(4 | cpl),
+            RecordBody::Undo { data } => {
+                out.push(5 | cpl);
+                put_varint(&mut out, data.len() as u64);
+                out.extend_from_slice(data);
+            }
+        }
+    }
+    let crc = crc32(&out[4..]);
+    out[..4].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode a delta/varint batch.
+pub fn decode_batch_delta(buf: &[u8]) -> Result<Vec<LogRecord>, DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    let crc_stored = r.u32()?;
+    let actual = crc32(&buf[4..]);
+    if actual != crc_stored {
+        return Err(DecodeError::BadCrc {
+            expected: crc_stored,
+            actual,
+        });
+    }
+    let count = r.varint()? as usize;
+    let mut d = DeltaCtx::default();
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let lsn = (d.lsn as i64 + unzigzag(r.varint()?)) as u64;
+        let prev_in_pg = lsn.wrapping_sub(r.varint()?);
+        let pg = d.pg + unzigzag(r.varint()?);
+        let txn = d.txn + unzigzag(r.varint()?);
+        d.lsn = lsn;
+        d.pg = pg;
+        d.txn = txn;
+        let tag_cpl = r.u8()?;
+        let is_cpl = tag_cpl & 0x08 != 0;
+        let read_page = |r: &mut Reader<'_>, d: &mut DeltaCtx| -> Result<u64, DecodeError> {
+            let page = d.page + unzigzag(r.varint()?);
+            d.page = page;
+            Ok(page as u64)
+        };
+        let body = match tag_cpl & 0x07 {
+            0 => {
+                let page = PageId(read_page(&mut r, &mut d)?);
+                let n = r.varint()? as usize;
+                let mut patches = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let offset = r.varint()? as u32;
+                    let blen = r.varint()? as usize;
+                    let before = Bytes::copy_from_slice(r.take(blen)?);
+                    let alen = r.varint()? as usize;
+                    let after = Bytes::copy_from_slice(r.take(alen)?);
+                    patches.push(Patch {
+                        offset,
+                        before,
+                        after,
+                    });
+                }
+                RecordBody::PageWrite { page, patches }
+            }
+            1 => {
+                let page = PageId(read_page(&mut r, &mut d)?);
+                let len = r.varint()? as usize;
+                RecordBody::PageFormat {
+                    page,
+                    init: Bytes::copy_from_slice(r.take(len)?),
+                }
+            }
+            2 => RecordBody::TxnBegin,
+            3 => RecordBody::TxnCommit,
+            4 => RecordBody::TxnAbort,
+            5 => {
+                let len = r.varint()? as usize;
+                RecordBody::Undo {
+                    data: Bytes::copy_from_slice(r.take(len)?),
+                }
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        out.push(LogRecord {
+            lsn: Lsn(lsn),
+            prev_in_pg: Lsn(prev_in_pg),
+            pg: PgId(pg as u32),
+            txn: TxnId(txn as u64),
+            is_cpl,
+            body,
+        });
+    }
+    if r.pos != buf.len() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(out)
+}
+
 /// Encode a batch of records back-to-back, sized exactly up front.
 pub fn encode_batch(recs: &[LogRecord]) -> Vec<u8> {
     let mut out = Vec::with_capacity(recs.iter().map(encoded_size).sum());
@@ -428,5 +681,124 @@ mod tests {
     #[test]
     fn empty_batch() {
         assert_eq!(decode_batch(&[]).unwrap(), Vec::<LogRecord>::new());
+    }
+
+    /// A realistic shipped batch: ascending LSNs, short backlinks, runs of
+    /// the same pg/txn — the correlations the delta format exploits.
+    fn delta_sample_batch() -> Vec<LogRecord> {
+        let mut recs = Vec::new();
+        let mut prev_in_pg = 0u64;
+        for i in 0..20u64 {
+            let lsn = 100 + i * 3;
+            recs.push(LogRecord {
+                lsn: Lsn(lsn),
+                prev_in_pg: Lsn(prev_in_pg),
+                pg: PgId((i % 2) as u32),
+                txn: TxnId(9 + i / 5),
+                is_cpl: i % 5 == 4,
+                body: match i % 4 {
+                    0 => RecordBody::PageWrite {
+                        page: PageId(17 + i),
+                        patches: vec![Patch {
+                            offset: 128,
+                            before: Bytes::from(vec![0u8; 32]),
+                            after: Bytes::from(vec![1u8; 32]),
+                        }],
+                    },
+                    1 => RecordBody::Undo {
+                        data: Bytes::from_static(b"inverse-op"),
+                    },
+                    2 => RecordBody::TxnBegin,
+                    _ => RecordBody::TxnCommit,
+                },
+            });
+            prev_in_pg = lsn;
+        }
+        recs
+    }
+
+    #[test]
+    fn delta_batch_roundtrip() {
+        let recs = delta_sample_batch();
+        let buf = encode_batch_delta(&recs);
+        assert_eq!(decode_batch_delta(&buf).unwrap(), recs);
+        // single records and variant coverage
+        for rec in [
+            sample(),
+            LogRecord {
+                body: RecordBody::PageFormat {
+                    page: PageId(5),
+                    init: Bytes::from_static(b"header"),
+                },
+                ..sample()
+            },
+            LogRecord {
+                prev_in_pg: Lsn::ZERO,
+                body: RecordBody::TxnAbort,
+                ..sample()
+            },
+        ] {
+            let one = vec![rec];
+            assert_eq!(decode_batch_delta(&encode_batch_delta(&one)).unwrap(), one);
+        }
+        assert_eq!(
+            decode_batch_delta(&encode_batch_delta(&[])).unwrap(),
+            Vec::<LogRecord>::new()
+        );
+    }
+
+    #[test]
+    fn delta_batch_size_is_exact() {
+        let recs = delta_sample_batch();
+        let buf = encode_batch_delta(&recs);
+        assert_eq!(buf.len(), batch_wire_size(&recs));
+        assert_eq!(buf.capacity(), batch_wire_size(&recs));
+        assert_eq!(batch_wire_size(&[]), encode_batch_delta(&[]).len());
+    }
+
+    #[test]
+    fn delta_batch_is_smaller_than_fixed() {
+        let recs = delta_sample_batch();
+        let fixed: usize = recs.iter().map(encoded_size).sum();
+        let delta = batch_wire_size(&recs);
+        // the headline claim: correlated headers compress hard — at least
+        // 25 fewer bytes per record (38 fixed header bytes become a few)
+        assert!(
+            delta + 25 * recs.len() <= fixed,
+            "delta {delta} fixed {fixed}"
+        );
+    }
+
+    #[test]
+    fn delta_batch_corruption_detected() {
+        let recs = delta_sample_batch();
+        let mut buf = encode_batch_delta(&recs);
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        assert!(matches!(
+            decode_batch_delta(&buf),
+            Err(DecodeError::BadCrc { .. })
+        ));
+        let buf = encode_batch_delta(&recs);
+        assert!(decode_batch_delta(&buf[..3]).is_err());
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            assert_eq!(out.len(), varint_len(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // small magnitudes stay small on the wire
+        assert!(varint_len(zigzag(-3)) == 1);
+        assert!(varint_len(zigzag(3)) == 1);
     }
 }

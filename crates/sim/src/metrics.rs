@@ -106,29 +106,50 @@ impl Histogram {
         self.max
     }
 
-    /// Value at quantile `q` in `[0, 1]` (0 if empty). Approximate to the
-    /// sub-bucket representative value; exact min/max are used at the ends.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// Value at quantile `q` in `[0, 1]`, or `None` if no samples were
+    /// recorded — callers that export must use this (or gate on
+    /// [`Histogram::count`]) so "no data" is never conflated with a real
+    /// measured 0.
+    ///
+    /// Approximate to the sub-bucket representative value, with exact
+    /// ends: a rank that resolves to the first or last sample returns the
+    /// tracked min/max rather than a bucket representative, so a
+    /// small-count p99 is the exact maximum instead of the lower bound of
+    /// whatever bucket the maximum landed in.
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         if q <= 0.0 {
-            return self.min();
+            return Some(self.min);
         }
         if q >= 1.0 {
-            return self.max;
+            return Some(self.max);
         }
-        let target = (q * self.total as f64).ceil() as u64;
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        if target >= self.total {
+            return Some(self.max);
+        }
+        if target == 1 {
+            return Some(self.min);
+        }
         let mut seen = 0u64;
         for (b, subs) in self.counts.iter().enumerate() {
             for (s, &c) in subs.iter().enumerate() {
                 seen += c;
                 if seen >= target {
-                    return Self::bucket_value(b, s).clamp(self.min, self.max);
+                    return Some(Self::bucket_value(b, s).clamp(self.min, self.max));
                 }
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`. Returns 0 if the histogram is
+    /// empty — ambiguous with a real 0; exporters should prefer
+    /// [`Histogram::try_quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.try_quantile(q).unwrap_or(0)
     }
 
     /// Shorthand for common percentiles.
@@ -416,6 +437,63 @@ mod tests {
         assert_eq!(h.p50(), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn try_quantile_distinguishes_empty_from_zero() {
+        let mut h = Histogram::new();
+        // empty: no quantile exists, even though `quantile` degrades to 0
+        assert_eq!(h.try_quantile(0.5), None);
+        assert_eq!(h.try_quantile(0.99), None);
+        // a real measured zero is Some(0), not None
+        h.record(0);
+        assert_eq!(h.try_quantile(0.5), Some(0));
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_count_p99_is_exact_max() {
+        // 10_000 lands in a wide bucket whose representative (9_984) is
+        // below the sample; with 3 samples, p99's rank IS the max sample,
+        // so the answer must be the exact tracked max, not the bucket.
+        let mut h = Histogram::new();
+        for v in [1u64, 100, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.p99(), 10_000);
+        assert_eq!(h.p95(), 10_000);
+        // the first rank likewise resolves to the exact min
+        assert_eq!(h.try_quantile(0.01), Some(1));
+    }
+
+    #[test]
+    fn bucket_boundary_values_are_representative() {
+        // 16 is the first value past the exact range: it sits at the
+        // lower edge of bucket 4 / sub 0, whose representative is 16
+        // itself (step = 1, midpoint truncates to the boundary).
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(16);
+        }
+        assert_eq!(h.p50(), 16);
+        // one step up: 17 shares the sub-bucket; interior ranks answer
+        // with the representative clamped into [min, max]
+        let mut h = Histogram::new();
+        for v in [16u64, 16, 17, 17] {
+            h.record(v);
+        }
+        let p50 = h.try_quantile(0.5).unwrap();
+        assert!((16..=17).contains(&p50), "p50 {p50}");
+        // 2^10 boundary: interior rank at a power of two reports inside
+        // the sub-bucket containing it, never below min or above max
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(1024);
+        }
+        h.record(1);
+        h.record(1_000_000);
+        let p50 = h.try_quantile(0.5).unwrap();
+        assert!((1024..1088).contains(&p50), "p50 {p50}");
     }
 
     #[test]

@@ -377,6 +377,7 @@ enum PendingOp {
 #[derive(Clone, Copy)]
 struct HotIds {
     batches_in: aurora_sim::MetricId,
+    fast_acks: aurora_sim::MetricId,
     page_reads: aurora_sim::MetricId,
     persist_ns: aurora_sim::MetricId,
     gossip_filled: aurora_sim::MetricId,
@@ -388,6 +389,7 @@ impl HotIds {
     fn resolve(ctx: &mut Ctx<'_>) -> Self {
         HotIds {
             batches_in: ctx.metric_id("storage.batches_in"),
+            fast_acks: ctx.metric_id("storage.fast_acks"),
             page_reads: ctx.metric_id("storage.page_reads"),
             persist_ns: ctx.metric_id("storage.persist_ns"),
             gossip_filled: ctx.metric_id("storage.gossip_filled"),
@@ -638,7 +640,41 @@ impl StorageNode {
                     );
                     return;
                 }
-                let bytes: usize = admitted.iter().map(|r| r.wire_size()).sum();
+                // Pipelined ack: when every admitted record is already
+                // durably present — a retransmission of a batch whose
+                // first copy landed, or a chaos-duplicated delivery — the
+                // batch needs no new IO. Ack straight away instead of
+                // queueing a redundant write behind a possibly-degraded
+                // disk (the convoy that turns one slow fsync into a
+                // latency tail for every batch behind it). Out-of-order
+                // acks are safe by construction: records enter `seg.log`
+                // only after their own disk write completed, and the
+                // writer's VDL advances only over the gapless durable
+                // prefix, so an early ack can never claim durability the
+                // SCL math doesn't already support.
+                if admitted
+                    .iter()
+                    .all(|r| r.lsn <= seg.log.scl() || seg.log.get(r.lsn).is_some())
+                {
+                    ctx.inc_id(ids.fast_acks, 1);
+                    let scl = seg.log.scl();
+                    ctx.trace_instant(
+                        "storage.fast_ack",
+                        SpanId::NONE,
+                        wb.batch_end.0,
+                        wb.segment.pg.0 as u64,
+                    );
+                    ctx.send(
+                        from,
+                        WriteAck {
+                            segment: wb.segment,
+                            batch_end: wb.batch_end,
+                            scl,
+                        },
+                    );
+                    return;
+                }
+                let bytes = aurora_log::codec::batch_wire_size(&admitted);
                 let span = ctx.trace_begin(
                     "storage.persist",
                     SpanId::NONE,
@@ -765,7 +801,7 @@ impl StorageNode {
                         .collect()
                 };
                 if !admitted.is_empty() {
-                    let bytes: usize = admitted.iter().map(|r| r.wire_size()).sum();
+                    let bytes = aurora_log::codec::batch_wire_size(&admitted);
                     let tag = self.op(PendingOp::PersistGossip {
                         segment,
                         records: admitted,

@@ -12,8 +12,13 @@ use aurora_sim::{Msg, NodeId, Payload};
 
 use crate::volume::PgMembership;
 
+/// Wire footprint of a record batch: the delta/varint batch encoding
+/// (`aurora_log::codec::batch_wire_size`), which collapses the correlated
+/// per-record headers (ascending LSNs, short backlinks, runs of the same
+/// pg/txn/page) into a few bytes each. This is what actually crosses the
+/// network, so bytes/txn accounting and simulated transfer times use it.
 fn records_size(records: &[LogRecord]) -> usize {
-    records.iter().map(|r| r.wire_size()).sum()
+    aurora_log::codec::batch_wire_size(records)
 }
 
 /// A batch of redo records for one segment (§3.2: "The IO flow batches

@@ -421,6 +421,47 @@ fn liveness_oracle_detects_wedged_repair() {
     );
 }
 
+/// The liveness oracle flags a stuck group-commit flush: a seeded
+/// ship-path defect leaves batches staged forever, the writer looks
+/// perfectly Ready, every storage-side convergence check passes — but
+/// commits can never become durable again. `await_convergence` must call
+/// that wedged.
+#[test]
+fn liveness_oracle_detects_stuck_flush() {
+    let cfg = DstConfig::default();
+    let (mut c, _) = cluster_with_load(&cfg, 10);
+
+    // inject the defect, then offer writes that stage but never ship
+    c.sim
+        .actor_mut::<EngineActor>(c.engine)
+        .test_stall_ship(true);
+    for k in 0..cfg.keys {
+        c.submit(
+            conn_of(k, 800_000),
+            TxnSpec::single(Op::Upsert(k, value_of(1))),
+        );
+    }
+    c.sim.run_for(SimDuration::from_millis(500));
+    assert!(
+        c.sim.actor::<EngineActor>(c.engine).staged_records() > 0,
+        "the stalled ship path must leave records staged"
+    );
+    assert_eq!(
+        c.sim.actor::<EngineActor>(c.engine).status(),
+        EngineStatus::Ready,
+        "the defect is silent: the writer still reports Ready"
+    );
+
+    let mut oracles = Oracles::new();
+    let violations = dst::await_convergence(&mut c, SimDuration::from_secs(2), &mut oracles);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::Wedged { detail } if detail.contains("staged"))),
+        "stuck flush not flagged as wedged: {violations:?}"
+    );
+}
+
 // ------------------------------------------------------ repair lifecycle
 
 /// Regression for the stuck-repair bug: a donor crash mid-repair no

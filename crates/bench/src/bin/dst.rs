@@ -7,6 +7,7 @@
 //! cargo run --release -p aurora-bench --bin dst -- --smoke           # PR-sized sweep
 //! cargo run --release -p aurora-bench --bin dst -- --replay 17       # one seed, verbose
 //! cargo run --release -p aurora-bench --bin dst -- --seeds 500 --intensity heavy --shrink
+//! cargo run --release -p aurora-bench --bin dst -- --seeds 100 --intensity gray  # gray faults
 //! ```
 //!
 //! Exit code 1 if any seed fails. Failing seeds land in
@@ -19,7 +20,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use aurora_bench::dst::{self, DstConfig, TraceDump};
+use aurora_bench::dst::{self, DegradationBudget, DstConfig, TraceDump};
 use aurora_sim::Intensity;
 
 struct Args {
@@ -60,7 +61,7 @@ fn parse_args() -> Args {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: dst [--seeds N] [--start N] [--intensity light|moderate|heavy] \
+                    "usage: dst [--seeds N] [--start N] [--intensity light|moderate|heavy|gray] \
                      [--smoke] [--shrink] [--replay SEED] [--trace] [--out DIR]"
                 );
                 std::process::exit(2);
@@ -75,7 +76,8 @@ fn intensity_of(name: &str) -> Intensity {
         "light" => Intensity::light(),
         "moderate" => Intensity::moderate(),
         "heavy" => Intensity::heavy(),
-        other => panic!("unknown intensity {other:?} (light|moderate|heavy)"),
+        "gray" => Intensity::gray(),
+        other => panic!("unknown intensity {other:?} (light|moderate|heavy|gray)"),
     }
 }
 
@@ -83,6 +85,10 @@ fn config_for(seed: u64, intensity: &str) -> DstConfig {
     DstConfig {
         seed,
         intensity: intensity_of(intensity),
+        // Gray sweeps additionally hold the run to the bounded-degradation
+        // budget: a brownout that merely slows things is fine, one that
+        // starves the commit path is a failure.
+        degradation: (intensity == "gray").then(DegradationBudget::default),
         ..Default::default()
     }
 }

@@ -43,6 +43,7 @@ const ALL_SUITES: &[&str] = &[
     "ablation_cpl",
     "ablation_loss",
     "frontier",
+    "grayfail",
 ];
 
 /// Run one named suite; false if the name is unknown.
@@ -98,6 +99,9 @@ fn run_suite(name: &str, scale: f64) -> bool {
         }
         "frontier" => {
             ex::frontier(scale);
+        }
+        "grayfail" => {
+            ex::grayfail(scale);
         }
         _ => return false,
     }
@@ -177,11 +181,14 @@ fn main() {
     let started = Instant::now();
     let mut timings: Vec<(String, f64)> = Vec::new();
     let mut frontier_points: Option<Vec<ex::FrontierPoint>> = None;
+    let mut grayfail_points: Option<Vec<ex::GrayfailPoint>> = None;
     for name in &suites {
         let t0 = Instant::now();
         if name == "frontier" {
             // keep the points so bench-json doesn't re-run the sweep
             frontier_points = Some(ex::frontier(scale));
+        } else if name == "grayfail" {
+            grayfail_points = Some(ex::grayfail(scale));
         } else if !run_suite(name, scale) {
             eprintln!("unknown experiment: {name}");
             std::process::exit(2);
@@ -251,6 +258,31 @@ fn main() {
                 json_f64(pt.stats.ack_p99_us),
                 json_f64(pt.stats.commit_p50_ms),
                 json_f64(pt.stats.commit_p99_ms),
+                comma
+            ));
+        }
+        out.push_str("  ],\n");
+        // Gray-failure sweep: commit/ack percentiles per retransmit
+        // policy and fault scenario, the PR7 acceptance measurement
+        // (hedged must beat fixed under brownout+loss).
+        let gpoints = grayfail_points.unwrap_or_else(|| ex::grayfail(scale));
+        out.push_str("  \"grayfail\": [\n");
+        for (i, pt) in gpoints.iter().enumerate() {
+            let comma = if i + 1 == gpoints.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"policy\": \"{}\", \"scenario\": \"{}\", \"tps\": {:.0}, \
+                 \"ack_p50_us\": {}, \"ack_p99_us\": {}, \
+                 \"commit_p50_ms\": {}, \"commit_p99_ms\": {}, \
+                 \"retransmits\": {:.0}, \"hedged_ships\": {:.0}}}{}\n",
+                json_escape(pt.policy),
+                json_escape(pt.scenario),
+                pt.stats.tps,
+                json_f64(pt.stats.ack_p50_us),
+                json_f64(pt.stats.ack_p99_us),
+                json_f64(pt.stats.commit_p50_ms),
+                json_f64(pt.stats.commit_p99_ms),
+                pt.stats.extra["engine.log_write_retransmits"],
+                pt.stats.extra["engine.hedged_ships"],
                 comma
             ));
         }

@@ -20,7 +20,13 @@
 //!   every PG returns to full membership, all slots alive and hosting,
 //!   with equal SCLs (§2.2 "quickly repaired"),
 //! * **liveness** — a watchdog flags a cluster that wedges (writer never
-//!   Ready again, repairs never drain).
+//!   Ready again, repairs never drain),
+//! * **bounded degradation** — under gray faults (brownouts, flaky links,
+//!   stalls) commits must keep flowing and commit p99 must stay within a
+//!   configured multiple of a clean same-seed baseline ([`DegradationBudget`];
+//!   §4.1 "avoid ... disks with poor performance"),
+//! * **health convergence** — once the world heals, the writer's gray-
+//!   failure tracker must clear every suspect segment.
 //!
 //! Same seed ⇒ same plan ⇒ same verdict, bit for bit: a failing seed from
 //! a thousand-run sweep replays exactly, and
@@ -61,6 +67,37 @@ pub struct DstConfig {
     /// the rendered artifacts ride back on [`DstReport::trace`]. Tracing
     /// records only simulated time, so it never perturbs the verdict.
     pub trace: bool,
+    /// Bounded-degradation budget (gray-fault sweeps): when set, the run
+    /// is compared against a clean twin (same seed, empty plan) and must
+    /// keep committing within the budget. `None` skips the comparison.
+    pub degradation: Option<DegradationBudget>,
+}
+
+/// How much a gray fault is allowed to hurt before the run counts as a
+/// failure. Aurora's §4.1 design goal is that a single slow node is
+/// *masked* by the 4/6 quorum, not merely survived — these bounds encode
+/// "masked" quantitatively against a clean same-seed baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationBudget {
+    /// Commit p99 may be at most this multiple of the clean run's p99...
+    pub p99_multiple: f64,
+    /// ...or this absolute floor, whichever is larger (a clean p99 of a
+    /// few hundred microseconds would otherwise make the multiple absurdly
+    /// tight).
+    pub p99_floor_ms: f64,
+    /// Fault-window commits must be at least this fraction of the clean
+    /// run's (commits must keep *flowing*, not trickle).
+    pub min_commit_fraction: f64,
+}
+
+impl Default for DegradationBudget {
+    fn default() -> Self {
+        DegradationBudget {
+            p99_multiple: 10.0,
+            p99_floor_ms: 50.0,
+            min_commit_fraction: 0.3,
+        }
+    }
 }
 
 /// Ring capacity for traced DST runs: large enough to hold the causal
@@ -81,6 +118,7 @@ impl Default for DstConfig {
             repair_timeout: Some(SimDuration::from_millis(400)),
             converge_budget: SimDuration::from_secs(20),
             trace: false,
+            degradation: None,
         }
     }
 }
@@ -114,6 +152,14 @@ pub enum OracleViolation {
     NotConverged { pg: u32, detail: String },
     /// The cluster wedged: the liveness watchdog gave up.
     Wedged { detail: String },
+    /// Bounded degradation: the faulted run committed too little compared
+    /// to its clean same-seed twin (gray fault starved the commit path).
+    DegradedCommits { got: u64, clean: u64, floor: u64 },
+    /// Bounded degradation: commit p99 blew past the budget.
+    DegradedLatency { p99_ms: f64, limit_ms: f64 },
+    /// Health convergence: the writer still marks segments suspect after
+    /// the fault window healed and the convergence budget elapsed.
+    SuspectsLinger { count: usize },
 }
 
 impl std::fmt::Display for OracleViolation {
@@ -151,6 +197,18 @@ impl std::fmt::Display for OracleViolation {
                 write!(f, "convergence: pg {pg} not healthy: {detail}")
             }
             OracleViolation::Wedged { detail } => write!(f, "liveness: {detail}"),
+            OracleViolation::DegradedCommits { got, clean, floor } => write!(
+                f,
+                "degradation: {got} commits in fault window vs {clean} clean (floor {floor})"
+            ),
+            OracleViolation::DegradedLatency { p99_ms, limit_ms } => write!(
+                f,
+                "degradation: commit p99 {p99_ms:.2}ms exceeds budget {limit_ms:.2}ms"
+            ),
+            OracleViolation::SuspectsLinger { count } => write!(
+                f,
+                "health: {count} segment(s) still suspect/degraded after convergence budget"
+            ),
         }
     }
 }
@@ -163,6 +221,12 @@ pub struct DstReport {
     /// Committed transactions during the fault window (progress signal
     /// and part of the determinism digest).
     pub commits: u64,
+    /// Commits sampled at the end of the fault window, before heal and
+    /// convergence (the bounded-degradation oracle's numerator).
+    pub window_commits: u64,
+    /// Commit-path p99 (`engine.commit_ns`) at the end of the fault
+    /// window, in nanoseconds.
+    pub commit_p99_ns: u64,
     /// Final simulated clock — the strongest cheap replay digest: any
     /// divergence in event order shows up here.
     pub clock_ns: u64,
@@ -389,6 +453,9 @@ pub fn heal_world(c: &mut Cluster, plan: &FaultPlan) {
     let mut isolated: Vec<Zone> = Vec::new();
     let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
     let mut degraded: Vec<NodeId> = Vec::new();
+    let mut browned: Vec<NodeId> = Vec::new();
+    let mut flaky: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut stalled: Vec<NodeId> = Vec::new();
     let mut chaos = false;
     for (_, action) in plan.entries() {
         match action {
@@ -404,6 +471,12 @@ pub fn heal_world(c: &mut Cluster, plan: &FaultPlan) {
             FaultAction::RestoreDisk(n) => degraded.retain(|x| x != n),
             FaultAction::StartPacketChaos(_) => chaos = true,
             FaultAction::StopPacketChaos => chaos = false,
+            FaultAction::BrownoutDisk(n, _) => browned.push(*n),
+            FaultAction::HealBrownout(n) => browned.retain(|x| x != n),
+            FaultAction::FlakyLink(a, b, _) => flaky.push((*a, *b)),
+            FaultAction::HealLink(a, b) => flaky.retain(|(x, y)| !(x == a && y == b)),
+            FaultAction::StallNode(n) => stalled.push(*n),
+            FaultAction::UnstallNode(n) => stalled.retain(|x| x != n),
         }
     }
     for (a, b) in pairs {
@@ -417,6 +490,15 @@ pub fn heal_world(c: &mut Cluster, plan: &FaultPlan) {
     }
     for n in degraded {
         c.sim.restore_disk(n);
+    }
+    for n in browned {
+        c.sim.heal_brownout(n);
+    }
+    for (a, b) in flaky {
+        c.sim.heal_link(a, b);
+    }
+    for n in stalled {
+        c.sim.unstall_node(n);
     }
     if chaos {
         c.sim.set_packet_chaos(None);
@@ -452,8 +534,16 @@ pub fn await_convergence(
         } else {
             0
         };
+        // Health convergence: once the world heals, the writer's gray-
+        // failure tracker must stop suspecting anyone (idle decay clears
+        // stale strikes; a suspicion that survives quiescence is a bug).
+        let suspects = if c.sim.is_up(c.engine) {
+            c.sim.actor::<EngineActor>(c.engine).suspect_count()
+        } else {
+            0
+        };
         let remaining = Oracles::check_convergence(c);
-        if writer_ready && staged == 0 && remaining.is_empty() {
+        if writer_ready && staged == 0 && suspects == 0 && remaining.is_empty() {
             return Vec::new();
         }
         if c.sim.now() >= deadline {
@@ -468,6 +558,9 @@ pub fn await_convergence(
                         "{staged} staged record(s) never shipped (group commit stalled)"
                     ),
                 });
+            }
+            if suspects > 0 {
+                v.push(OracleViolation::SuspectsLinger { count: suspects });
             }
             return v;
         }
@@ -612,6 +705,10 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
 
     // flush any same-instant stragglers, then heal and converge
     c.sim.run_for(SimDuration::from_millis(1));
+    // Window-scoped progress snapshot for the bounded-degradation oracle:
+    // taken before heal so convergence traffic can't pad the numbers.
+    let window_commits = c.sim.metrics.counter_total("engine.commits");
+    let commit_p99_ns = c.sim.metrics.histogram_total("engine.commit_ns").p99();
     heal_world(&mut c, plan);
     let convergence = await_convergence(&mut c, cfg.converge_budget, &mut oracles);
     oracles.violations.extend(convergence);
@@ -673,11 +770,42 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
             .push(OracleViolation::StaleRead { count: stale });
     }
 
+    // Bounded degradation (§4.1 "masked, not merely survived"): compare
+    // against a clean same-seed twin — identical topology and workload,
+    // empty fault plan — so the budget is relative to what this exact
+    // world does when nothing goes wrong.
+    if let Some(budget) = &cfg.degradation {
+        if !plan.entries().is_empty() {
+            let mut clean_cfg = cfg.clone();
+            clean_cfg.degradation = None; // no recursion
+            clean_cfg.trace = false;
+            let clean = run_plan(&clean_cfg, &FaultPlan::new());
+            let floor = (budget.min_commit_fraction * clean.window_commits as f64) as u64;
+            if window_commits < floor {
+                oracles.violations.push(OracleViolation::DegradedCommits {
+                    got: window_commits,
+                    clean: clean.window_commits,
+                    floor,
+                });
+            }
+            let limit_ms =
+                (budget.p99_multiple * clean.commit_p99_ns as f64 / 1e6).max(budget.p99_floor_ms);
+            let p99_ms = commit_p99_ns as f64 / 1e6;
+            if p99_ms > limit_ms {
+                oracles
+                    .violations
+                    .push(OracleViolation::DegradedLatency { p99_ms, limit_ms });
+            }
+        }
+    }
+
     let trace = cfg.trace.then(|| render_trace(&c));
     DstReport {
         seed: cfg.seed,
         plan_len: plan.len(),
         commits: c.sim.metrics.counter_total("engine.commits"),
+        window_commits,
+        commit_p99_ns,
         clock_ns: c.sim.now().nanos(),
         violations: oracles.into_violations(),
         trace,

@@ -8,9 +8,9 @@
 //! EXPERIMENTS.md, smaller for the `cargo bench` smoke suite.
 
 use aurora_baseline::MysqlFlavor;
-use aurora_core::engine::{InstanceSpec, ShipPolicy};
+use aurora_core::engine::{InstanceSpec, RetransmitPolicy, ShipPolicy};
 use aurora_quorum::{mc_quorum_loss, p_double_fault, repair_time_secs, McParams, QuorumConfig};
-use aurora_sim::SimDuration;
+use aurora_sim::{BrownoutSpec, FaultPlan, PacketChaos, SimDuration};
 
 use crate::harness::{self, AuroraParams, MysqlParams, RunStats};
 use crate::workload::Mix;
@@ -816,6 +816,99 @@ pub fn frontier(scale: f64) -> Vec<FrontierPoint> {
             out.push(FrontierPoint {
                 policy,
                 offered_tps: offered,
+                stats,
+            });
+        }
+    }
+    out
+}
+
+/// One measured point from the gray-failure sweep.
+#[derive(Debug, Clone)]
+pub struct GrayfailPoint {
+    /// Retransmit policy: `fixed` (legacy 15ms retry) or `hedged`
+    /// (exponential backoff + below-quorum hedging).
+    pub policy: &'static str,
+    /// `clean`, `brownout` (one storage node at 8× disk latency), or
+    /// `brownout+loss` (same brownout plus 4% global packet drop).
+    pub scenario: &'static str,
+    pub stats: RunStats,
+}
+
+/// Gray failure — commit latency under a single-node brownout, fixed
+/// retry vs backoff + hedging.
+///
+/// §4.1: with a 4/6 write quorum "we are insensitive to ... a slow disk
+/// or network path" — one browned-out node alone barely moves commit
+/// latency, because every batch reaches quorum on the five healthy
+/// segments. The retransmit policy starts to matter when batches sit
+/// *below* quorum: pairing the brownout with a few percent of global
+/// packet loss produces exactly those batches, and there the fixed 15ms
+/// retry pays a full timeout per lost packet while the hedged policy
+/// re-ships the slowest unacked members early and backs off
+/// exponentially on the browned-out one.
+pub fn grayfail(scale: f64) -> Vec<GrayfailPoint> {
+    hdr("Gray failure: commit latency under brownout (retransmit policy)");
+    let mut out = Vec::new();
+    println!(
+        "{:<26} {:>9} {:>12} {:>12} {:>11} {:>9} {:>8}",
+        "policy / scenario",
+        "tps",
+        "commit p50ms",
+        "commit p99ms",
+        "ack p99 µs",
+        "retrans",
+        "hedges"
+    );
+    let win = window(scale, 2.0);
+    // Fault span: onset at 10% of the window, heal at 90% — long enough
+    // that the ramped brownout dominates the measured distribution.
+    let onset = SimDuration::from_nanos(win.nanos() / 10);
+    let dur = SimDuration::from_nanos(win.nanos() * 8 / 10);
+    let browned_node = 1; // first storage node (Cluster::build layout)
+    let brownout = BrownoutSpec {
+        ramp_secs: dur.secs_f64() / 3.0,
+        peak_factor: 8.0,
+    };
+    let loss = PacketChaos {
+        drop: 0.04,
+        ..Default::default()
+    };
+    for (policy, rp) in [
+        ("fixed", RetransmitPolicy::Fixed),
+        ("hedged", RetransmitPolicy::Hedged),
+    ] {
+        for scenario in ["clean", "brownout", "brownout+loss"] {
+            let mut p = AuroraParams::new(Mix::WriteOnly { writes: 2 });
+            p.rows = 10_000;
+            p.connections = 128;
+            p.rate = Some(4_000.0);
+            p.retransmit_policy = Some(rp);
+            p.window = win;
+            let mut plan = FaultPlan::new();
+            if scenario != "clean" {
+                plan = plan.brownout_for(onset, dur, browned_node, brownout);
+            }
+            if scenario == "brownout+loss" {
+                plan = plan.packet_chaos_for(onset, dur, loss);
+            }
+            if !plan.entries().is_empty() {
+                p.fault_plan = Some(plan);
+            }
+            let stats = harness::run_aurora(&p);
+            println!(
+                "{:<26} {:>9.0} {:>12.3} {:>12.3} {:>11.1} {:>9.0} {:>8.0}",
+                format!("{policy} / {scenario}"),
+                stats.tps,
+                stats.commit_p50_ms.unwrap_or(f64::NAN),
+                stats.commit_p99_ms.unwrap_or(f64::NAN),
+                stats.ack_p99_us.unwrap_or(f64::NAN),
+                stats.extra["engine.log_write_retransmits"],
+                stats.extra["engine.hedged_ships"],
+            );
+            out.push(GrayfailPoint {
+                policy,
+                scenario,
                 stats,
             });
         }

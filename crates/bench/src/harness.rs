@@ -75,6 +75,10 @@ pub struct AuroraParams {
     /// Group-commit ship policy (None = engine default, the adaptive
     /// immediate/deadline hybrid).
     pub ship_policy: Option<aurora_core::engine::ShipPolicy>,
+    /// Retransmit policy (None = engine default, backoff + hedging).
+    pub retransmit_policy: Option<aurora_core::engine::RetransmitPolicy>,
+    /// Base retransmit timeout (None = engine default).
+    pub retransmit_base: Option<SimDuration>,
 }
 
 impl AuroraParams {
@@ -94,6 +98,8 @@ impl AuroraParams {
             storage_nodes: 6,
             fault_plan: None,
             ship_policy: None,
+            retransmit_policy: None,
+            retransmit_base: None,
         }
     }
 }
@@ -262,6 +268,12 @@ pub fn run_aurora_with(
             if let Some(sp) = p.ship_policy {
                 e.ship_policy = sp;
             }
+            if let Some(rp) = p.retransmit_policy {
+                e.retransmit_policy = rp;
+            }
+            if let Some(rb) = p.retransmit_base {
+                e.retransmit_base = rb;
+            }
             tweak(e);
         },
     );
@@ -331,6 +343,10 @@ pub fn run_aurora_with(
         "engine.batches",
         "engine.write_txns",
         "engine.aborts",
+        "engine.log_write_retransmits",
+        "engine.hedged_ships",
+        "engine.health_strikes",
+        "engine.suspect_reports",
         "storage.read_rejected",
         "storage.gc_records",
     ] {

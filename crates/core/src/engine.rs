@@ -111,6 +111,93 @@ pub enum ShipPolicy {
     Adaptive,
 }
 
+/// How the engine re-ships batches that linger below durability.
+///
+/// §2.2/§4.1: a 4/6 write quorum lets the engine treat *slow* nodes like
+/// *dead* ones. The fixed policy waits out a flat timer before re-shipping
+/// to everyone; the hedged policy backs off per batch (so a browned-out
+/// node is not hammered into a retry storm) and re-ships *early* to the
+/// slowest unacked members when a batch sits below write quorum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetransmitPolicy {
+    /// Flat-interval re-ship every `retransmit_base` to every unacked
+    /// member — the original behavior, kept for A/B comparison.
+    Fixed,
+    /// Exponential backoff (`retransmit_base` doubling up to
+    /// `retransmit_max`, plus seeded jitter) with hedged re-ships: a batch
+    /// below write quorum past `hedge_after` goes to its slowest unacked
+    /// members immediately instead of waiting out the full timer.
+    Hedged,
+}
+
+/// Health classification of one (PG, replica-slot) storage member, as seen
+/// from the engine's ack/nack/timeout stream (§4.1's monitoring loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    Healthy = 0,
+    /// Enough recent strikes that reads prefer other members.
+    Suspect = 1,
+    /// Persistently bad: reported to the control plane for proactive
+    /// fencing (repair onto a spare before the node fails hard).
+    Degraded = 2,
+}
+
+/// EWMA weight for ack-latency samples.
+const HEALTH_EWMA_ALPHA: f64 = 0.2;
+/// Strikes at which a member becomes [`HealthState::Suspect`].
+const HEALTH_SUSPECT_STRIKES: u32 = 3;
+/// Strikes at which a member becomes [`HealthState::Degraded`]. Backoff
+/// spacing keeps a typical crash window (~5 strikes before the control
+/// plane's 600ms dead-node path fires) below this, so hard deaths are
+/// still handled by the dead path; only *persistent* gray behavior —
+/// long brownouts, nack storms — accumulates past it.
+const HEALTH_DEGRADE_STRIKES: u32 = 8;
+/// Strike counter ceiling (so recovery does not take forever).
+const HEALTH_STRIKE_CAP: u32 = 16;
+/// A non-healthy member with no strikes for this long resets to healthy
+/// (the fault window ended; convergence oracle relies on this).
+const HEALTH_IDLE_CLEAR: SimDuration = SimDuration::from_secs(1);
+
+/// Per-(PG, slot) health tracker entry.
+#[derive(Debug, Clone)]
+struct NodeHealth {
+    /// Ack-latency EWMA in nanoseconds (0 = no samples yet).
+    ewma_ns: f64,
+    /// Saturating counter of recent timeouts / nacks / re-ships.
+    strikes: u32,
+    state: HealthState,
+    last_strike: SimTime,
+    /// Suspect report already sent for the current degradation episode.
+    reported: bool,
+}
+
+impl Default for NodeHealth {
+    fn default() -> Self {
+        NodeHealth {
+            ewma_ns: 0.0,
+            strikes: 0,
+            state: HealthState::Healthy,
+            last_strike: SimTime::ZERO,
+            reported: false,
+        }
+    }
+}
+
+fn health_state_for(strikes: u32) -> HealthState {
+    if strikes >= HEALTH_DEGRADE_STRIKES {
+        HealthState::Degraded
+    } else if strikes >= HEALTH_SUSPECT_STRIKES {
+        HealthState::Suspect
+    } else {
+        HealthState::Healthy
+    }
+}
+
+/// Compact (pg, slot) key for `engine.health` trace instants.
+fn health_key(segment: SegmentId) -> u64 {
+    ((segment.pg.0 as u64) << 8) | segment.replica as u64
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -146,6 +233,23 @@ pub struct EngineConfig {
     /// with no added delay — while fewer than this many batches are
     /// outstanding (shipped but not yet durable).
     pub ship_pipeline_depth: usize,
+    /// Base interval before an outstanding batch is re-shipped (the flat
+    /// interval under [`RetransmitPolicy::Fixed`], the first-backoff step
+    /// under [`RetransmitPolicy::Hedged`]). Was hardcoded to 15ms, which
+    /// silently interacted with `flush_interval` at scale.
+    pub retransmit_base: SimDuration,
+    /// Backoff ceiling under [`RetransmitPolicy::Hedged`].
+    pub retransmit_max: SimDuration,
+    /// How outstanding batches are re-shipped (see [`RetransmitPolicy`]).
+    pub retransmit_policy: RetransmitPolicy,
+    /// Hedged policy only: a batch still below write quorum this long
+    /// after its last (re)ship is hedged — re-shipped early to just the
+    /// slowest unacked members.
+    pub hedge_after: SimDuration,
+    /// Hedged policy only: per-sweep cap on re-ships (retransmits +
+    /// hedges) per storage node, so a brownout cannot trigger a retry
+    /// storm against the very node that is struggling.
+    pub retransmit_node_cap: usize,
     /// Re-issue a storage read after this long.
     pub read_timeout: SimDuration,
     /// Abort a lock waiter after this long (deadlock breaker).
@@ -179,6 +283,11 @@ impl EngineConfig {
             max_batch_records: 256,
             ship_policy: ShipPolicy::Adaptive,
             ship_pipeline_depth: 4,
+            retransmit_base: SimDuration::from_millis(15),
+            retransmit_max: SimDuration::from_millis(120),
+            retransmit_policy: RetransmitPolicy::Hedged,
+            hedge_after: SimDuration::from_millis(4),
+            retransmit_node_cap: 4,
             read_timeout: SimDuration::from_millis(20),
             lock_wait_timeout: SimDuration::from_millis(100),
             bootstrap_rows: 0,
@@ -257,6 +366,13 @@ struct OutBatch {
     /// from first ship would smear every network-loss retry (15ms+) into
     /// the commit-path histogram.
     last_sent: SimTime,
+    /// Full retransmits so far (drives the exponential backoff).
+    attempts: u32,
+    /// Hedged policy: next full-retransmit deadline.
+    next_retry: SimTime,
+    /// A hedge already went out for the current (re)ship cycle; reset by
+    /// every full retransmit so each backoff window hedges at most once.
+    hedged: bool,
     /// Open `engine.batch_quorum` trace span (NONE when tracing is off).
     span: SpanId,
 }
@@ -341,6 +457,10 @@ struct HotIds {
     insert_ns: aurora_sim::MetricId,
     update_ns: aurora_sim::MetricId,
     delete_ns: aurora_sim::MetricId,
+    health_strikes: aurora_sim::MetricId,
+    suspect_reports: aurora_sim::MetricId,
+    hedged_ships: aurora_sim::MetricId,
+    retransmits: aurora_sim::MetricId,
 }
 
 impl HotIds {
@@ -368,6 +488,10 @@ impl HotIds {
             insert_ns: ctx.metric_id("engine.insert_ns"),
             update_ns: ctx.metric_id("engine.update_ns"),
             delete_ns: ctx.metric_id("engine.delete_ns"),
+            health_strikes: ctx.metric_id("engine.health_strikes"),
+            suspect_reports: ctx.metric_id("engine.suspect_reports"),
+            hedged_ships: ctx.metric_id("engine.hedged_ships"),
+            retransmits: ctx.metric_id("engine.log_write_retransmits"),
         }
     }
 }
@@ -381,6 +505,11 @@ pub struct EngineActor {
     /// by `on_crash` — it models a persistent ship-path defect, so the
     /// DST liveness oracle must catch it even across restarts.
     stall_ship: bool,
+    /// Test-only fault: freeze the health tracker (no good-ack decay, no
+    /// idle reset) so seeded suspect state lingers forever. Like
+    /// `stall_ship`, NOT cleared by `on_crash` — the DST health-convergence
+    /// oracle must catch the lingering suspects even across restarts.
+    health_frozen: bool,
     tree: BTree,
     status: EngineStatus,
     engine_version: u64,
@@ -413,6 +542,11 @@ pub struct EngineActor {
     /// Shipped but not-yet-durable batches, for retransmission to segments
     /// that were down or lost the delivery.
     outstanding: BTreeMap<Lsn, OutBatch>,
+    /// Per-(PG, slot) gray-failure tracker fed by the ack/nack/timeout
+    /// stream. BTreeMap: the decay sweep iterates it and emits trace
+    /// instants, so iteration order must be deterministic. Volatile —
+    /// a restarted engine re-learns member health from scratch.
+    health: BTreeMap<SegmentId, NodeHealth>,
     vcpu_free: Vec<SimTime>,
     recovery: Option<RecoveryState>,
     /// The truncation range this writer's recovery issued — replayed to
@@ -628,6 +762,7 @@ impl EngineActor {
         EngineActor {
             hot: None,
             stall_ship: false,
+            health_frozen: false,
             tree,
             pool,
             alloc,
@@ -652,6 +787,7 @@ impl EngineActor {
             page_waits: HashMap::default(),
             pending_inserts: Vec::new(),
             outstanding: BTreeMap::new(),
+            health: BTreeMap::new(),
             vcpu_free: vec![SimTime::ZERO; vcpus],
             recovery: None,
             last_truncation: None,
@@ -696,6 +832,34 @@ impl EngineActor {
     #[doc(hidden)]
     pub fn staged_records(&self) -> usize {
         self.staging.len()
+    }
+
+    /// Members the health tracker currently holds in a non-healthy state —
+    /// inspection for the DST health-convergence oracle.
+    pub fn suspect_count(&self) -> usize {
+        self.health
+            .values()
+            .filter(|h| h.state != HealthState::Healthy)
+            .count()
+    }
+
+    /// Health state of one member — inspection for tests.
+    pub fn health_state(&self, segment: SegmentId) -> HealthState {
+        self.health
+            .get(&segment)
+            .map(|h| h.state)
+            .unwrap_or(HealthState::Healthy)
+    }
+
+    /// Test-only failure injection: mark a member degraded and freeze the
+    /// tracker so it never recovers. The DST negative test uses this to
+    /// prove the health-convergence oracle catches lingering suspects.
+    #[doc(hidden)]
+    pub fn test_taint_health(&mut self, segment: SegmentId) {
+        self.health_frozen = true;
+        let h = self.health.entry(segment).or_default();
+        h.strikes = HEALTH_DEGRADE_STRIKES;
+        h.state = HealthState::Degraded;
     }
 
     /// Buffer cache (hits, misses) — inspection.
@@ -901,6 +1065,9 @@ impl EngineActor {
                 by_pg,
                 acked: HashSet::default(),
                 last_sent: ctx.now(),
+                attempts: 0,
+                next_retry: ctx.now() + self.cfg.retransmit_base,
+                hedged: false,
                 span,
             },
         );
@@ -1508,7 +1675,23 @@ impl EngineActor {
             })
             .collect();
         if !candidates.is_empty() {
-            let pick = candidates[ctx.rng().index(candidates.len())];
+            // prefer members the health tracker considers healthy; fall
+            // back to the full complete set when none qualifies
+            let healthy: Vec<u8> = candidates
+                .iter()
+                .copied()
+                .filter(|r| {
+                    self.health
+                        .get(&SegmentId::new(pg, *r))
+                        .is_none_or(|h| h.state == HealthState::Healthy)
+                })
+                .collect();
+            let pool = if healthy.is_empty() {
+                &candidates
+            } else {
+                &healthy
+            };
+            let pick = pool[ctx.rng().index(pool.len())];
             return SegmentId::new(pg, pick);
         }
         // cold path (post-recovery): highest known SCL, else slot 0
@@ -1542,11 +1725,125 @@ impl EngineActor {
         }
     }
 
+    // ---- gray-failure health tracking (§4.1 monitoring) ----
+
+    /// Record one bad signal (timeout, nack, unacked slot at a full
+    /// retransmit) against a member, escalating healthy → suspect →
+    /// degraded by strike thresholds. Entering degraded reports the member
+    /// to the control plane once per episode, which fences the segment and
+    /// repairs it onto a spare *before* the node fails hard.
+    fn strike(&mut self, ctx: &mut Ctx<'_>, segment: SegmentId) {
+        let now = ctx.now();
+        let h = self.health.entry(segment).or_default();
+        h.strikes = (h.strikes + 1).min(HEALTH_STRIKE_CAP);
+        h.last_strike = now;
+        let new_state = health_state_for(h.strikes);
+        let changed = new_state != h.state;
+        h.state = new_state;
+        let wants_report = new_state == HealthState::Degraded && !h.reported;
+        let ids = self.hot(ctx);
+        ctx.inc_id(ids.health_strikes, 1);
+        if changed {
+            ctx.trace_instant(
+                "engine.health",
+                SpanId::NONE,
+                health_key(segment),
+                new_state as u64,
+            );
+        }
+        if !wants_report {
+            return;
+        }
+        // Differential observability: a member is only a *suspect* if its
+        // peers look fine. When several members of the same PG are striking
+        // at once the fault is the network (or this writer), not that one
+        // disk — fencing would burn spares on a fault no repair can fix.
+        // `reported` stays unset on suppression, so the report re-arms on
+        // the next strike once the member is the lone outlier.
+        let isolated = !self.health.iter().any(|(seg, peer)| {
+            seg.pg == segment.pg
+                && seg.replica != segment.replica
+                && peer.state != HealthState::Healthy
+        });
+        if !isolated {
+            return;
+        }
+        if let Some(control) = self.cfg.control {
+            if let Some(h) = self.health.get_mut(&segment) {
+                h.reported = true;
+            }
+            ctx.inc_id(ids.suspect_reports, 1);
+            ctx.trace_instant("engine.suspect", SpanId::NONE, health_key(segment), 0);
+            let node = self.membership(segment.pg).slots[segment.replica as usize];
+            ctx.send(control, swire::SuspectReport { segment, node });
+        }
+    }
+
+    /// Fold a fresh (non-duplicate) write-ack into the member's EWMA and
+    /// decay its strike counter — good signals walk a member back down
+    /// through suspect to healthy.
+    fn note_ack_health(&mut self, ctx: &mut Ctx<'_>, segment: SegmentId, latency_ns: u64) {
+        let h = self.health.entry(segment).or_default();
+        h.ewma_ns = if h.ewma_ns == 0.0 {
+            latency_ns as f64
+        } else {
+            HEALTH_EWMA_ALPHA * latency_ns as f64 + (1.0 - HEALTH_EWMA_ALPHA) * h.ewma_ns
+        };
+        if self.health_frozen {
+            return;
+        }
+        if h.strikes > 0 {
+            h.strikes -= 1;
+        }
+        let new_state = health_state_for(h.strikes);
+        let changed = new_state != h.state;
+        h.state = new_state;
+        if new_state == HealthState::Healthy {
+            h.reported = false;
+        }
+        if changed {
+            ctx.trace_instant(
+                "engine.health",
+                SpanId::NONE,
+                health_key(segment),
+                new_state as u64,
+            );
+        }
+    }
+
+    /// Sweep-driven idle reset: a non-healthy member with no strikes for
+    /// [`HEALTH_IDLE_CLEAR`] returns to healthy (its fault window ended
+    /// and traffic may no longer flow its way, so ack-driven decay alone
+    /// cannot clear it). The DST health-convergence oracle relies on this.
+    fn decay_health(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        if self.health_frozen {
+            return;
+        }
+        let mut cleared: Vec<SegmentId> = Vec::new();
+        for (seg, h) in self.health.iter_mut() {
+            if h.state != HealthState::Healthy && now.since(h.last_strike) > HEALTH_IDLE_CLEAR {
+                h.strikes = 0;
+                h.state = HealthState::Healthy;
+                h.reported = false;
+                cleared.push(*seg);
+            }
+        }
+        for seg in cleared {
+            ctx.trace_instant(
+                "engine.health",
+                SpanId::NONE,
+                health_key(seg),
+                HealthState::Healthy as u64,
+            );
+        }
+    }
+
     // ---- periodic sweep: lock timeouts, read retries, retransmits ----
 
     fn sweep(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         self.retransmit_stale(ctx, now);
+        self.decay_health(ctx, now);
         let mut timed_out: Vec<u64> = self
             .running
             .iter()
@@ -1571,8 +1868,11 @@ impl EngineActor {
             .collect();
         expired.sort_unstable();
         for req_id in expired {
-            let avoid = self.reads.get(&req_id).map(|pr| pr.target.replica);
-            self.retry_read(ctx, req_id, avoid);
+            let target = self.reads.get(&req_id).map(|pr| pr.target);
+            if let Some(t) = target {
+                self.strike(ctx, t);
+            }
+            self.retry_read(ctx, req_id, target.map(|t| t.replica));
         }
     }
 
@@ -1607,9 +1907,20 @@ impl EngineActor {
     /// Re-ship batches that have waited too long without reaching
     /// durability — covers storage nodes that were down (an AZ outage) or
     /// lost the delivery. Idempotent at the receiver (duplicate records
-    /// are ignored; the ack is regenerated).
+    /// are ignored; the ack is regenerated — a batch already covered by
+    /// the durable prefix is fast-acked without a disk write).
     fn retransmit_stale(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
-        let retry_after = SimDuration::from_millis(15);
+        match self.cfg.retransmit_policy {
+            RetransmitPolicy::Fixed => self.retransmit_fixed(ctx, now),
+            RetransmitPolicy::Hedged => self.retransmit_hedged(ctx, now),
+        }
+    }
+
+    /// The original flat-interval policy, kept bit-for-bit for A/B runs:
+    /// every batch older than `retransmit_base` is re-shipped to every
+    /// unacked member, no backoff, no health feedback.
+    fn retransmit_fixed(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        let retry_after = self.cfg.retransmit_base;
         let stale: Vec<Lsn> = self
             .outstanding
             .iter()
@@ -1652,6 +1963,174 @@ impl EngineActor {
                 ctx.send(node, wb);
             }
             self.outstanding.get_mut(&batch_end).unwrap().last_sent = now;
+        }
+    }
+
+    /// Exponential backoff for the current attempt count, plus seeded
+    /// jitter of up to a quarter of the base interval so retransmit waves
+    /// across batches de-synchronize deterministically.
+    fn backoff_delay(&mut self, ctx: &mut Ctx<'_>, attempts: u32) -> SimDuration {
+        let base = self.cfg.retransmit_base.nanos().max(1);
+        let exp = base.saturating_mul(1u64 << attempts.min(6));
+        let capped = exp.min(self.cfg.retransmit_max.nanos().max(base));
+        let jitter = ctx.rng().range_u64(0, base / 4 + 1);
+        SimDuration::from_nanos(capped + jitter)
+    }
+
+    /// Backoff + hedging. Two passes over the outstanding window, sharing
+    /// one per-node re-ship budget:
+    ///
+    /// 1. **Full retransmits** — batches past their backoff deadline are
+    ///    re-shipped to every unacked member; each such member takes a
+    ///    health strike (it sat on a delivery for a whole backoff window)
+    ///    and the deadline doubles, so a browned-out node sees
+    ///    geometrically *fewer* re-ships the longer it lags.
+    /// 2. **Hedges** — a batch still below write quorum `hedge_after`
+    ///    past its last (re)ship gets an early re-ship to just the slowest
+    ///    (highest ack-EWMA) unacked members of the short PG — §2.2's
+    ///    "treat slow like dead" without waiting out the timer. Hedges do
+    ///    not advance the backoff clock and each backoff window hedges at
+    ///    most once.
+    fn retransmit_hedged(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        let ids = self.hot(ctx);
+        let mut node_budget: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let cap = self.cfg.retransmit_node_cap.max(1);
+
+        // pass 1: full retransmits past the backoff deadline
+        let due: Vec<Lsn> = self
+            .outstanding
+            .iter()
+            .filter(|(_, b)| now >= b.next_retry)
+            .map(|(l, _)| *l)
+            .take(32)
+            .collect();
+        for batch_end in due {
+            let vdl = self.tracker.vdl();
+            let pgmrpl = self.pgmrpl();
+            let epoch = self.epoch;
+            let Some(ob) = self.outstanding.get(&batch_end) else {
+                continue;
+            };
+            let mut sends: Vec<(NodeId, swire::WriteBatch)> = Vec::new();
+            let mut strikes: Vec<SegmentId> = Vec::new();
+            for (pg, recs) in &ob.by_pg {
+                let m = self.membership(*pg);
+                for (slot, node) in m.slots.iter().enumerate() {
+                    if ob.acked.contains(&(pg.0, slot as u8)) {
+                        continue;
+                    }
+                    strikes.push(SegmentId::new(*pg, slot as u8));
+                    let used = node_budget.entry(*node).or_insert(0);
+                    if *used >= cap {
+                        continue; // budget spent: strike, but do not pile on
+                    }
+                    *used += 1;
+                    sends.push((
+                        *node,
+                        swire::WriteBatch {
+                            segment: SegmentId::new(*pg, slot as u8),
+                            records: Arc::clone(recs),
+                            batch_end,
+                            epoch,
+                            vdl,
+                            pgmrpl,
+                        },
+                    ));
+                }
+            }
+            for seg in strikes {
+                self.strike(ctx, seg);
+            }
+            for (node, wb) in sends {
+                ctx.inc_id(ids.retransmits, 1);
+                ctx.send(node, wb);
+            }
+            let attempts;
+            {
+                let ob = self.outstanding.get_mut(&batch_end).unwrap();
+                ob.attempts += 1;
+                ob.last_sent = now;
+                ob.hedged = false;
+                attempts = ob.attempts;
+            }
+            let delay = self.backoff_delay(ctx, attempts);
+            self.outstanding.get_mut(&batch_end).unwrap().next_retry = now + delay;
+        }
+
+        // pass 2: hedge batches sitting below write quorum
+        let write_quorum = self.cfg.quorum.write_quorum as usize;
+        let hedge_due: Vec<Lsn> = self
+            .outstanding
+            .iter()
+            .filter(|(_, b)| {
+                !b.hedged && now < b.next_retry && now.since(b.last_sent) > self.cfg.hedge_after
+            })
+            .map(|(l, _)| *l)
+            .take(32)
+            .collect();
+        for batch_end in hedge_due {
+            let vdl = self.tracker.vdl();
+            let pgmrpl = self.pgmrpl();
+            let epoch = self.epoch;
+            let Some(ob) = self.outstanding.get(&batch_end) else {
+                continue;
+            };
+            let mut sends: Vec<(NodeId, swire::WriteBatch)> = Vec::new();
+            for (pg, recs) in &ob.by_pg {
+                let acks = ob.acked.iter().filter(|(p, _)| *p == pg.0).count();
+                if acks >= write_quorum {
+                    continue; // this PG already made quorum
+                }
+                let m = self.membership(*pg);
+                // unacked members, slowest first (ack-EWMA descending,
+                // slot id as the deterministic tie-break)
+                let mut lagging: Vec<(f64, u8, NodeId)> = m
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(slot, _)| !ob.acked.contains(&(pg.0, *slot as u8)))
+                    .map(|(slot, node)| {
+                        let ewma = self
+                            .health
+                            .get(&SegmentId::new(*pg, slot as u8))
+                            .map(|h| h.ewma_ns)
+                            .unwrap_or(0.0);
+                        (ewma, slot as u8, *node)
+                    })
+                    .collect();
+                lagging.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                for (_, slot, node) in lagging.into_iter().take(write_quorum - acks) {
+                    let used = node_budget.entry(node).or_insert(0);
+                    if *used >= cap {
+                        continue;
+                    }
+                    *used += 1;
+                    sends.push((
+                        node,
+                        swire::WriteBatch {
+                            segment: SegmentId::new(*pg, slot),
+                            records: Arc::clone(recs),
+                            batch_end,
+                            epoch,
+                            vdl,
+                            pgmrpl,
+                        },
+                    ));
+                }
+            }
+            let shipped = !sends.is_empty();
+            for (node, wb) in sends {
+                ctx.inc_id(ids.hedged_ships, 1);
+                ctx.send(node, wb);
+            }
+            let ob = self.outstanding.get_mut(&batch_end).unwrap();
+            // one hedge per backoff window, even if the budget ate it all
+            ob.hedged = true;
+            if shipped {
+                // PR6 ack-attribution: a late ack is credited to the send
+                // that plausibly elicited it
+                ob.last_sent = now;
+            }
         }
     }
 
@@ -2047,13 +2526,18 @@ impl EngineActor {
             Ok(ack) => {
                 let ids = self.hot(ctx);
                 self.scls.insert(ack.segment, ack.scl);
+                let mut fresh_ack_ns = None;
                 if let Some(ob) = self.outstanding.get_mut(&ack.batch_end) {
                     // `acked.insert` dedups: a duplicated ack (network
                     // chaos, regenerated by a retransmit) records nothing
                     if ob.acked.insert((ack.segment.pg.0, ack.segment.replica)) {
                         let ack_latency = ctx.now().since(ob.last_sent).nanos();
                         ctx.record_id(ids.ack_ns, ack_latency);
+                        fresh_ack_ns = Some(ack_latency);
                     }
+                }
+                if let Some(ns) = fresh_ack_ns {
+                    self.note_ack_health(ctx, ack.segment, ns);
                 }
                 match self
                     .tracker
@@ -2135,7 +2619,17 @@ impl EngineActor {
                     .iter_mut()
                     .find(|m| m.pg == mu.membership.pg)
                 {
-                    *m = mu.membership;
+                    // the control plane re-delivers memberships on every
+                    // sweep (the one-shot broadcast at repair completion is
+                    // droppable); only a real change may reset health state
+                    if *m != mu.membership {
+                        let pg = m.pg;
+                        *m = mu.membership;
+                        // the slot→node mapping changed: stale health
+                        // verdicts must not follow the slot onto its
+                        // replacement node
+                        self.health.retain(|seg, _| seg.pg != pg);
+                    }
                 }
                 return;
             }
@@ -2277,6 +2771,7 @@ impl EngineActor {
                     .is_none_or(|pr| pr.target != nack.segment);
                 if !stale {
                     ctx.inc("engine.read_nacks", 1);
+                    self.strike(ctx, nack.segment);
                     self.retry_read(ctx, nack.req_id, Some(nack.segment.replica));
                 }
                 return;
@@ -2423,6 +2918,7 @@ impl Actor for EngineActor {
         self.page_waits.clear();
         self.pending_inserts.clear();
         self.outstanding.clear();
+        self.health.clear();
         self.recovery = None;
         self.zdp = None;
         self.patch_queue.clear();

@@ -46,7 +46,9 @@ pub mod wire;
 pub use btree::{BTree, BTreeError, PageEditor, PageMiss, PageProvider, TreeMeta};
 pub use buffer::BufferPool;
 pub use cluster::{Cluster, ClusterConfig};
-pub use engine::{EngineActor, EngineConfig, EngineStatus, InstanceSpec};
+pub use engine::{
+    EngineActor, EngineConfig, EngineStatus, HealthState, InstanceSpec, RetransmitPolicy,
+};
 pub use locks::{LockOutcome, LockTable};
 pub use replica::{ReplicaActor, ReplicaConfig};
 pub use wire::{ClientRequest, ClientResponse, Op, OpResult, TxnResult, TxnSpec};

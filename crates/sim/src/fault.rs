@@ -49,6 +49,24 @@ pub struct PacketChaos {
     pub delay_by: SimDuration,
 }
 
+/// A gray-failure disk brownout: instead of swapping the spec wholesale
+/// (the binary [`FaultAction::DegradeDisk`]), sampled latencies are
+/// multiplied by a factor that ramps linearly from 1 at onset to
+/// `peak_factor` after `ramp_secs` — the "just slow enough to hurt, not
+/// slow enough to trip the dead-node detector" failure mode.
+///
+/// The ramp is an `f64` (not a [`SimDuration`], which is unsigned and
+/// would silently clamp) so a negative or NaN ramp is representable and
+/// rejected by [`FaultPlan::validate`] instead of wrapping into nonsense.
+#[derive(Debug, Clone, Copy)]
+pub struct BrownoutSpec {
+    /// Seconds from onset until the multiplier reaches `peak_factor`.
+    /// `0.0` means the full multiplier applies immediately.
+    pub ramp_secs: f64,
+    /// Latency multiplier at full ramp (`>= 1.0`).
+    pub peak_factor: f64,
+}
+
 /// One thing that breaks (or heals).
 #[derive(Debug, Clone)]
 pub enum FaultAction {
@@ -81,6 +99,27 @@ pub enum FaultAction {
     StartPacketChaos(PacketChaos),
     /// Remove the overlay.
     StopPacketChaos,
+    /// Gray fault: ramp a node's disk latency up by a multiplier (see
+    /// [`BrownoutSpec`]). The node keeps serving — just ever slower.
+    BrownoutDisk(NodeId, BrownoutSpec),
+    /// Remove a [`FaultAction::BrownoutDisk`] multiplier from a node.
+    HealBrownout(NodeId),
+    /// Gray fault: apply a [`PacketChaos`] overlay to one directed link
+    /// pair (installed symmetrically, `a<->b`) instead of the whole
+    /// network — a flaky NIC or a congested top-of-rack switch.
+    FlakyLink(NodeId, NodeId, PacketChaos),
+    /// Remove the per-link overlay installed by [`FaultAction::FlakyLink`].
+    HealLink(NodeId, NodeId),
+    /// Gray fault: the node is alive (not crashed, volatile state intact)
+    /// but completely unresponsive — deliveries, timers, and disk
+    /// completions are held until [`FaultAction::UnstallNode`], modeling a
+    /// long GC pause or a hung IO stack. Heartbeats stop because the
+    /// node's own timers stall, so binary failure detection eventually
+    /// fires even though the process never died.
+    StallNode(NodeId),
+    /// Release a stalled node: held events are re-dispatched, in order, at
+    /// the release instant.
+    UnstallNode(NodeId),
 }
 
 /// Why a [`FaultPlan`] failed validation.
@@ -100,6 +139,14 @@ pub enum FaultPlanError {
         field: &'static str,
         value: f64,
     },
+    /// A [`BrownoutSpec::ramp_secs`] is negative or not finite.
+    BadRamp { index: usize, value: f64 },
+    /// A [`BrownoutSpec::peak_factor`] is below 1 or not finite (a
+    /// brownout can only slow a disk down, never speed it up).
+    BadFactor { index: usize, value: f64 },
+    /// A [`FaultAction::FlakyLink`] names the same node on both ends —
+    /// there is no self-link to mangle.
+    SelfReferentialLink { index: usize, node: NodeId },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -124,11 +171,41 @@ impl std::fmt::Display for FaultPlanError {
                 "fault plan entry #{index}: packet-chaos {field} probability {value} \
                  is not in [0, 1]"
             ),
+            FaultPlanError::BadRamp { index, value } => write!(
+                f,
+                "fault plan entry #{index}: brownout ramp {value}s is negative or not finite"
+            ),
+            FaultPlanError::BadFactor { index, value } => write!(
+                f,
+                "fault plan entry #{index}: brownout peak factor {value} must be finite and >= 1"
+            ),
+            FaultPlanError::SelfReferentialLink { index, node } => write!(
+                f,
+                "fault plan entry #{index}: flaky link references node {node} on both ends"
+            ),
         }
     }
 }
 
 impl std::error::Error for FaultPlanError {}
+
+/// Shared probability check for whole-network and per-link chaos.
+fn validate_chaos(index: usize, chaos: &PacketChaos) -> Result<(), FaultPlanError> {
+    for (field, value) in [
+        ("drop", chaos.drop),
+        ("duplicate", chaos.duplicate),
+        ("delay", chaos.delay),
+    ] {
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(FaultPlanError::BadProbability {
+                index,
+                field,
+                value,
+            });
+        }
+    }
+    Ok(())
+}
 
 /// A declarative, replayable schedule of faults. Offsets are relative to
 /// the install time, so a plan can be built without knowing where in
@@ -163,20 +240,31 @@ impl FaultPlan {
                     window,
                 });
             }
-            if let FaultAction::StartPacketChaos(chaos) = action {
-                for (field, value) in [
-                    ("drop", chaos.drop),
-                    ("duplicate", chaos.duplicate),
-                    ("delay", chaos.delay),
-                ] {
-                    if !value.is_finite() || !(0.0..=1.0).contains(&value) {
-                        return Err(FaultPlanError::BadProbability {
+            match action {
+                FaultAction::StartPacketChaos(chaos) => {
+                    validate_chaos(index, chaos)?;
+                }
+                FaultAction::FlakyLink(a, b, chaos) => {
+                    if a == b {
+                        return Err(FaultPlanError::SelfReferentialLink { index, node: *a });
+                    }
+                    validate_chaos(index, chaos)?;
+                }
+                FaultAction::BrownoutDisk(_, spec) => {
+                    if !spec.ramp_secs.is_finite() || spec.ramp_secs < 0.0 {
+                        return Err(FaultPlanError::BadRamp {
                             index,
-                            field,
-                            value,
+                            value: spec.ramp_secs,
+                        });
+                    }
+                    if !spec.peak_factor.is_finite() || spec.peak_factor < 1.0 {
+                        return Err(FaultPlanError::BadFactor {
+                            index,
+                            value: spec.peak_factor,
                         });
                     }
                 }
+                _ => {}
             }
         }
         Ok(())
@@ -239,6 +327,38 @@ impl FaultPlan {
     ) -> Self {
         self.at(after, FaultAction::StartPacketChaos(chaos))
             .at(after + dur, FaultAction::StopPacketChaos)
+    }
+
+    /// Brown out a node's disk for a window (gray fault: latency ramps up
+    /// by `spec.peak_factor`, the node never stops serving).
+    pub fn brownout_for(
+        self,
+        after: SimDuration,
+        dur: SimDuration,
+        node: NodeId,
+        spec: BrownoutSpec,
+    ) -> Self {
+        self.at(after, FaultAction::BrownoutDisk(node, spec))
+            .at(after + dur, FaultAction::HealBrownout(node))
+    }
+
+    /// Mangle one link pair with [`PacketChaos`] for a window.
+    pub fn flaky_link_for(
+        self,
+        after: SimDuration,
+        dur: SimDuration,
+        a: NodeId,
+        b: NodeId,
+        chaos: PacketChaos,
+    ) -> Self {
+        self.at(after, FaultAction::FlakyLink(a, b, chaos))
+            .at(after + dur, FaultAction::HealLink(a, b))
+    }
+
+    /// Stall a node (alive but unresponsive) for a window.
+    pub fn stall_for(self, after: SimDuration, dur: SimDuration, node: NodeId) -> Self {
+        self.at(after, FaultAction::StallNode(node))
+            .at(after + dur, FaultAction::UnstallNode(node))
     }
 
     /// Append every entry of `other` (offsets unchanged).
@@ -367,6 +487,114 @@ mod tests {
                 "{bad} should be rejected, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn validate_rejects_insane_flaky_link_rates() {
+        for bad in [1.5, -0.1, f64::NAN] {
+            let p = FaultPlan::new().at(
+                ms(1),
+                FaultAction::FlakyLink(
+                    2,
+                    3,
+                    PacketChaos {
+                        duplicate: bad,
+                        ..Default::default()
+                    },
+                ),
+            );
+            let err = p.validate(ms(10)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FaultPlanError::BadProbability {
+                        field: "duplicate",
+                        ..
+                    }
+                ),
+                "{bad} should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_self_referential_flaky_link() {
+        let p = FaultPlan::new().at(ms(1), FaultAction::FlakyLink(4, 4, PacketChaos::default()));
+        let err = p.validate(ms(10)).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::SelfReferentialLink { index: 0, node: 4 }
+        );
+        assert!(err.to_string().contains("both ends"));
+    }
+
+    #[test]
+    fn validate_rejects_negative_or_nonfinite_brownout_ramps() {
+        for bad in [-1.0, -0.001, f64::NAN, f64::INFINITY] {
+            let p = FaultPlan::new().at(
+                ms(1),
+                FaultAction::BrownoutDisk(
+                    2,
+                    BrownoutSpec {
+                        ramp_secs: bad,
+                        peak_factor: 8.0,
+                    },
+                ),
+            );
+            let err = p.validate(ms(10)).unwrap_err();
+            assert!(
+                matches!(err, FaultPlanError::BadRamp { index: 0, .. }),
+                "ramp {bad} should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_speedup_brownout_factors() {
+        for bad in [0.5, 0.999, -2.0, f64::NAN] {
+            let p = FaultPlan::new().at(
+                ms(1),
+                FaultAction::BrownoutDisk(
+                    2,
+                    BrownoutSpec {
+                        ramp_secs: 0.1,
+                        peak_factor: bad,
+                    },
+                ),
+            );
+            let err = p.validate(ms(10)).unwrap_err();
+            assert!(
+                matches!(err, FaultPlanError::BadFactor { index: 0, .. }),
+                "factor {bad} should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_accepts_sane_gray_faults() {
+        let p = FaultPlan::new()
+            .brownout_for(
+                ms(5),
+                ms(20),
+                1,
+                BrownoutSpec {
+                    ramp_secs: 0.0,
+                    peak_factor: 1.0,
+                },
+            )
+            .flaky_link_for(
+                ms(2),
+                ms(10),
+                1,
+                2,
+                PacketChaos {
+                    drop: 0.3,
+                    ..Default::default()
+                },
+            )
+            .stall_for(ms(1), ms(8), 3);
+        p.validate(ms(30)).unwrap();
+        assert_eq!(p.len(), 6);
     }
 
     #[test]

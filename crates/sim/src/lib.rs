@@ -37,7 +37,7 @@ pub mod time;
 pub mod trace;
 
 pub use dist::Dist;
-pub use fault::{FaultAction, FaultPlan, FaultPlanError, PacketChaos};
+pub use fault::{BrownoutSpec, FaultAction, FaultPlan, FaultPlanError, PacketChaos};
 pub use hash::{FxHashMap, FxHashSet};
 pub use metrics::{Histogram, MetricId, MetricsRegistry};
 pub use msg::{Msg, Payload};

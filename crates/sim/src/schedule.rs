@@ -13,7 +13,7 @@
 //! always produce the same plan, so a failing seed from a thousand-run
 //! sweep replays bit-for-bit on a developer machine.
 
-use crate::fault::{FaultAction, FaultPlan, PacketChaos};
+use crate::fault::{BrownoutSpec, FaultAction, FaultPlan, PacketChaos};
 use crate::rng::SimRng;
 use crate::sim::{DiskSpec, NodeId, Zone};
 use crate::time::SimDuration;
@@ -38,6 +38,9 @@ pub struct Intensity {
     pub packet_chaos: bool,
     /// Cap on the packet-drop probability of chaos windows.
     pub max_drop: f64,
+    /// Allow gray faults: disk brownouts (latency ramps), flaky links
+    /// (per-link chaos), and alive-but-unresponsive node stalls.
+    pub gray_faults: bool,
 }
 
 impl Intensity {
@@ -51,6 +54,7 @@ impl Intensity {
             disk_faults: true,
             packet_chaos: true,
             max_drop: 0.05,
+            gray_faults: false,
         }
     }
 
@@ -64,6 +68,7 @@ impl Intensity {
             disk_faults: true,
             packet_chaos: true,
             max_drop: 0.15,
+            gray_faults: false,
         }
     }
 
@@ -77,6 +82,26 @@ impl Intensity {
             disk_faults: true,
             packet_chaos: true,
             max_drop: 0.3,
+            gray_faults: false,
+        }
+    }
+
+    /// Gray failures: nodes that are alive but slow or flaky — disk
+    /// brownouts, per-link packet chaos, unresponsive stalls — plus mild
+    /// global packet loss. No kills and at most one node impaired at a
+    /// time: the 4/6 quorum masks any single gray node for writes, so the
+    /// interesting behavior (hedging, health scoring, proactive fencing)
+    /// only shows when loss makes batches sit below quorum.
+    pub fn gray() -> Intensity {
+        Intensity {
+            incidents: (5, 9),
+            max_concurrent_down: 1,
+            max_kills: 0,
+            zone_faults: false,
+            disk_faults: true,
+            packet_chaos: true,
+            max_drop: 0.1,
+            gray_faults: true,
         }
     }
 }
@@ -112,6 +137,9 @@ enum Kind {
     PairPartition,
     DiskDegrade,
     Chaos,
+    Brownout,
+    FlakyLink,
+    Stall,
 }
 
 /// Generate a legal fault plan from a seed. Deterministic: the same
@@ -146,6 +174,11 @@ pub fn generate(spec: &ScheduleSpec, seed: u64) -> FaultPlan {
     }
     if it.packet_chaos {
         kinds.push((Kind::Chaos, 2));
+    }
+    if it.gray_faults {
+        kinds.push((Kind::Brownout, 4));
+        kinds.push((Kind::FlakyLink, 3));
+        kinds.push((Kind::Stall, 2));
     }
     let total_weight: u32 = kinds.iter().map(|(_, w)| w).sum::<u32>() + 1; // +1 for Kill
 
@@ -274,6 +307,71 @@ pub fn generate(spec: &ScheduleSpec, seed: u64) -> FaultPlan {
                 entries.push((start, FaultAction::StartPacketChaos(chaos)));
                 entries.push((end, FaultAction::StopPacketChaos));
             }
+            Kind::Brownout => {
+                // alive but slow: the disk keeps serving with latency
+                // ramping up to peak_factor over the first third of the
+                // window — the health tracker should flag it and hedging
+                // should route around it, so no down-budget charge
+                let (node, _) = spec.storage[rng.index(spec.storage.len())];
+                let span = (start, end);
+                if node_busy
+                    .iter()
+                    .any(|(n, iv)| *n == node && overlaps(*iv, span))
+                {
+                    continue;
+                }
+                node_busy.push((node, span));
+                let peak = 4.0 + rng.f64() * 28.0;
+                let ramp_secs = (dur as f64 / 1e9) / 3.0;
+                entries.push((
+                    start,
+                    FaultAction::BrownoutDisk(
+                        node,
+                        BrownoutSpec {
+                            ramp_secs,
+                            peak_factor: peak,
+                        },
+                    ),
+                ));
+                entries.push((end, FaultAction::HealBrownout(node)));
+            }
+            Kind::FlakyLink => {
+                let a = rng.index(spec.storage.len());
+                let b = rng.index(spec.storage.len());
+                if a == b {
+                    continue;
+                }
+                let (na, _) = spec.storage[a];
+                let (nb, _) = spec.storage[b];
+                let chaos = PacketChaos {
+                    drop: rng.f64() * 0.5,
+                    duplicate: rng.f64() * 0.1,
+                    delay: rng.f64() * 0.5,
+                    delay_by: SimDuration::from_micros(200 + rng.range_u64(0, 5_000)),
+                };
+                entries.push((start, FaultAction::FlakyLink(na, nb, chaos)));
+                entries.push((end, FaultAction::HealLink(na, nb)));
+            }
+            Kind::Stall => {
+                // alive but unresponsive: events are held, not dropped —
+                // the node is effectively down, so charge the down budget
+                let span = (start, end);
+                let concurrent = down.iter().filter(|iv| overlaps(**iv, span)).count();
+                if concurrent >= it.max_concurrent_down {
+                    continue;
+                }
+                let (node, _) = spec.storage[rng.index(spec.storage.len())];
+                if node_busy
+                    .iter()
+                    .any(|(n, iv)| *n == node && overlaps(*iv, span))
+                {
+                    continue;
+                }
+                down.push(span);
+                node_busy.push((node, span));
+                entries.push((start, FaultAction::StallNode(node)));
+                entries.push((end, FaultAction::UnstallNode(node)));
+            }
         }
     }
 
@@ -377,6 +475,41 @@ mod tests {
                 s.intensity.max_kills
             );
         }
+    }
+
+    #[test]
+    fn gray_plans_are_legal_and_use_gray_actions() {
+        let mut s = spec();
+        s.intensity = Intensity::gray();
+        let mut saw_gray = 0;
+        for seed in 0..50u64 {
+            let p = generate(&s, seed);
+            p.validate(s.window).unwrap();
+            // no kills at gray intensity: every crash pairs with a restart
+            let mut down: Vec<NodeId> = Vec::new();
+            let mut gray_here = false;
+            for (_, action) in p.entries() {
+                match action {
+                    FaultAction::Crash(n) => down.push(*n),
+                    FaultAction::Restart(n) => down.retain(|c| c != n),
+                    FaultAction::BrownoutDisk(_, spec) => {
+                        assert!(spec.ramp_secs >= 0.0 && spec.peak_factor >= 1.0);
+                        gray_here = true;
+                    }
+                    FaultAction::FlakyLink(a, b, _) => {
+                        assert_ne!(a, b, "seed {seed}: self-referential link");
+                        gray_here = true;
+                    }
+                    FaultAction::StallNode(_) => gray_here = true,
+                    _ => {}
+                }
+            }
+            assert!(down.is_empty(), "seed {seed}: unhealed crash {down:?}");
+            if gray_here {
+                saw_gray += 1;
+            }
+        }
+        assert!(saw_gray > 30, "gray actions should dominate: {saw_gray}/50");
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub struct ControlPlane {
     pub repairs_requeued: u64,
     /// Count of once-failed nodes reclaimed into the spare pool.
     pub spares_reclaimed: u64,
+    /// Count of segments proactively fenced off a live-but-suspect node
+    /// (engine [`SuspectReport`]s that started a repair).
+    pub fences: u64,
 }
 
 impl ControlPlane {
@@ -103,6 +106,7 @@ impl ControlPlane {
             repairs_completed: 0,
             repairs_requeued: 0,
             spares_reclaimed: 0,
+            fences: 0,
         }
     }
 
@@ -239,6 +243,15 @@ impl ControlPlane {
         for node in dead {
             self.repair_node(ctx, node);
         }
+        // Re-deliver memberships: the broadcast at repair completion is a
+        // one-shot that packet chaos can drop, which would leave the writer
+        // shipping to a replaced node forever while the repaired-in spare
+        // rots at its snapshot SCL. Same idiom as the truncation range
+        // below; receivers ignore no-op updates.
+        let pgs: Vec<aurora_log::PgId> = self.memberships.iter().map(|m| m.pg).collect();
+        for pg in pgs {
+            self.broadcast_membership(ctx, pg);
+        }
         // Re-deliver the durable truncation range (segments that were down
         // during recovery must still learn it).
         if let Some(range) = self.truncation {
@@ -260,76 +273,122 @@ impl ControlPlane {
     /// (§2.3: "the quorum will be quickly repaired by migration to some
     /// other colder node in the fleet").
     fn repair_node(&mut self, ctx: &mut Ctx<'_>, failed: NodeId) {
-        let failed_zone = self.cfg.zones.get(&failed).copied();
-        let mut jobs: Vec<(SegmentId, SegmentId, NodeId, NodeId)> = Vec::new();
-        for m in self.memberships.iter_mut() {
-            let Some(slot) = m.slot_of(failed) else {
-                continue;
-            };
-            let segment = SegmentId::new(m.pg, slot);
-            if self.in_repair.iter().any(|j| j.segment == segment) {
-                continue;
-            }
-            // pick a spare, preferring the failed replica's AZ so the
-            // layout invariant (2 per AZ) is preserved
-            let spare_idx = self
-                .cfg
-                .spares
-                .iter()
-                .position(|(_, z)| Some(*z) == failed_zone)
-                .or({
-                    if self.cfg.spares.is_empty() {
-                        None
-                    } else {
-                        Some(0)
-                    }
-                });
-            let Some(idx) = spare_idx else { continue };
-            let (replacement, spare_zone) = self.cfg.spares.remove(idx);
-            // healthy peer to copy from: any other alive slot
-            let now = ctx.now();
-            let donor = m.slots.iter().copied().filter(|n| *n != failed).find(|n| {
-                let seen = self.last_seen.get(n).copied().unwrap_or(self.started_at);
-                now.since(seen) <= self.cfg.failure_timeout
+        let segments: Vec<SegmentId> = self
+            .memberships
+            .iter()
+            .filter_map(|m| m.slot_of(failed).map(|slot| SegmentId::new(m.pg, slot)))
+            .collect();
+        for segment in segments {
+            self.repair_segment(ctx, segment, failed);
+        }
+    }
+
+    /// Queue the re-replication of one segment away from `bad` (which may
+    /// be hard-dead or merely fenced as a gray suspect). Returns whether a
+    /// repair job actually started.
+    fn repair_segment(&mut self, ctx: &mut Ctx<'_>, segment: SegmentId, bad: NodeId) -> bool {
+        if self.in_repair.iter().any(|j| j.segment == segment) {
+            return false;
+        }
+        let bad_zone = self.cfg.zones.get(&bad).copied();
+        // pick a spare, preferring the bad replica's AZ so the layout
+        // invariant (2 per AZ) is preserved
+        let spare_idx = self
+            .cfg
+            .spares
+            .iter()
+            .position(|(_, z)| Some(*z) == bad_zone)
+            .or({
+                if self.cfg.spares.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                }
             });
-            let Some(donor) = donor else {
-                // no live donor; return the spare and hope the next sweep
-                // finds one (the PG is in serious trouble)
-                self.cfg.spares.push((replacement, spare_zone));
-                continue;
-            };
-            let donor_slot = m.slot_of(donor).expect("donor is a member");
-            // optimistic membership update (installed on RepairDone)
-            let span = ctx.trace_begin(
-                "control.repair",
+        let Some(idx) = spare_idx else { return false };
+        let (replacement, spare_zone) = self.cfg.spares.remove(idx);
+        let now = ctx.now();
+        let Some(m) = self.memberships.iter().find(|m| m.pg == segment.pg) else {
+            self.cfg.spares.push((replacement, spare_zone));
+            return false;
+        };
+        // healthy peer to copy from: any other alive slot
+        let donor = m.slots.iter().copied().filter(|n| *n != bad).find(|n| {
+            let seen = self.last_seen.get(n).copied().unwrap_or(self.started_at);
+            now.since(seen) <= self.cfg.failure_timeout
+        });
+        let Some(donor) = donor else {
+            // no live donor; return the spare and hope the next sweep
+            // finds one (the PG is in serious trouble)
+            self.cfg.spares.push((replacement, spare_zone));
+            return false;
+        };
+        let donor_slot = m.slot_of(donor).expect("donor is a member");
+        let src_segment = SegmentId::new(segment.pg, donor_slot);
+        // optimistic membership update (installed on RepairDone)
+        let span = ctx.trace_begin(
+            "control.repair",
+            SpanId::NONE,
+            segment.pg.0 as u64,
+            segment.replica as u64,
+        );
+        self.in_repair.push(RepairJob {
+            segment,
+            replacement,
+            donor,
+            spare_zone,
+            started_at: now,
+            span,
+        });
+        ctx.inc("control.repairs_started", 1);
+        ctx.send(
+            donor,
+            RepairFetchReq {
+                src_segment,
+                dest_segment: segment,
+                dest: replacement,
+            },
+        );
+        true
+    }
+
+    /// The engine reported a member that is alive but persistently gray
+    /// (slow acks, nack storms). §4.1: treat it like a failed disk — fence
+    /// the segment and migrate it to a spare *before* the node dies. The
+    /// node itself keeps heartbeating; once its last segment is repaired
+    /// away it is reclaimed into the spare pool by the heartbeat path.
+    fn on_suspect(&mut self, ctx: &mut Ctx<'_>, segment: SegmentId, node: NodeId) {
+        // the report may race a completed repair: fence only if the node
+        // still holds that slot
+        let holds = self
+            .memberships
+            .iter()
+            .any(|m| m.pg == segment.pg && m.slots.get(segment.replica as usize) == Some(&node));
+        if !holds {
+            return;
+        }
+        // Spare headroom: a suspect node is still serving (slowly); a dead
+        // one is not. Never fence below the pool a single hard death needs,
+        // or a long gray spell bleeds the fleet dry and the next real
+        // failure finds no spare to repair onto.
+        let mut hosted: HashMap<NodeId, usize> = HashMap::new();
+        for m in &self.memberships {
+            for n in &m.slots {
+                *hosted.entry(*n).or_default() += 1;
+            }
+        }
+        let reserve = hosted.values().copied().max().unwrap_or(0);
+        if self.cfg.spares.len() <= reserve {
+            return;
+        }
+        if self.repair_segment(ctx, segment, node) {
+            self.fences += 1;
+            ctx.inc("control.fences", 1);
+            ctx.trace_instant(
+                "control.fence",
                 SpanId::NONE,
                 segment.pg.0 as u64,
                 segment.replica as u64,
-            );
-            self.in_repair.push(RepairJob {
-                segment,
-                replacement,
-                donor,
-                spare_zone,
-                started_at: now,
-                span,
-            });
-            jobs.push((
-                SegmentId::new(m.pg, donor_slot),
-                segment,
-                donor,
-                replacement,
-            ));
-        }
-        for (src_segment, dest_segment, donor, replacement) in jobs {
-            ctx.inc("control.repairs_started", 1);
-            ctx.send(
-                donor,
-                RepairFetchReq {
-                    src_segment,
-                    dest_segment,
-                    dest: replacement,
-                },
             );
         }
     }
@@ -380,6 +439,13 @@ impl Actor for ControlPlane {
                     Ok(_) => {
                         self.last_seen.insert(from, ctx.now());
                         self.maybe_reclaim_spare(ctx, from);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                let msg = match msg.downcast::<SuspectReport>() {
+                    Ok(sr) => {
+                        self.on_suspect(ctx, sr.segment, sr.node);
                         return;
                     }
                     Err(m) => m,

@@ -415,6 +415,9 @@ pub struct StorageNode {
     /// Test hook: serve reads materialized past the read point (see
     /// [`StorageNode::test_serve_future`]).
     serve_future: bool,
+    /// Test hook: nack every page read (see
+    /// [`StorageNode::test_nack_reads`]).
+    nack_reads: bool,
 }
 
 impl StorageNode {
@@ -426,6 +429,7 @@ impl StorageNode {
             pending: FxHashMap::default(),
             next_op: TAG_OP_BASE,
             serve_future: false,
+            nack_reads: false,
         }
     }
 
@@ -510,6 +514,14 @@ impl StorageNode {
     #[doc(hidden)]
     pub fn test_serve_future(&mut self, on: bool) {
         self.serve_future = on;
+    }
+
+    /// Fault-injection hook: nack every page read, as a replica that
+    /// persistently cannot serve (bit rot, overload shedding) would —
+    /// exercises the engine's health tracker and read-retry routing.
+    #[doc(hidden)]
+    pub fn test_nack_reads(&mut self, on: bool) {
+        self.nack_reads = on;
     }
 
     /// Fault-injection hook: reset a segment's truncation guard to a
@@ -698,6 +710,22 @@ impl StorageNode {
         let msg = match msg.downcast::<ReadPageReq>() {
             Ok(req) => {
                 ctx.inc_id(ids.page_reads, 1);
+                if self.nack_reads {
+                    ctx.inc("storage.read_rejected", 1);
+                    let scl = self
+                        .segments
+                        .get(&req.segment)
+                        .map_or(Lsn::ZERO, |s| s.log.scl());
+                    ctx.send(
+                        from,
+                        ReadPageNack {
+                            req_id: req.req_id,
+                            segment: req.segment,
+                            scl,
+                        },
+                    );
+                    return;
+                }
                 let Some(seg) = self.segments.get(&req.segment) else {
                     // not hosted (repair in progress): nack so the engine
                     // redirects immediately instead of waiting out the

@@ -568,6 +568,28 @@ impl Payload for RepairDone {
     }
 }
 
+/// Database engine reports a persistently unhealthy segment member to the
+/// control plane (§4.1's monitoring loop: a node that is alive but slow is
+/// fenced and repaired before it fails hard).
+#[derive(Debug, Clone)]
+pub struct SuspectReport {
+    pub segment: SegmentId,
+    /// The node currently holding that replica slot, as the engine sees it.
+    pub node: NodeId,
+}
+
+impl Payload for SuspectReport {
+    fn clone_boxed(&self) -> Option<Msg> {
+        Some(Msg::new(self.clone()))
+    }
+    fn wire_size(&self) -> usize {
+        24
+    }
+    fn class(&self) -> &'static str {
+        "ctrl"
+    }
+}
+
 /// Control plane broadcasts new membership for a PG after repair.
 #[derive(Debug, Clone)]
 pub struct MembershipUpdate {

@@ -6,12 +6,12 @@
 //! The scaled-up version of the sweep runs in CI
 //! (`.github/workflows/dst.yml`); see `tests/README.md`.
 
-use aurora::bench::dst::{self, DstConfig, OracleViolation, Oracles};
+use aurora::bench::dst::{self, DegradationBudget, DstConfig, OracleViolation, Oracles};
 use aurora::core::cluster::Cluster;
-use aurora::core::engine::{EngineActor, EngineStatus};
+use aurora::core::engine::{EngineActor, EngineStatus, HealthState};
 use aurora::core::wire::{Op, OpResult, TxnResult, TxnSpec};
-use aurora::log::Lsn;
-use aurora::sim::{trace, FaultAction, FaultPlan, PacketChaos, SimDuration};
+use aurora::log::{Lsn, PgId, SegmentId};
+use aurora::sim::{trace, FaultAction, FaultPlan, Intensity, PacketChaos, SimDuration};
 use aurora::storage::{ControlPlane, StorageNode};
 
 fn conn_of(key: u64, version: u64) -> u64 {
@@ -460,6 +460,208 @@ fn liveness_oracle_detects_stuck_flush() {
             .any(|v| matches!(v, OracleViolation::Wedged { detail } if detail.contains("staged"))),
         "stuck flush not flagged as wedged: {violations:?}"
     );
+}
+
+// ------------------------------------------------------------ gray faults
+
+/// Gray-fault sweeps (brownouts, flaky links, stalls under load) pass
+/// every oracle, including bounded degradation against the clean twin.
+/// (CI runs 100 gray seeds nightly; this is the tier-1 smoke slice.)
+#[test]
+fn gray_sweep_passes_all_oracles() {
+    for seed in 0..3 {
+        let report = dst::run_seed(&DstConfig {
+            seed,
+            intensity: Intensity::gray(),
+            degradation: Some(DegradationBudget::default()),
+            ..Default::default()
+        });
+        assert!(
+            report.passed(),
+            "gray seed {seed} failed: {:?}",
+            report.violations
+        );
+        assert!(report.commits > 0, "gray seed {seed}: no forward progress");
+    }
+}
+
+/// Same gray seed => bit-identical verdict: the new retransmit paths
+/// (exponential backoff with seeded jitter, hedged re-ships) and the
+/// health tracker replay deterministically.
+#[test]
+fn same_seed_gray_run_is_identical() {
+    let cfg = DstConfig {
+        seed: 3,
+        intensity: Intensity::gray(),
+        degradation: Some(DegradationBudget::default()),
+        ..Default::default()
+    };
+    let a = dst::run_seed(&cfg);
+    let b = dst::run_seed(&cfg);
+    assert_eq!(a, b, "gray replay diverged");
+}
+
+/// The bounded-degradation oracle fires when a fault starves the commit
+/// path: heavy packet loss for most of the window pushes both commits
+/// and commit p99 far outside a tight budget.
+#[test]
+fn degradation_oracle_detects_starved_commits() {
+    let ms = SimDuration::from_millis;
+    let cfg = DstConfig {
+        window: SimDuration::from_secs(1),
+        degradation: Some(DegradationBudget {
+            p99_multiple: 1.0,
+            p99_floor_ms: 0.01,
+            min_commit_fraction: 0.9,
+        }),
+        ..Default::default()
+    };
+    let plan = FaultPlan::new().packet_chaos_for(
+        ms(100),
+        ms(800),
+        PacketChaos {
+            drop: 0.4,
+            duplicate: 0.0,
+            delay: 0.2,
+            delay_by: ms(5),
+        },
+    );
+    let report = dst::run_plan(&cfg, &plan);
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            OracleViolation::DegradedCommits { .. } | OracleViolation::DegradedLatency { .. }
+        )),
+        "heavy loss under a tight budget must trip the degradation oracle: {:?}",
+        report.violations
+    );
+}
+
+/// The health-convergence oracle flags a writer whose gray-failure
+/// tracker never clears a suspect (seeded via the frozen-health hook —
+/// the decay/clear path is disabled, as a bookkeeping bug would).
+#[test]
+fn health_oracle_detects_lingering_suspects() {
+    let cfg = DstConfig::default();
+    let (mut c, _) = cluster_with_load(&cfg, 10);
+    c.sim
+        .actor_mut::<EngineActor>(c.engine)
+        .test_taint_health(SegmentId::new(PgId(0), 0));
+    assert!(c.sim.actor::<EngineActor>(c.engine).suspect_count() > 0);
+
+    let mut oracles = Oracles::new();
+    let violations = dst::await_convergence(&mut c, SimDuration::from_secs(2), &mut oracles);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::SuspectsLinger { count } if *count > 0)),
+        "a suspect that never clears must fail health convergence: {violations:?}"
+    );
+}
+
+/// Repeated read nacks from one storage node route retries away from it:
+/// every nack is answered by a retry on a different replica (the reads
+/// all still commit), each nack strikes the node's health entry, and a
+/// writer that already knows a segment is unhealthy avoids it entirely.
+#[test]
+fn read_nacks_route_retries_away_from_bad_replica() {
+    let cfg = DstConfig {
+        seed: 5,
+        ..Default::default()
+    };
+    let (mut c, _) = cluster_with_load(&cfg, 15);
+    // Every storage node nacks except the last: any fetch that does not
+    // start on the good node is forced through the nack -> strike ->
+    // retry-elsewhere loop until it lands there. (A single nacking node
+    // would make the test hinge on the RNG picking it first.)
+    let good = *c.storage.last().unwrap();
+    let victim = c.storage[0];
+    for node in c.storage.clone() {
+        if node != good {
+            c.sim.actor_mut::<StorageNode>(node).test_nack_reads(true);
+        }
+    }
+
+    // Cold-cache the writer so Gets must fetch pages from storage.
+    let recycle = |c: &mut Cluster| {
+        c.sim.crash(c.engine);
+        c.sim.run_for(SimDuration::from_millis(100));
+        c.sim.restart(c.engine);
+        for _ in 0..200 {
+            c.sim.run_for(SimDuration::from_millis(50));
+            if c.sim.actor::<EngineActor>(c.engine).status() == EngineStatus::Ready {
+                return;
+            }
+        }
+        panic!("writer never recovered");
+    };
+    recycle(&mut c);
+
+    // Phase 1: fetches that land on the nacking node get retried
+    // elsewhere — retry and strike counts match the nacks exactly.
+    let nacks0 = c.sim.metrics.counter_total("engine.read_nacks");
+    let retries0 = c.sim.metrics.counter_total("engine.read_retries");
+    let strikes0 = c.sim.metrics.counter_total("engine.health_strikes");
+    for k in 0..cfg.keys {
+        c.submit(conn_of(k, 800_000), TxnSpec::single(Op::Get(k)));
+    }
+    c.sim.run_for(SimDuration::from_millis(500));
+    let nacks = c.sim.metrics.counter_total("engine.read_nacks") - nacks0;
+    let retries = c.sim.metrics.counter_total("engine.read_retries") - retries0;
+    let strikes = c.sim.metrics.counter_total("engine.health_strikes") - strikes0;
+    assert!(
+        nacks > 0,
+        "seed 5 must land at least one read on the nacker"
+    );
+    assert_eq!(retries, nacks, "every nack must be answered by a retry");
+    assert_eq!(strikes, nacks, "every nack must strike the node's health");
+    let rs = c.responses();
+    for k in 0..cfg.keys {
+        let resp = rs.iter().find(|r| r.conn == conn_of(k, 800_000));
+        assert!(
+            matches!(resp.map(|r| &r.result), Some(TxnResult::Committed(_))),
+            "key {k}: read must succeed despite the nacking replica"
+        );
+    }
+
+    // Phase 2: a writer that already believes a node is degraded never
+    // sends it a read in the first place (restart clears the cache again;
+    // the taint hook reinstates the health verdict the nacks had built).
+    // Only the victim keeps nacking — everyone else heals.
+    for node in c.storage.clone() {
+        if node != victim {
+            c.sim.actor_mut::<StorageNode>(node).test_nack_reads(false);
+        }
+    }
+    recycle(&mut c);
+    let hosted = c.sim.actor::<StorageNode>(victim).hosted();
+    for seg in &hosted {
+        c.sim
+            .actor_mut::<EngineActor>(c.engine)
+            .test_taint_health(*seg);
+        assert_eq!(
+            c.sim.actor::<EngineActor>(c.engine).health_state(*seg),
+            HealthState::Degraded
+        );
+    }
+    let rejected0 = c.sim.metrics.counter(victim, "storage.read_rejected");
+    for k in 0..cfg.keys {
+        c.submit(conn_of(k, 810_000), TxnSpec::single(Op::Get(k)));
+    }
+    c.sim.run_for(SimDuration::from_millis(500));
+    let rejected = c.sim.metrics.counter(victim, "storage.read_rejected") - rejected0;
+    assert_eq!(
+        rejected, 0,
+        "no read may reach a node the writer already marks degraded"
+    );
+    let rs = c.responses();
+    for k in 0..cfg.keys {
+        let resp = rs.iter().find(|r| r.conn == conn_of(k, 810_000));
+        assert!(
+            matches!(resp.map(|r| &r.result), Some(TxnResult::Committed(_))),
+            "key {k}: read must succeed while avoiding the degraded node"
+        );
+    }
 }
 
 // ------------------------------------------------------ repair lifecycle

@@ -71,7 +71,17 @@ impl MysqlCluster {
         cfg: MysqlClusterConfig,
         tweak: impl FnOnce(&mut MysqlConfig),
     ) -> MysqlCluster {
-        let mut sim = Sim::new(cfg.seed);
+        // Topology: client + 4 EBS volumes (2 local, 2 standby-site) +
+        // engine + optional standby + replicas. Pre-size the kernel so the
+        // event wheel and FIFO matrix never regrow mid-run.
+        let total_nodes = 1 + 4 + 1 + cfg.mirrored as usize + cfg.binlog_replicas;
+        let mut sim = Sim::with_hints(
+            cfg.seed,
+            aurora_sim::SimHints {
+                nodes: total_nodes,
+                expected_events: 1024.max(total_nodes * 96),
+            },
+        );
         let mut disk = DiskSpec::ebs_provisioned(cfg.ebs_iops);
         if let Some((ms, p)) = cfg.ebs_outlier {
             disk.read_latency = disk

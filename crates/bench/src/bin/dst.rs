@@ -21,6 +21,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use aurora_bench::dst::{self, DegradationBudget, DstConfig, TraceDump};
+use aurora_bench::sweep;
 use aurora_sim::Intensity;
 
 struct Args {
@@ -31,6 +32,7 @@ struct Args {
     replay: Option<u64>,
     trace: bool,
     out: PathBuf,
+    jobs: usize,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +44,7 @@ fn parse_args() -> Args {
         replay: None,
         trace: false,
         out: PathBuf::from("target/dst"),
+        jobs: sweep::default_jobs(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -58,11 +61,12 @@ fn parse_args() -> Args {
             "--replay" => args.replay = Some(val("--replay").parse().expect("--replay SEED")),
             "--trace" => args.trace = true,
             "--out" => args.out = PathBuf::from(val("--out")),
+            "--jobs" => args.jobs = val("--jobs").parse().expect("--jobs N"),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: dst [--seeds N] [--start N] [--intensity light|moderate|heavy|gray] \
-                     [--smoke] [--shrink] [--replay SEED] [--trace] [--out DIR]"
+                     [--smoke] [--shrink] [--replay SEED] [--trace] [--out DIR] [--jobs N]"
                 );
                 std::process::exit(2);
             }
@@ -145,29 +149,42 @@ fn main() {
         std::process::exit(if report.passed() { 0 } else { 1 });
     }
 
-    let mut failing: Vec<u64> = Vec::new();
-    let mut total_commits = 0u64;
-    for seed in args.start..args.start + args.seeds {
-        let cfg = config_for(seed, &args.intensity);
-        let report = dst::run_seed(&cfg);
-        total_commits += report.commits;
-        if report.passed() {
-            println!(
-                "seed {seed:>5}: ok ({} actions, {} commits)",
-                report.plan_len, report.commits
-            );
-        } else {
-            println!(
-                "seed {seed:>5}: FAIL ({} actions, {} violations)",
-                report.plan_len,
-                report.violations.len()
-            );
-            for v in &report.violations {
-                println!("    {v}");
+    // Fan the sweep across the worker pool. Each seed is an independent
+    // simulation, and results are emitted in seed order, so the output —
+    // per-seed lines, totals, failing-seed artifacts — is byte-identical
+    // to a sequential (`--jobs 1`) run.
+    let seeds: Vec<u64> = (args.start..args.start + args.seeds).collect();
+    let intensity = args.intensity.clone();
+    let reports = sweep::parallel_map(
+        &seeds,
+        args.jobs,
+        |&seed| dst::run_seed(&config_for(seed, &intensity)),
+        |i, report| {
+            let seed = seeds[i];
+            if report.passed() {
+                println!(
+                    "seed {seed:>5}: ok ({} actions, {} commits)",
+                    report.plan_len, report.commits
+                );
+            } else {
+                println!(
+                    "seed {seed:>5}: FAIL ({} actions, {} violations)",
+                    report.plan_len,
+                    report.violations.len()
+                );
+                for v in &report.violations {
+                    println!("    {v}");
+                }
             }
-            failing.push(seed);
-        }
-    }
+        },
+    );
+    let total_commits: u64 = reports.iter().map(|r| r.commits).sum();
+    let failing: Vec<u64> = seeds
+        .iter()
+        .zip(&reports)
+        .filter(|(_, r)| !r.passed())
+        .map(|(&s, _)| s)
+        .collect();
 
     println!(
         "\nswept {} seeds ({}): {} failing, {} total commits",

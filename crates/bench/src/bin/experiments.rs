@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use aurora_bench::experiments as ex;
 use aurora_bench::harness::{self, run_aurora, AuroraParams};
+use aurora_bench::sweep;
 use aurora_bench::workload::Mix;
 
 const ALL_SUITES: &[&str] = &[
@@ -151,16 +152,28 @@ fn main() {
             args.drain(pos..=pos + 1);
         }
     }
+    let mut jobs = sweep::default_jobs();
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        if pos + 1 < args.len() {
+            jobs = args[pos + 1].parse().expect("--jobs N");
+            args.drain(pos..=pos + 1);
+        }
+    }
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
         if pos + 1 < args.len() {
             let dir = std::path::PathBuf::from(&args[pos + 1]);
             args.drain(pos..=pos + 1);
             harness::set_trace_dir(Some(dir));
+            // Trace artifact filenames come from a process-global sequence
+            // whose order is scheduling-dependent; tracing forces a
+            // sequential run so artifacts stay deterministic.
+            jobs = 1;
         }
     }
     if args.is_empty() {
         eprintln!(
-            "usage: experiments [--scale F] [--bench-json PATH] [--trace DIR] <name>... | all"
+            "usage: experiments [--scale F] [--bench-json PATH] [--trace DIR] [--jobs N] \
+             <name>... | all"
         );
         eprintln!("names: {}", ALL_SUITES.join(" "));
         std::process::exit(2);
@@ -178,24 +191,64 @@ fn main() {
         })
         .collect();
 
-    let started = Instant::now();
-    let mut timings: Vec<(String, f64)> = Vec::new();
-    let mut frontier_points: Option<Vec<ex::FrontierPoint>> = None;
-    let mut grayfail_points: Option<Vec<ex::GrayfailPoint>> = None;
+    // Validate names before fanning out so an unknown suite still exits
+    // with a clean error instead of a worker panic.
     for name in &suites {
-        let t0 = Instant::now();
-        if name == "frontier" {
-            // keep the points so bench-json doesn't re-run the sweep
-            frontier_points = Some(ex::frontier(scale));
-        } else if name == "grayfail" {
-            grayfail_points = Some(ex::grayfail(scale));
-        } else if !run_suite(name, scale) {
+        let known = ALL_SUITES.contains(&name.as_str()) || matches!(name.as_str(), "fig9" | "fig10");
+        if !known {
             eprintln!("unknown experiment: {name}");
             std::process::exit(2);
         }
-        timings.push((name.clone(), t0.elapsed().as_secs_f64()));
     }
+
+    /// One suite's captured run: output text, elapsed seconds, and the
+    /// point series bench-json wants without re-running the sweep.
+    struct SuiteRun {
+        text: String,
+        secs: f64,
+        frontier: Option<Vec<ex::FrontierPoint>>,
+        grayfail: Option<Vec<ex::GrayfailPoint>>,
+    }
+
+    // Fan independent suites across the worker pool. Each suite's output
+    // is captured on its worker and printed here in suite order, so the
+    // report is byte-identical whatever `--jobs` says (`--jobs 1` runs
+    // inline through the same capture path).
+    let started = Instant::now();
+    let runs = sweep::parallel_map(
+        &suites,
+        jobs,
+        |name| {
+            let t0 = Instant::now();
+            let (text, (frontier, grayfail)) = ex::captured(|| match name.as_str() {
+                "frontier" => (Some(ex::frontier(scale)), None),
+                "grayfail" => (None, Some(ex::grayfail(scale))),
+                _ => {
+                    run_suite(name, scale);
+                    (None, None)
+                }
+            });
+            SuiteRun {
+                text,
+                secs: t0.elapsed().as_secs_f64(),
+                frontier,
+                grayfail,
+            }
+        },
+        |_, run| print!("{}", run.text),
+    );
     let wall = started.elapsed().as_secs_f64();
+    let timings: Vec<(String, f64)> = suites
+        .iter()
+        .cloned()
+        .zip(runs.iter().map(|r| r.secs))
+        .collect();
+    let mut frontier_points: Option<Vec<ex::FrontierPoint>> = None;
+    let mut grayfail_points: Option<Vec<ex::GrayfailPoint>> = None;
+    for run in runs {
+        frontier_points = frontier_points.or(run.frontier);
+        grayfail_points = grayfail_points.or(run.grayfail);
+    }
 
     if let Some(path) = bench_json {
         let events = aurora_sim::sim::events_dispatched_total();
@@ -217,6 +270,24 @@ fn main() {
         out.push_str(&format!("  \"wall_clock_s\": {wall:.3},\n"));
         out.push_str(&format!("  \"events_dispatched\": {events},\n"));
         out.push_str(&format!("  \"events_per_sec\": {eps:.0},\n"));
+        out.push_str(&format!("  \"jobs\": {jobs},\n"));
+        // Kernel queue/allocation gauges: the deepest event queue any
+        // simulation reached, how many events fell past the timer-wheel
+        // horizon into the overflow heap, and the largest recycled
+        // event-storage pool — tracked so queue/memory growth regressions
+        // show up in CI's profile diff, not just peak RSS.
+        out.push_str(&format!(
+            "  \"events_queue_high_water\": {},\n",
+            aurora_sim::sim::events_queue_high_water_total()
+        ));
+        out.push_str(&format!(
+            "  \"events_overflowed\": {},\n",
+            aurora_sim::sim::events_overflow_total()
+        ));
+        out.push_str(&format!(
+            "  \"kernel_event_pool_peak_bytes\": {},\n",
+            aurora_sim::sim::events_reserved_bytes_peak()
+        ));
         out.push_str(&format!("  \"peak_rss_kb\": {},\n", peak_rss_kb()));
         out.push_str("  \"latency\": {\n");
         out.push_str(&format!(

@@ -15,15 +15,51 @@ use aurora_sim::{BrownoutSpec, FaultPlan, PacketChaos, SimDuration};
 use crate::harness::{self, AuroraParams, MysqlParams, RunStats};
 use crate::workload::Mix;
 
+thread_local! {
+    /// Per-thread capture buffer for suite output. `None` (the default)
+    /// means lines go straight to stdout; [`captured`] installs a buffer
+    /// so the worker pool can run suites concurrently and print their
+    /// outputs in suite order — byte-identical to a sequential run.
+    static SINK: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Emit one suite-output line: into this thread's capture buffer if one
+/// is installed, else to stdout.
+#[doc(hidden)]
+pub fn emit_line(line: std::fmt::Arguments<'_>) {
+    SINK.with(|s| match s.borrow_mut().as_mut() {
+        Some(buf) => {
+            use std::fmt::Write as _;
+            let _ = writeln!(buf, "{line}");
+        }
+        None => println!("{line}"),
+    });
+}
+
+/// Run `f` with this thread's suite output captured; returns the captured
+/// text alongside `f`'s result.
+pub fn captured<R>(f: impl FnOnce() -> R) -> (String, R) {
+    SINK.with(|s| *s.borrow_mut() = Some(String::new()));
+    let r = f();
+    let text = SINK.with(|s| s.borrow_mut().take().unwrap_or_default());
+    (text, r)
+}
+
+/// `println!` for suite output, routed through the capture sink.
+macro_rules! say {
+    () => { crate::experiments::emit_line(format_args!("")) };
+    ($($arg:tt)*) => { crate::experiments::emit_line(format_args!($($arg)*)) };
+}
+
 fn window(scale: f64, secs: f64) -> SimDuration {
     SimDuration::from_secs_f64((secs * scale).max(0.2))
 }
 
 fn hdr(title: &str) {
-    println!();
-    println!("================================================================");
-    println!("{title}");
-    println!("================================================================");
+    say!();
+    say!("================================================================");
+    say!("{title}");
+    say!("================================================================");
 }
 
 /// Table 1 — network IOs for Aurora vs mirrored MySQL.
@@ -49,19 +85,19 @@ pub fn table1(scale: f64) -> Vec<(String, RunStats)> {
         e.group_commit_limit = 4;
     });
 
-    println!(
+    say!(
         "{:<24} {:>14} {:>16}",
         "Configuration", "Transactions", "IOs/Transaction"
     );
-    println!(
+    say!(
         "{:<24} {:>14} {:>16.2}",
         "Mirrored MySQL", m.commits, m.ios_per_txn
     );
-    println!(
+    say!(
         "{:<24} {:>14} {:>16.2}",
         "Aurora with Replicas", a.commits, a.ios_per_txn
     );
-    println!(
+    say!(
         "-> Aurora/MySQL transactions: {:.1}x ; MySQL/Aurora IOs per txn: {:.1}x",
         a.commits as f64 / m.commits.max(1) as f64,
         m.ios_per_txn / a.ios_per_txn.max(1e-9)
@@ -73,7 +109,7 @@ pub fn table1(scale: f64) -> Vec<(String, RunStats)> {
 pub fn fig6(scale: f64) -> Vec<(String, RunStats)> {
     hdr("Figure 6: SysBench read-only — reads/sec vs instance size");
     let mut out = Vec::new();
-    println!(
+    say!(
         "{:<12} {:>14} {:>14} {:>14}",
         "instance", "aurora", "mysql 5.6", "mysql 5.7"
     );
@@ -95,7 +131,7 @@ pub fn fig6(scale: f64) -> Vec<(String, RunStats)> {
             m.window = window(scale, 1.5);
             rows.push(harness::run_mysql(&m));
         }
-        println!(
+        say!(
             "{:<12} {:>14.0} {:>14.0} {:>14.0}",
             inst.name, ra.rps, rows[0].rps, rows[1].rps
         );
@@ -110,7 +146,7 @@ pub fn fig6(scale: f64) -> Vec<(String, RunStats)> {
 pub fn fig7(scale: f64) -> Vec<(String, RunStats)> {
     hdr("Figure 7: SysBench write-only — writes/sec vs instance size");
     let mut out = Vec::new();
-    println!(
+    say!(
         "{:<12} {:>14} {:>14} {:>14}",
         "instance", "aurora", "mysql 5.6", "mysql 5.7"
     );
@@ -132,7 +168,7 @@ pub fn fig7(scale: f64) -> Vec<(String, RunStats)> {
             m.window = window(scale, 1.5);
             rows.push(harness::run_mysql(&m));
         }
-        println!(
+        say!(
             "{:<12} {:>14.0} {:>14.0} {:>14.0}",
             inst.name, ra.wps, rows[0].wps, rows[1].wps
         );
@@ -160,7 +196,7 @@ pub fn table2(scale: f64) -> Vec<(String, RunStats)> {
         ("1 TB", 300_000, 2_500),
     ];
     let mut out = Vec::new();
-    println!("{:<8} {:>14} {:>14}", "DB size", "aurora", "mysql");
+    say!("{:<8} {:>14} {:>14}", "DB size", "aurora", "mysql");
     for (label, rows, buffer) in sizes {
         let mut a = AuroraParams::new(Mix::WriteOnly { writes: 2 });
         a.rows = rows;
@@ -177,7 +213,7 @@ pub fn table2(scale: f64) -> Vec<(String, RunStats)> {
         m.window = window(scale, 2.0);
         let rm = harness::run_mysql(&m);
 
-        println!("{:<8} {:>14.0} {:>14.0}", label, ra.wps, rm.wps);
+        say!("{:<8} {:>14.0} {:>14.0}", label, ra.wps, rm.wps);
         out.push((format!("aurora/{label}"), ra));
         out.push((format!("mysql/{label}"), rm));
     }
@@ -188,7 +224,7 @@ pub fn table2(scale: f64) -> Vec<(String, RunStats)> {
 pub fn table3(scale: f64) -> Vec<(String, RunStats)> {
     hdr("Table 3: SysBench OLTP (writes/sec) vs connections");
     let mut out = Vec::new();
-    println!("{:<12} {:>14} {:>14}", "connections", "aurora", "mysql");
+    say!("{:<12} {:>14} {:>14}", "connections", "aurora", "mysql");
     for conns in [50usize, 500, 5_000] {
         // thousands of connections take a while to reach steady state
         // (the convoy at start is itself the thrashing the paper observes)
@@ -208,7 +244,7 @@ pub fn table3(scale: f64) -> Vec<(String, RunStats)> {
         m.window = window(scale, 2.0);
         let rm = harness::run_mysql(&m);
 
-        println!("{:<12} {:>14.0} {:>14.0}", conns, ra.wps, rm.wps);
+        say!("{:<12} {:>14.0} {:>14.0}", conns, ra.wps, rm.wps);
         out.push((format!("aurora/{conns}"), ra));
         out.push((format!("mysql/{conns}"), rm));
     }
@@ -219,7 +255,7 @@ pub fn table3(scale: f64) -> Vec<(String, RunStats)> {
 pub fn table4(scale: f64) -> Vec<(String, RunStats)> {
     hdr("Table 4: replica lag (ms) vs writes/sec");
     let mut out = Vec::new();
-    println!(
+    say!(
         "{:<12} {:>16} {:>18}",
         "writes/sec", "aurora lag (ms)", "mysql lag (ms)"
     );
@@ -239,7 +275,7 @@ pub fn table4(scale: f64) -> Vec<(String, RunStats)> {
         m.window = window(scale, 3.0);
         let rm = harness::run_mysql(&m);
 
-        println!(
+        say!(
             "{:<12.0} {:>16.2} {:>18.0}",
             rate,
             ra.lag_p50_ms.unwrap_or(0.0),
@@ -248,7 +284,7 @@ pub fn table4(scale: f64) -> Vec<(String, RunStats)> {
         out.push((format!("aurora/{rate}"), ra));
         out.push((format!("mysql/{rate}"), rm));
     }
-    println!("(aurora column: P50 lag; mysql column: max lag — the paper's MySQL numbers are runaway queues)");
+    say!("(aurora column: P50 lag; mysql column: max lag — the paper's MySQL numbers are runaway queues)");
     out
 }
 
@@ -262,7 +298,7 @@ pub fn table5(scale: f64) -> Vec<(String, RunStats)> {
         ("5000c/100GB/1000wh", 5_000, 80_000, 1_000),
     ];
     let mut out = Vec::new();
-    println!(
+    say!(
         "{:<22} {:>12} {:>12} {:>12}",
         "case", "aurora", "mysql 5.6", "mysql 5.7"
     );
@@ -289,7 +325,7 @@ pub fn table5(scale: f64) -> Vec<(String, RunStats)> {
             m.window = window(scale, 2.0);
             results.push(harness::run_mysql(&m));
         }
-        println!(
+        say!(
             "{:<22} {:>12.0} {:>12.0} {:>12.0}",
             label,
             ra.tps * 60.0,
@@ -355,30 +391,30 @@ pub fn fig8_9_10(scale: f64) -> Vec<(String, RunStats)> {
         |_, _| {},
     );
 
-    println!("Figure 8 (web transaction response time, ms):");
-    println!(
+    say!("Figure 8 (web transaction response time, ms):");
+    say!(
         "  before (MySQL):  P50 {:>7.2}  P95 {:>7.2}",
         rm.txn_p50_ms, rm.txn_p95_ms
     );
-    println!(
+    say!(
         "  after  (Aurora): P50 {:>7.2}  P95 {:>7.2}",
         ra.txn_p50_ms, ra.txn_p95_ms
     );
-    println!("Figure 9 (SELECT latency, µs):");
-    println!(
+    say!("Figure 9 (SELECT latency, µs):");
+    say!(
         "  before: P50 {:>8.0}  P95 {:>8.0}",
         rm.select_p50_us, rm.select_p95_us
     );
-    println!(
+    say!(
         "  after:  P50 {:>8.0}  P95 {:>8.0}",
         ra.select_p50_us, ra.select_p95_us
     );
-    println!("Figure 10 (per-record write latency, µs):");
-    println!(
+    say!("Figure 10 (per-record write latency, µs):");
+    say!(
         "  before: P50 {:>8.0}  P95 {:>8.0}",
         rm.insert_p50_us, rm.insert_p95_us
     );
-    println!(
+    say!(
         "  after:  P50 {:>8.0}  P95 {:>8.0}",
         ra.insert_p50_us, ra.insert_p95_us
     );
@@ -452,17 +488,17 @@ pub fn fig11(scale: f64) -> Vec<(String, f64)> {
 
     let rates = [500.0f64, 2_000.0, 5_000.0, 2_000.0, 800.0];
     let mut out = Vec::new();
-    println!("{:<10} {:>16}", "interval", "max lag (ms)");
+    say!("{:<10} {:>16}", "interval", "max lag (ms)");
     for (i, rate) in rates.iter().enumerate() {
         let mut p = a.clone();
         p.seed = a.seed + i as u64;
         p.rate = Some(*rate);
         let r = harness::run_aurora(&p);
         let max = r.lag_max_ms.unwrap_or(0.0);
-        println!("{:<10} {:>16.2}", i, max);
+        say!("{:<10} {:>16.2}", i, max);
         out.push((format!("interval-{i}"), max));
     }
-    println!("(paper: maximum replica lag never exceeded 20 ms)");
+    say!("(paper: maximum replica lag never exceeded 20 ms)");
     out
 }
 
@@ -532,10 +568,10 @@ pub fn fig12(scale: f64) -> Vec<(String, f64)> {
         .first()
         .map(|(_, d)| (d.sessions_preserved, d.connections_dropped))
         .unwrap_or((0, u64::MAX));
-    println!(
+    say!(
         "patched under load: sessions preserved = {preserved}, connections dropped = {dropped}"
     );
-    println!("transactions completed around the patch window: {commits}");
+    say!("transactions completed around the patch window: {commits}");
     vec![
         ("connections_dropped".into(), dropped as f64),
         ("sessions_preserved".into(), preserved as f64),
@@ -554,7 +590,7 @@ pub fn recovery(scale: f64) -> Vec<(String, f64)> {
     let (a_ms, a_wps) = harness::aurora_recovery_time(&a);
 
     let mut out = vec![("aurora_recovery_ms".into(), a_ms)];
-    println!(
+    say!(
         "aurora : recovery {:>9.1} ms  (~{:.0} writes/sec before crash; no log replay)",
         a_ms, a_wps
     );
@@ -564,13 +600,13 @@ pub fn recovery(scale: f64) -> Vec<(String, f64)> {
         m.connections = 256;
         m.window = window(scale, 2.0);
         let (m_ms, m_wps) = harness::mysql_recovery_time(&m, checkpoint_every);
-        println!(
+        say!(
             "mysql  : recovery {:>9.1} ms  (checkpoint every {:>9} records, ~{:.0} writes/sec)",
             m_ms, checkpoint_every, m_wps
         );
         out.push((format!("mysql_recovery_ms/cp{checkpoint_every}"), m_ms));
     }
-    println!("(longer checkpoint intervals = longer replay; Aurora needs none)");
+    say!("(longer checkpoint intervals = longer replay; Aurora needs none)");
     out
 }
 
@@ -579,7 +615,7 @@ pub fn recovery(scale: f64) -> Vec<(String, f64)> {
 pub fn durability(_scale: f64) -> Vec<(String, f64)> {
     hdr("Durability (§2.2): segment size, MTTR and quorum loss");
     let mttf = 500_000.0; // ~6 days MTTF per segment replica: pessimistic
-    println!("analytic P(durability loss | AZ down) with V=6/4/3:");
+    say!("analytic P(durability loss | AZ down) with V=6/4/3:");
     let mut out = Vec::new();
     for (label, seg_bytes) in [
         ("10 GB segment", 10_u64.pow(10)),
@@ -588,11 +624,11 @@ pub fn durability(_scale: f64) -> Vec<(String, f64)> {
     ] {
         let mttr = repair_time_secs(seg_bytes, 1_250_000_000);
         let p = p_double_fault(&QuorumConfig::aurora(), mttf, mttr);
-        println!("  {label:<20} MTTR {mttr:>8.0}s  P = {p:.3e}");
+        say!("  {label:<20} MTTR {mttr:>8.0}s  P = {p:.3e}");
         out.push((format!("p_double_fault/{label}"), p));
     }
-    println!();
-    println!("Monte-Carlo, 1 simulated month per trial, AZ outage injected:");
+    say!();
+    say!("Monte-Carlo, 1 simulated month per trial, AZ outage injected:");
     for (label, cfg, mttr) in [
         ("aurora 6/4/3, 10s repair", QuorumConfig::aurora(), 10.0),
         ("aurora 6/4/3, 1d repair", QuorumConfig::aurora(), 86_400.0),
@@ -616,7 +652,7 @@ pub fn durability(_scale: f64) -> Vec<(String, f64)> {
             trials: 2_000,
             seed: 7,
         });
-        println!(
+        say!(
             "  {label:<26} P(lose durability) = {:>7.4}   P(lose writes) = {:>7.4}",
             r.p_quorum_loss, r.p_write_loss
         );
@@ -724,7 +760,7 @@ pub fn ablation_quorum(scale: f64) -> Vec<(String, RunStats)> {
             );
             run_aurora_cluster(&mut c, &p)
         };
-        println!(
+        say!(
             "{:<20} commit P50 {:>8.2} ms   P95 {:>8.2} ms   ({:.0} writes/sec)",
             label, r.txn_p50_ms, r.txn_p95_ms, r.wps
         );
@@ -739,7 +775,7 @@ pub fn ablation_quorum(scale: f64) -> Vec<(String, RunStats)> {
 pub fn ablation_group_commit(scale: f64) -> Vec<(String, RunStats)> {
     hdr("Ablation: group-commit window (flush interval)");
     let mut out = Vec::new();
-    println!(
+    say!(
         "{:<12} {:>12} {:>14} {:>14}",
         "window(µs)", "writes/s", "P50 commit ms", "IOs/txn"
     );
@@ -756,7 +792,7 @@ pub fn ablation_group_commit(scale: f64) -> Vec<(String, RunStats)> {
             },
             |_, _| {},
         );
-        println!(
+        say!(
             "{:<12} {:>12.0} {:>14.2} {:>14.2}",
             us, r.wps, r.txn_p50_ms, r.ios_per_txn
         );
@@ -788,7 +824,7 @@ pub struct FrontierPoint {
 pub fn frontier(scale: f64) -> Vec<FrontierPoint> {
     hdr("Frontier: ack/commit latency vs offered throughput (ship policy)");
     let mut out = Vec::new();
-    println!(
+    say!(
         "{:<22} {:>9} {:>11} {:>11} {:>12} {:>12}",
         "policy @ rate", "tps", "ack p50 µs", "ack p99 µs", "commit p50ms", "commit p99ms"
     );
@@ -804,7 +840,7 @@ pub fn frontier(scale: f64) -> Vec<FrontierPoint> {
             p.ship_policy = Some(ship);
             p.window = window(scale, 1.5);
             let stats = harness::run_aurora(&p);
-            println!(
+            say!(
                 "{:<22} {:>9.0} {:>11.1} {:>11.1} {:>12.3} {:>12.3}",
                 format!("{policy} @ {offered:.0}"),
                 stats.tps,
@@ -850,7 +886,7 @@ pub struct GrayfailPoint {
 pub fn grayfail(scale: f64) -> Vec<GrayfailPoint> {
     hdr("Gray failure: commit latency under brownout (retransmit policy)");
     let mut out = Vec::new();
-    println!(
+    say!(
         "{:<26} {:>9} {:>12} {:>12} {:>11} {:>9} {:>8}",
         "policy / scenario",
         "tps",
@@ -896,7 +932,7 @@ pub fn grayfail(scale: f64) -> Vec<GrayfailPoint> {
                 p.fault_plan = Some(plan);
             }
             let stats = harness::run_aurora(&p);
-            println!(
+            say!(
                 "{:<26} {:>9.0} {:>12.3} {:>12.3} {:>11.1} {:>9.0} {:>8.0}",
                 format!("{policy} / {scenario}"),
                 stats.tps,
@@ -936,7 +972,7 @@ pub fn ablation_cpl(scale: f64) -> Vec<(String, RunStats)> {
             },
             |_, _| {},
         );
-        println!(
+        say!(
             "{:<22} {:>10.0} writes/s   commit P50 {:>8.2} ms",
             label, r.wps, r.txn_p50_ms
         );
@@ -973,7 +1009,7 @@ pub fn ablation_loss(scale: f64) -> Vec<(String, RunStats)> {
                 }
             },
         );
-        println!(
+        say!(
             "loss {:>4.1}%: {:>10.0} writes/s   commit P95 {:>8.2} ms   ({} aborts)",
             loss * 100.0,
             r.wps,

@@ -25,8 +25,10 @@
 pub mod dst;
 pub mod experiments;
 pub mod harness;
+pub mod sweep;
 pub mod workload;
 
 pub use dst::{DstConfig, DstReport, OracleViolation, Oracles};
+pub use sweep::{default_jobs, parallel_map};
 pub use harness::{AuroraParams, MysqlParams, RunStats};
 pub use workload::{Mix, WorkloadActor, WorkloadConfig};

@@ -112,15 +112,26 @@ impl Cluster {
             0,
             "storage nodes must balance across AZs"
         );
-        let mut sim = Sim::new(cfg.seed);
-
         // Node id layout (sequential allocation):
         //   0: client probe
         //   1 ..= storage_nodes: storage
         //   then spares, then replicas, then engine, [standby], then control
         let standby_slots = cfg.with_standby as usize;
+        let total_nodes = 1 + cfg.storage_nodes + cfg.spares + cfg.replicas + 1 + standby_slots + 1;
         let control_id: NodeId =
             (1 + cfg.storage_nodes + cfg.spares + cfg.replicas + 1 + standby_slots) as NodeId;
+
+        // Pre-size the kernel from the topology: each storage node keeps a
+        // handful of in-flight deliveries plus flush/gossip timers; the
+        // engine fans out to every segment. ~96 pending events per node is
+        // comfortably above observed high-water marks.
+        let mut sim = Sim::with_hints(
+            cfg.seed,
+            aurora_sim::SimHints {
+                nodes: total_nodes,
+                expected_events: 1024.max(total_nodes * 96),
+            },
+        );
 
         let client = sim.add_node(
             "client",

@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod msg;
 pub mod net;
 pub mod probe;
+pub mod queue;
 pub mod rng;
 pub mod schedule;
 pub mod sim;
@@ -45,6 +46,9 @@ pub use net::{LinkSpec, NetPolicy, NetStats};
 pub use probe::{Probe, Relay};
 pub use rng::SimRng;
 pub use schedule::{generate, shrink, Intensity, ScheduleSpec};
-pub use sim::{Actor, ActorEvent, Ctx, DiskSpec, NodeId, NodeOpts, Sim, Tag, TimerId, Zone};
+pub use queue::{EventQueue, WheelItem};
+pub use sim::{
+    Actor, ActorEvent, Ctx, DiskSpec, NodeId, NodeOpts, Sim, SimHints, Tag, TimerId, Zone,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{SpanId, TraceBuffer, TraceEvent, TracePhase};

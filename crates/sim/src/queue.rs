@@ -1,0 +1,455 @@
+//! Hierarchical timer-wheel event queue for the simulation kernel.
+//!
+//! The kernel originally kept every pending event in one global
+//! `BinaryHeap`, paying `O(log n)` sift work per push/pop on keys that are
+//! overwhelmingly *near-term*: message deliveries a few microseconds out
+//! and flush-cadence timers a few milliseconds out. This module replaces it
+//! with a classic timer wheel:
+//!
+//! * **near-term buckets** — a power-of-two ring of slots, each covering
+//!   one tick (`1 << granularity_log2` nanoseconds). A push into the wheel
+//!   window is an O(1) `Vec::push`; events in one slot are sorted once,
+//!   when the slot becomes current, and dispatched as a batch.
+//! * **overflow heap** — events beyond the wheel horizon (experiment-end
+//!   timers, long recovery timeouts) fall back to a small binary heap.
+//! * **overlay heap** — events that land at or before the *current* slot:
+//!   zero-latency self-sends scheduled during dispatch, and pushes made
+//!   after `run_until` advanced the clock past the wheel cursor.
+//!
+//! ## Ordering invariant
+//!
+//! The queue reproduces the old heap's total order **exactly**: events pop
+//! in ascending `(at, seq)` where `seq` is the kernel's global push
+//! counter. The argument:
+//!
+//! 1. Buckets and the overflow heap only ever hold slots strictly greater
+//!    than `cursor` (the slot currently being drained). `advance` moves
+//!    `cursor` to the *minimum* occupied slot across both, and drains
+//!    overflow entries equal to it, so no structure hides an earlier slot.
+//! 2. Within the current slot, the batch is sorted by `(at, seq)` and the
+//!    overlay heap is keyed by `(at, seq)`; `pop` takes the smaller head.
+//!    Ties on `at` between batch and overlay resolve by `seq`, which is
+//!    globally unique, so the merge is a total order.
+//! 3. An event pushed while its own slot is current goes to the overlay,
+//!    never to a bucket behind the cursor, so nothing is lost or delayed.
+//!
+//! Slots keep their allocation when drained (`Vec::append` leaves capacity
+//! in place) and the batch vector is reused across slots, so steady-state
+//! operation recycles event storage instead of reallocating per event.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An item schedulable on the wheel: a nanosecond timestamp plus the
+/// kernel's unique push sequence number breaking ties.
+pub trait WheelItem {
+    /// Absolute due time in nanoseconds.
+    fn at_nanos(&self) -> u64;
+    /// Globally unique, monotonically assigned tie-breaker.
+    fn seq(&self) -> u64;
+}
+
+/// Min-order adapter: `BinaryHeap` is a max-heap, so invert `(at, seq)`.
+struct MinOrd<T>(T);
+
+impl<T: WheelItem> PartialEq for MinOrd<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at_nanos() == other.0.at_nanos() && self.0.seq() == other.0.seq()
+    }
+}
+impl<T: WheelItem> Eq for MinOrd<T> {}
+impl<T: WheelItem> PartialOrd for MinOrd<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: WheelItem> Ord for MinOrd<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.0.at_nanos(), other.0.seq()).cmp(&(self.0.at_nanos(), self.0.seq()))
+    }
+}
+
+/// Default tick: 2^16 ns ≈ 65.5 µs — finer than the shortest modeled
+/// network latency, so same-slot batches stay small.
+pub const DEFAULT_GRANULARITY_LOG2: u32 = 16;
+/// Default ring size: 1024 slots ≈ 67 ms horizon, covering every periodic
+/// timer cadence in the system; only run-end sentinels overflow.
+pub const DEFAULT_SLOT_COUNT: usize = 1024;
+
+/// Hierarchical timer-wheel priority queue, ordered by `(at, seq)`.
+pub struct EventQueue<T> {
+    granularity_log2: u32,
+    slot_count: usize,
+    slot_mask: u64,
+    /// Ring of per-slot event lists, indexed by `slot & slot_mask`.
+    buckets: Vec<Vec<T>>,
+    /// One bit per ring index — the 0→1 transition guard that keeps each
+    /// occupied slot registered exactly once in `active_slots`.
+    occupancy: Vec<u64>,
+    /// Min-heap of occupied **absolute slot numbers** (one entry per
+    /// occupied slot, not per event). `advance` pops its minimum instead
+    /// of scanning the ring, so a near-empty queue — the ping-pong case,
+    /// one event in flight, every event in a fresh slot — pays O(log 1),
+    /// not a full bitmap scan, per slot transition.
+    active_slots: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Absolute slot currently being drained. Buckets/overflow only hold
+    /// slots strictly greater than this.
+    cursor: u64,
+    /// Current slot's events, sorted descending by `(at, seq)` so the next
+    /// event pops from the back in O(1).
+    batch: Vec<T>,
+    /// Events due at or before the cursor slot (same-instant self-sends,
+    /// post-`run_until` pushes). Almost always tiny.
+    overlay: BinaryHeap<MinOrd<T>>,
+    /// Events beyond the wheel horizon.
+    overflow: BinaryHeap<MinOrd<T>>,
+    len: usize,
+    high_water: usize,
+    overflow_pushes: u64,
+}
+
+impl<T: WheelItem> EventQueue<T> {
+    /// Queue with default geometry and a modest pre-reserved batch.
+    pub fn new() -> Self {
+        Self::with_hint(1024)
+    }
+
+    /// Queue sized for roughly `expected_events` concurrently pending
+    /// events (a topology hint; see `Sim::with_hints`). The ring geometry
+    /// is fixed — the hint pre-reserves the merge/overlay/overflow storage
+    /// that would otherwise regrow in the hot loop.
+    pub fn with_hint(expected_events: usize) -> Self {
+        let slot_count = DEFAULT_SLOT_COUNT;
+        let expected = expected_events.max(64);
+        EventQueue {
+            granularity_log2: DEFAULT_GRANULARITY_LOG2,
+            slot_count,
+            slot_mask: (slot_count as u64) - 1,
+            buckets: (0..slot_count).map(|_| Vec::new()).collect(),
+            occupancy: vec![0u64; slot_count / 64],
+            active_slots: BinaryHeap::with_capacity(64),
+            cursor: 0,
+            batch: Vec::with_capacity(expected),
+            overlay: BinaryHeap::with_capacity(expected / 4),
+            overflow: BinaryHeap::with_capacity(expected / 4),
+            len: 0,
+            high_water: 0,
+            overflow_pushes: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, at_nanos: u64) -> u64 {
+        at_nanos >> self.granularity_log2
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of simultaneously pending events seen so far.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Events that were routed to the far-future overflow heap (a proxy
+    /// for how often the wheel horizon was exceeded).
+    #[inline]
+    pub fn overflow_pushes(&self) -> u64 {
+        self.overflow_pushes
+    }
+
+    /// Approximate bytes of event storage currently reserved (batch +
+    /// overlay + overflow + bucket slots); tracks the recycled pool size.
+    pub fn reserved_bytes(&self) -> usize {
+        let per = std::mem::size_of::<T>();
+        let slots: usize = self.buckets.iter().map(|b| b.capacity()).sum();
+        (self.batch.capacity() + self.overlay.capacity() + self.overflow.capacity() + slots) * per
+            + self.active_slots.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Insert an event. O(1) for the common in-window case.
+    pub fn push(&mut self, item: T) {
+        if self.len == 0 {
+            // Empty queue: the item defines the new current slot and goes
+            // straight into the batch — no ring/heap traffic. This keeps a
+            // sparse simulation (one event in flight, e.g. a request/reply
+            // rally) as cheap as the binary heap it replaced. The cursor
+            // only moves forward: pushes are never earlier than the last
+            // dispatched event, so the structure invariants hold.
+            debug_assert!(self.batch.is_empty() && self.overlay.is_empty());
+            self.cursor = self.slot_of(item.at_nanos()).max(self.cursor);
+            self.batch.push(item);
+            self.len = 1;
+            if self.high_water == 0 {
+                self.high_water = 1;
+            }
+            return;
+        }
+        let slot = self.slot_of(item.at_nanos());
+        if slot <= self.cursor {
+            self.overlay.push(MinOrd(item));
+        } else if slot - self.cursor < self.slot_count as u64 {
+            let idx = (slot & self.slot_mask) as usize;
+            self.buckets[idx].push(item);
+            let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+            if self.occupancy[word] & bit == 0 {
+                self.occupancy[word] |= bit;
+                self.active_slots.push(std::cmp::Reverse(slot));
+            }
+        } else {
+            self.overflow.push(MinOrd(item));
+            self.overflow_pushes += 1;
+        }
+        self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
+    }
+
+    /// If the current batch and overlay are drained, advance the cursor to
+    /// the earliest occupied slot (bucket ring or overflow) and load it
+    /// into the batch, sorted for back-to-front popping.
+    fn advance(&mut self) {
+        if !self.batch.is_empty() || !self.overlay.is_empty() {
+            return;
+        }
+        let bucket_next = self.active_slots.peek().map(|r| r.0);
+        let overflow_next = self.overflow.peek().map(|e| self.slot_of(e.0.at_nanos()));
+        let target = match (bucket_next, overflow_next) {
+            (Some(b), Some(o)) => b.min(o),
+            (Some(b), None) => b,
+            (None, Some(o)) => o,
+            (None, None) => return,
+        };
+        self.cursor = target;
+        if bucket_next == Some(target) {
+            self.active_slots.pop();
+            let idx = (target & self.slot_mask) as usize;
+            debug_assert!(
+                self.occupancy[idx / 64] & (1u64 << (idx % 64)) != 0,
+                "active slot with clear occupancy bit"
+            );
+            // Vec::append leaves the bucket's capacity in place — this is
+            // the recycled slot pool.
+            let bucket = &mut self.buckets[idx];
+            self.batch.append(bucket);
+            self.occupancy[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        while let Some(head) = self.overflow.peek() {
+            if self.slot_of(head.0.at_nanos()) != target {
+                break;
+            }
+            self.batch.push(self.overflow.pop().expect("peeked").0);
+        }
+        // Descending (at, seq): the minimum sits at the back.
+        self.batch
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.at_nanos(), e.seq())));
+    }
+
+    /// The earliest pending event, if any. Needs `&mut` because it may
+    /// advance the wheel cursor.
+    pub fn peek(&mut self) -> Option<&T> {
+        self.advance();
+        match (self.batch.last(), self.overlay.peek()) {
+            (Some(b), Some(o)) => {
+                if (o.0.at_nanos(), o.0.seq()) < (b.at_nanos(), b.seq()) {
+                    self.overlay.peek().map(|o| &o.0)
+                } else {
+                    self.batch.last()
+                }
+            }
+            (Some(_), None) => self.batch.last(),
+            (None, Some(_)) => self.overlay.peek().map(|o| &o.0),
+            (None, None) => None,
+        }
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<T> {
+        self.advance();
+        let take_overlay = match (self.batch.last(), self.overlay.peek()) {
+            (Some(b), Some(o)) => (o.0.at_nanos(), o.0.seq()) < (b.at_nanos(), b.seq()),
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => return None,
+        };
+        self.len -= 1;
+        if take_overlay {
+            self.overlay.pop().map(|o| o.0)
+        } else {
+            self.batch.pop()
+        }
+    }
+}
+
+impl<T: WheelItem> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Item {
+        at: u64,
+        seq: u64,
+    }
+    impl WheelItem for Item {
+        fn at_nanos(&self) -> u64 {
+            self.at
+        }
+        fn seq(&self) -> u64 {
+            self.seq
+        }
+    }
+
+    fn drain(q: &mut EventQueue<Item>) -> Vec<Item> {
+        let mut out = Vec::new();
+        while let Some(it) = q.pop() {
+            out.push(it);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_at_seq_order() {
+        let mut q = EventQueue::new();
+        let items = [
+            Item { at: 5_000, seq: 0 },
+            Item { at: 1_000, seq: 1 },
+            Item { at: 1_000, seq: 2 },
+            Item { at: 0, seq: 3 },
+            Item {
+                at: 90_000_000, // beyond the 67 ms horizon → overflow
+                seq: 4,
+            },
+            Item {
+                at: 70_000, // next slot
+                seq: 5,
+            },
+        ];
+        for it in items {
+            q.push(it);
+        }
+        assert_eq!(q.len(), 6);
+        let got = drain(&mut q);
+        let mut want = items.to_vec();
+        want.sort_by_key(|i| (i.at, i.seq));
+        assert_eq!(got, want);
+        assert_eq!(q.high_water(), 6);
+        assert!(q.overflow_pushes() >= 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_total_order() {
+        // Mirror the kernel's access pattern: pop one, push a few at or
+        // after the popped time, repeat. Compare against a sorted model.
+        let mut q = EventQueue::new();
+        let mut model: Vec<Item> = Vec::new();
+        let mut seq = 0u64;
+        let mut lcg = 0x243F_6A88_85A3_08D3u64; // deterministic, no rand dep
+        let mut push = |q: &mut EventQueue<Item>, model: &mut Vec<Item>, at: u64| {
+            let it = Item { at, seq };
+            seq += 1;
+            q.push(it);
+            model.push(it);
+        };
+        push(&mut q, &mut model, 0);
+        let mut now = 0u64;
+        for _ in 0..5_000 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let it = q.pop();
+            model.sort_by_key(|i| (i.at, i.seq));
+            let want = if model.is_empty() {
+                None
+            } else {
+                Some(model.remove(0))
+            };
+            assert_eq!(it, want);
+            if let Some(it) = it {
+                now = it.at;
+            }
+            // push 0-3 new events at now + jitter (sometimes same instant,
+            // sometimes far future)
+            for k in 0..(lcg % 4) {
+                let bits = (lcg >> (8 + 7 * k)) & 0x3FFFF;
+                let delay = match bits % 10 {
+                    0 => 0,                       // same instant
+                    1..=6 => bits % 50_000,       // in-slot / near slots
+                    7 | 8 => bits * 17,           // a few slots out
+                    _ => 100_000_000 + bits * 99, // beyond horizon
+                };
+                push(&mut q, &mut model, now + delay);
+            }
+        }
+    }
+
+    #[test]
+    fn push_below_cursor_lands_in_overlay_and_still_pops_first() {
+        let mut q = EventQueue::new();
+        q.push(Item { at: 50_000_000, seq: 0 });
+        assert_eq!(q.pop(), Some(Item { at: 50_000_000, seq: 0 }));
+        // Cursor now sits at the 50 ms slot; a later push at an *earlier*
+        // nanosecond (run_until jumped the clock, then pushed at `now`)
+        // must still pop before a far-future event.
+        q.push(Item { at: 49_999_999, seq: 1 });
+        q.push(Item { at: 80_000_000, seq: 2 });
+        assert_eq!(q.pop(), Some(Item { at: 49_999_999, seq: 1 }));
+        assert_eq!(q.pop(), Some(Item { at: 80_000_000, seq: 2 }));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_push_during_drain_is_not_starved() {
+        let mut q = EventQueue::new();
+        q.push(Item { at: 1_000, seq: 0 });
+        q.push(Item { at: 1_000, seq: 1 });
+        assert_eq!(q.pop(), Some(Item { at: 1_000, seq: 0 }));
+        // Scheduled during dispatch of seq 0, same instant: must pop after
+        // seq 1? No — order is (at, seq), so seq 1 first, then seq 2.
+        q.push(Item { at: 1_000, seq: 2 });
+        assert_eq!(q.pop(), Some(Item { at: 1_000, seq: 1 }));
+        assert_eq!(q.pop(), Some(Item { at: 1_000, seq: 2 }));
+    }
+
+    #[test]
+    fn ring_wraps_across_many_horizons() {
+        let mut q = EventQueue::new();
+        // March time forward through ~40 wheel horizons, always keeping a
+        // couple of events in flight.
+        let mut now = 0u64;
+        for seq in 0..1_000 {
+            q.push(Item { at: now + 3_000_000, seq });
+            let it = q.pop().expect("non-empty");
+            assert!(it.at >= now, "time went backwards");
+            now = it.at;
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_and_reserved_bytes_track_storage() {
+        let mut q = EventQueue::with_hint(4096);
+        assert!(q.reserved_bytes() >= 4096 * std::mem::size_of::<Item>());
+        for i in 0..100 {
+            q.push(Item { at: i * 10_000, seq: i });
+        }
+        assert_eq!(q.len(), 100);
+        while q.pop().is_some() {}
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.high_water(), 100);
+    }
+}

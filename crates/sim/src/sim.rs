@@ -19,10 +19,9 @@
 //! * [`Sim::partition`] blocks a directed pair of nodes.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use crate::hash::{FxHashMap, FxHashSet};
+use crate::queue::{EventQueue, WheelItem};
 
 use crate::dist::Dist;
 use crate::fault::{BrownoutSpec, FaultAction, FaultPlan, PacketChaos};
@@ -183,24 +182,38 @@ struct ScheduledFault {
     action: FaultAction,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+// Events are totally ordered by (at, seq) on the timer wheel; seq is the
+// kernel's global push counter, so ties never happen.
+impl WheelItem for Event {
+    #[inline]
+    fn at_nanos(&self) -> u64 {
+        self.at.nanos()
+    }
+    #[inline]
+    fn seq(&self) -> u64 {
+        self.seq
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Topology hints passed by cluster builders so the kernel can pre-size
+/// its hot-loop structures (timer wheel, FIFO matrix) instead of growing
+/// them mid-run. Purely a capacity optimization: hints never change
+/// behavior, only allocation patterns.
+#[derive(Debug, Clone, Copy)]
+pub struct SimHints {
+    /// Expected number of nodes (pre-sizes the dense FIFO matrix).
+    pub nodes: usize,
+    /// Expected peak of simultaneously pending events (pre-sizes the
+    /// wheel's merge batch and overflow/overlay heaps).
+    pub expected_events: usize,
 }
-impl Ord for Event {
-    // BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+impl Default for SimHints {
+    fn default() -> Self {
+        SimHints {
+            nodes: 0,
+            expected_events: 1024,
+        }
     }
 }
 
@@ -208,7 +221,7 @@ impl Ord for Event {
 pub struct Sim {
     time: SimTime,
     seq: u64,
-    events: BinaryHeap<Event>,
+    events: EventQueue<Event>,
     nodes: Vec<Node>,
     policy: NetPolicy,
     rng: SimRng,
@@ -232,7 +245,8 @@ pub struct Sim {
     /// FIFO clamp for endpoints outside the dense matrix (e.g. messages
     /// whose src is [`EXTERNAL`]); cold path.
     fifo_overflow: FxHashMap<(NodeId, NodeId), SimTime>,
-    /// Pending fault-plan entries, sorted by (at, seq).
+    /// Pending fault-plan entries, sorted by (at, seq) **descending** so
+    /// the next due entry pops from the back in O(1).
     faults: Vec<ScheduledFault>,
     fault_seq: u64,
     /// Active packet-chaos overlay (see [`PacketChaos`]).
@@ -257,26 +271,65 @@ pub struct Sim {
 /// events/sec from this; it is reporting-only and never read by the
 /// simulation itself, so determinism is unaffected.
 static EVENTS_DISPATCHED_TOTAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Process-wide maximum of per-`Sim` event-queue high-water marks
+/// (reporting-only, flushed on drop like [`EVENTS_DISPATCHED_TOTAL`]).
+static EVENTS_QUEUE_HIGH_WATER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Process-wide count of events routed past the timer-wheel horizon into
+/// the overflow heap (reporting-only).
+static EVENTS_OVERFLOW_TOTAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Process-wide maximum of per-`Sim` reserved event-storage bytes
+/// (batch + overlay + overflow + bucket slots; reporting-only).
+static EVENTS_RESERVED_BYTES_PEAK: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(0);
 
 /// Total events dispatched by all completed simulations in this process.
 pub fn events_dispatched_total() -> u64 {
     EVENTS_DISPATCHED_TOTAL.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Largest event-queue depth observed by any completed simulation in
+/// this process.
+pub fn events_queue_high_water_total() -> u64 {
+    EVENTS_QUEUE_HIGH_WATER.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Total events that overflowed the timer-wheel horizon across all
+/// completed simulations in this process.
+pub fn events_overflow_total() -> u64 {
+    EVENTS_OVERFLOW_TOTAL.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Largest reserved event-storage footprint (bytes) observed by any
+/// completed simulation in this process.
+pub fn events_reserved_bytes_peak() -> u64 {
+    EVENTS_RESERVED_BYTES_PEAK.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 impl Drop for Sim {
     fn drop(&mut self) {
-        EVENTS_DISPATCHED_TOTAL
-            .fetch_add(self.events_dispatched, std::sync::atomic::Ordering::Relaxed);
+        use std::sync::atomic::Ordering::Relaxed;
+        EVENTS_DISPATCHED_TOTAL.fetch_add(self.events_dispatched, Relaxed);
+        EVENTS_QUEUE_HIGH_WATER.fetch_max(self.events.high_water() as u64, Relaxed);
+        EVENTS_OVERFLOW_TOTAL.fetch_add(self.events.overflow_pushes(), Relaxed);
+        EVENTS_RESERVED_BYTES_PEAK.fetch_max(self.events.reserved_bytes() as u64, Relaxed);
     }
 }
 
 impl Sim {
     /// Create a simulator with the given RNG seed and default network policy.
     pub fn new(seed: u64) -> Sim {
-        Sim {
+        Sim::with_hints(seed, SimHints::default())
+    }
+
+    /// Create a simulator with capacity hints from the topology builder.
+    /// Hints only pre-size internal structures (event wheel, FIFO matrix);
+    /// they never affect the event order or the RNG stream, so a hinted
+    /// and an unhinted run of the same seed are bit-identical.
+    pub fn with_hints(seed: u64, hints: SimHints) -> Sim {
+        let mut sim = Sim {
             time: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::with_capacity(1024),
+            events: EventQueue::with_hint(hints.expected_events),
             nodes: Vec::new(),
             policy: NetPolicy::default(),
             rng: SimRng::new(seed),
@@ -297,12 +350,33 @@ impl Sim {
             stalled: FxHashSet::default(),
             held: Vec::new(),
             events_dispatched: 0,
+        };
+        if hints.nodes > 0 {
+            sim.grow_fifo(hints.nodes);
+            sim.nodes.reserve(hints.nodes);
         }
+        sim
     }
 
     /// Events dispatched by this simulation so far.
     pub fn events_dispatched(&self) -> u64 {
         self.events_dispatched
+    }
+
+    /// Maximum number of simultaneously pending events seen so far.
+    pub fn events_queue_high_water(&self) -> usize {
+        self.events.high_water()
+    }
+
+    /// Events routed past the timer-wheel horizon into the overflow heap.
+    pub fn events_overflowed(&self) -> u64 {
+        self.events.overflow_pushes()
+    }
+
+    /// Approximate bytes of event storage currently reserved by the
+    /// kernel's recycled slot pool.
+    pub fn events_reserved_bytes(&self) -> usize {
+        self.events.reserved_bytes()
     }
 
     /// Grow the dense FIFO matrix to cover `n` nodes, remapping existing
@@ -618,7 +692,10 @@ impl Sim {
                 action: action.clone(),
             });
         }
-        self.faults.sort_by_key(|f| (f.at, f.seq));
+        // Descending (at, seq): the next due entry sits at the back, so
+        // the hot loop pops it in O(1) instead of `Vec::remove(0)`.
+        self.faults
+            .sort_by_key(|f| std::cmp::Reverse((f.at, f.seq)));
     }
 
     /// Fault-plan entries not yet executed.
@@ -651,11 +728,11 @@ impl Sim {
 
     /// Time of the next pending fault, if any.
     fn next_fault_at(&self) -> Option<SimTime> {
-        self.faults.first().map(|f| f.at)
+        self.faults.last().map(|f| f.at)
     }
 
     fn pop_fault(&mut self) -> ScheduledFault {
-        self.faults.remove(0)
+        self.faults.pop().expect("checked non-empty")
     }
 
     fn enqueue_send(&mut self, src: NodeId, dst: NodeId, msg: Msg) {

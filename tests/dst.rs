@@ -789,3 +789,77 @@ fn failing_schedule_shrinks_to_minimal_reproducer() {
         "the minimal plan must still reproduce the failure"
     );
 }
+
+/// Golden digests captured on the pre-timer-wheel kernel (global
+/// `BinaryHeap` scheduler, PR 8 baseline): moderate-intensity runs of ten
+/// seeds, digested as (commits, final simulated clock). The final clock is
+/// the strongest cheap witness of the event order — any scheduler that
+/// reorders even one pair of same-timestamp events shifts it. The
+/// timer-wheel kernel must reproduce these bytes exactly; a legitimate
+/// behavioral change (new engine feature, retuned timer) updates this
+/// table knowingly, a scheduler bug does not get to.
+#[test]
+fn kernel_scheduler_swap_preserves_golden_digests() {
+    const GOLDEN: &[(u64, u64, u64)] = &[
+        // (seed, commits, clock_ns) — captured pre-swap
+        (0, 871, 5_351_000_000),
+        (1, 852, 5_351_000_000),
+        (2, 852, 5_351_000_000),
+        (3, 1168, 5_351_000_000),
+        (5, 1212, 5_351_000_000),
+        (7, 816, 5_351_000_000),
+        (11, 648, 5_351_000_000),
+        (17, 1115, 5_351_000_000),
+        (23, 672, 5_351_000_000),
+        (42, 630, 5_351_000_000),
+    ];
+    for &(seed, commits, clock_ns) in GOLDEN {
+        let report = dst::run_seed(&DstConfig {
+            seed,
+            ..Default::default()
+        });
+        assert!(report.passed(), "seed {seed}: {:?}", report.violations);
+        assert_eq!(
+            (report.commits, report.clock_ns),
+            (commits, clock_ns),
+            "seed {seed}: digest diverged from the pre-swap golden"
+        );
+    }
+}
+
+/// The worker pool is pure scheduling: sweeping the same seeds with
+/// `jobs = 1` (inline) and `jobs = 4` (threaded) must produce identical
+/// reports — including full trace dumps, which `DstReport`'s `PartialEq`
+/// compares byte-for-byte — in the same seed order.
+#[test]
+fn parallel_sweep_report_is_bit_identical_to_sequential() {
+    use aurora::bench::sweep;
+
+    let seeds: Vec<u64> = vec![0, 1, 2, 3, 5, 7, 11, 17];
+    let run = |jobs: usize| -> Vec<dst::DstReport> {
+        sweep::parallel_map(
+            &seeds,
+            jobs,
+            |&seed| {
+                dst::run_seed(&DstConfig {
+                    seed,
+                    // Trace two of the seeds so the comparison covers the
+                    // rendered Chrome/NDJSON/watermark artifacts too.
+                    trace: seed == 5 || seed == 7,
+                    ..Default::default()
+                })
+            },
+            |_, _| {},
+        )
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert!(
+        sequential.iter().any(|r| r.trace.is_some()),
+        "traced seeds must carry dumps for the byte comparison to bite"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "parallel sweep diverged from sequential"
+    );
+}

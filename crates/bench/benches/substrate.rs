@@ -371,7 +371,10 @@ fn bench_scheduler(c: &mut Criterion) {
             let mut q: EventQueue<QItem> = EventQueue::with_hint(PENDING as usize);
             let mut seq = 0u64;
             for _ in 0..PENDING {
-                q.push(QItem { at: seq * 3_000, seq });
+                q.push(QItem {
+                    at: seq * 3_000,
+                    seq,
+                });
                 seq += 1;
             }
             let mut now = 0u64;
@@ -412,12 +415,81 @@ fn bench_scheduler(c: &mut Criterion) {
         })
     });
 
+    // Overflow churn: a standing population of far-future timers (session
+    // think times, 100 ms – 1 s out — far past the 67 ms default horizon)
+    // being continuously replenished while near-term delivery churn
+    // drains. Exercises the batch re-bucketing path: each far timer must
+    // pay the overflow heap once, not once per cursor advance.
+    g.bench_function("wheel_overflow_churn", |b| {
+        const FAR: u64 = 4_096;
+        b.iter(|| {
+            let mut q: EventQueue<QItem> = EventQueue::with_geometry(FAR as usize, 1_024);
+            let mut seq = 0u64;
+            for i in 0..FAR {
+                q.push(QItem {
+                    at: 100_000_000 + (i * 219_727) % 900_000_000,
+                    seq,
+                });
+                seq += 1;
+            }
+            let mut now = 0u64;
+            for i in 0..OPS {
+                let it = q.pop().expect("steady state");
+                now = it.at;
+                let delay = if i % 4 == 0 {
+                    500_000_000 + (i * 99_991) % 400_000_000 // far: think time
+                } else {
+                    1_000 + (i % 5) * 9_000 // near: delivery latency
+                };
+                q.push(QItem {
+                    at: now + delay,
+                    seq,
+                });
+                seq += 1;
+            }
+            black_box(now)
+        })
+    });
+
+    // Reference point for the overflow-churn pattern: the plain binary
+    // heap pays O(log n) on every push/pop with n inflated by the whole
+    // far-timer population.
+    g.bench_function("binary_heap_overflow_churn", |b| {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        const FAR: u64 = 4_096;
+        b.iter(|| {
+            let mut q: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::with_capacity(FAR as usize);
+            let mut seq = 0u64;
+            for i in 0..FAR {
+                q.push(Reverse((100_000_000 + (i * 219_727) % 900_000_000, seq)));
+                seq += 1;
+            }
+            let mut now = 0u64;
+            for i in 0..OPS {
+                let Reverse((at, _)) = q.pop().expect("steady state");
+                now = at;
+                let delay = if i % 4 == 0 {
+                    500_000_000 + (i * 99_991) % 400_000_000
+                } else {
+                    1_000 + (i % 5) * 9_000
+                };
+                q.push(Reverse((now + delay, seq)));
+                seq += 1;
+            }
+            black_box(now)
+        })
+    });
+
     g.bench_function("wheel_churn_mixed_horizon", |b| {
         b.iter(|| {
             let mut q: EventQueue<QItem> = EventQueue::with_hint(PENDING as usize);
             let mut seq = 0u64;
             for _ in 0..PENDING {
-                q.push(QItem { at: seq * 3_000, seq });
+                q.push(QItem {
+                    at: seq * 3_000,
+                    seq,
+                });
                 seq += 1;
             }
             let mut now = 0u64;
@@ -425,11 +497,14 @@ fn bench_scheduler(c: &mut Criterion) {
                 let it = q.pop().expect("steady state");
                 now = it.at;
                 let delay = match i % 16 {
-                    0 => 120_000_000,            // past the horizon → overflow
-                    1..=3 => 10_000_000,         // flush-cadence timer
+                    0 => 120_000_000,             // past the horizon → overflow
+                    1..=3 => 10_000_000,          // flush-cadence timer
                     _ => 1_000 + (i % 5) * 9_000, // delivery latency
                 };
-                q.push(QItem { at: now + delay, seq });
+                q.push(QItem {
+                    at: now + delay,
+                    seq,
+                });
                 seq += 1;
             }
             black_box(now)

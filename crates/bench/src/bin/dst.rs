@@ -33,6 +33,9 @@ struct Args {
     trace: bool,
     out: PathBuf,
     jobs: usize,
+    /// Sweep shard-scoped plans against the isolation oracle instead of
+    /// the single-volume oracles.
+    shard_isolation: bool,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +48,7 @@ fn parse_args() -> Args {
         trace: false,
         out: PathBuf::from("target/dst"),
         jobs: sweep::default_jobs(),
+        shard_isolation: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,11 +66,13 @@ fn parse_args() -> Args {
             "--trace" => args.trace = true,
             "--out" => args.out = PathBuf::from(val("--out")),
             "--jobs" => args.jobs = val("--jobs").parse().expect("--jobs N"),
+            "--shard-isolation" => args.shard_isolation = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: dst [--seeds N] [--start N] [--intensity light|moderate|heavy|gray] \
-                     [--smoke] [--shrink] [--replay SEED] [--trace] [--out DIR] [--jobs N]"
+                     [--smoke] [--shrink] [--replay SEED] [--trace] [--out DIR] [--jobs N] \
+                     [--shard-isolation]"
                 );
                 std::process::exit(2);
             }
@@ -114,9 +120,74 @@ fn write_trace(out: &Path, seed: u64, dump: &TraceDump) {
     );
 }
 
+/// Sweep shard-scoped fault plans against the per-shard isolation
+/// oracle: for each seed, a plan targeting shard 0 of a 3-shard
+/// deployment runs under fleet load, and every *other* shard is held to
+/// a degradation budget vs a clean same-seed twin.
+fn shard_isolation_sweep(args: &Args) -> ! {
+    use aurora_bench::dst::ShardIsolationConfig;
+    let seeds: Vec<u64> = (args.start..args.start + args.seeds).collect();
+    let intensity = args.intensity.clone();
+    let reports = sweep::parallel_map(
+        &seeds,
+        args.jobs,
+        |&seed| {
+            dst::run_shard_isolation(&ShardIsolationConfig {
+                seed,
+                intensity: intensity_of(&intensity),
+                ..Default::default()
+            })
+        },
+        |i, report| {
+            let seed = seeds[i];
+            if report.passed() {
+                println!(
+                    "seed {seed:>5}: ok ({} actions, commits {:?})",
+                    report.plan_len, report.commits
+                );
+            } else {
+                println!(
+                    "seed {seed:>5}: FAIL ({} actions, {} violations)",
+                    report.plan_len,
+                    report.violations.len()
+                );
+                for v in &report.violations {
+                    println!("    {v}");
+                }
+            }
+        },
+    );
+    let failing: Vec<u64> = seeds
+        .iter()
+        .zip(&reports)
+        .filter(|(_, r)| !r.passed())
+        .map(|(&s, _)| s)
+        .collect();
+    println!(
+        "\nswept {} shard-isolation seeds ({}): {} failing",
+        args.seeds,
+        args.intensity,
+        failing.len()
+    );
+    if !failing.is_empty() {
+        let list = args.out.join("failing_seeds.txt");
+        let mut f = std::fs::File::create(&list).expect("write failing seeds");
+        for seed in &failing {
+            writeln!(f, "{seed}").unwrap();
+        }
+        println!("failing seeds written to {}", list.display());
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    if args.shard_isolation {
+        shard_isolation_sweep(&args);
+    }
 
     if let Some(seed) = args.replay {
         let mut cfg = config_for(seed, &args.intensity);

@@ -45,6 +45,7 @@ const ALL_SUITES: &[&str] = &[
     "ablation_loss",
     "frontier",
     "grayfail",
+    "connscale",
 ];
 
 /// Run one named suite; false if the name is unknown.
@@ -109,18 +110,14 @@ fn run_suite(name: &str, scale: f64) -> bool {
     true
 }
 
-/// Peak resident set size in kB, from `/proc/self/status` VmHWM
-/// (Linux-only; 0 where unavailable).
-fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    status
-        .lines()
-        .find(|l| l.starts_with("VmHWM:"))
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+use aurora_bench::harness::peak_rss_kb;
+
+/// Which connscale step ladder to run (`--smoke` / `--nightly`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnscaleLadder {
+    Full,
+    Smoke,
+    Nightly,
 }
 
 fn json_escape(s: &str) -> String {
@@ -159,6 +156,17 @@ fn main() {
             args.drain(pos..=pos + 1);
         }
     }
+    // connscale ladder selection: full (default), --smoke (5k/2sh, the
+    // CI lane), or --nightly (50k/4sh)
+    let mut connscale_ladder = ConnscaleLadder::Full;
+    if let Some(pos) = args.iter().position(|a| a == "--smoke") {
+        connscale_ladder = ConnscaleLadder::Smoke;
+        args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--nightly") {
+        connscale_ladder = ConnscaleLadder::Nightly;
+        args.remove(pos);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
         if pos + 1 < args.len() {
             let dir = std::path::PathBuf::from(&args[pos + 1]);
@@ -194,7 +202,8 @@ fn main() {
     // Validate names before fanning out so an unknown suite still exits
     // with a clean error instead of a worker panic.
     for name in &suites {
-        let known = ALL_SUITES.contains(&name.as_str()) || matches!(name.as_str(), "fig9" | "fig10");
+        let known =
+            ALL_SUITES.contains(&name.as_str()) || matches!(name.as_str(), "fig9" | "fig10");
         if !known {
             eprintln!("unknown experiment: {name}");
             std::process::exit(2);
@@ -208,6 +217,7 @@ fn main() {
         secs: f64,
         frontier: Option<Vec<ex::FrontierPoint>>,
         grayfail: Option<Vec<ex::GrayfailPoint>>,
+        connscale: Option<Vec<ex::ConnscalePoint>>,
     }
 
     // Fan independent suites across the worker pool. Each suite's output
@@ -220,12 +230,20 @@ fn main() {
         jobs,
         |name| {
             let t0 = Instant::now();
-            let (text, (frontier, grayfail)) = ex::captured(|| match name.as_str() {
-                "frontier" => (Some(ex::frontier(scale)), None),
-                "grayfail" => (None, Some(ex::grayfail(scale))),
+            let (text, (frontier, grayfail, connscale)) = ex::captured(|| match name.as_str() {
+                "frontier" => (Some(ex::frontier(scale)), None, None),
+                "grayfail" => (None, Some(ex::grayfail(scale)), None),
+                "connscale" => {
+                    let points = match connscale_ladder {
+                        ConnscaleLadder::Full => ex::connscale(scale),
+                        ConnscaleLadder::Smoke => ex::connscale_smoke(scale),
+                        ConnscaleLadder::Nightly => ex::connscale_nightly(scale),
+                    };
+                    (None, None, Some(points))
+                }
                 _ => {
                     run_suite(name, scale);
-                    (None, None)
+                    (None, None, None)
                 }
             });
             SuiteRun {
@@ -233,6 +251,7 @@ fn main() {
                 secs: t0.elapsed().as_secs_f64(),
                 frontier,
                 grayfail,
+                connscale,
             }
         },
         |_, run| print!("{}", run.text),
@@ -245,9 +264,11 @@ fn main() {
         .collect();
     let mut frontier_points: Option<Vec<ex::FrontierPoint>> = None;
     let mut grayfail_points: Option<Vec<ex::GrayfailPoint>> = None;
+    let mut connscale_points: Option<Vec<ex::ConnscalePoint>> = None;
     for run in runs {
         frontier_points = frontier_points.or(run.frontier);
         grayfail_points = grayfail_points.or(run.grayfail);
+        connscale_points = connscale_points.or(run.connscale);
     }
 
     if let Some(path) = bench_json {
@@ -354,6 +375,39 @@ fn main() {
                 json_f64(pt.stats.commit_p99_ms),
                 pt.stats.extra["engine.log_write_retransmits"],
                 pt.stats.extra["engine.hedged_ships"],
+                comma
+            ));
+        }
+        out.push_str("  ],\n");
+        // Connection-scale ladder: per-step throughput, latency, shed
+        // rate and peak-RSS growth (the PR9 acceptance measurement:
+        // monotone tps under capacity, graceful shedding past it, and
+        // per-session memory within the ceiling). Only populated when
+        // the connscale suite ran — the 1M step is too expensive to run
+        // as an implicit bench-json side effect.
+        let cpoints = connscale_points.unwrap_or_default();
+        out.push_str("  \"connscale\": [\n");
+        for (i, pt) in cpoints.iter().enumerate() {
+            let comma = if i + 1 == cpoints.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"sessions\": {}, \"shards\": {}, \"tps\": {:.0}, \
+                 \"commit_p50_ms\": {}, \"commit_p99_ms\": {}, \"txn_p99_ms\": {}, \
+                 \"queue_p99_ms\": {}, \"shed_rate\": {:.4}, \"warmup_s\": {:.2}, \
+                 \"admitted\": {}, \"commits\": {}, \"sheds\": {}, \
+                 \"rss_delta_kb\": {}}}{}\n",
+                pt.sessions,
+                pt.shards,
+                pt.stats.tps,
+                json_f64(pt.stats.commit_p50_ms),
+                json_f64(pt.stats.commit_p99_ms),
+                json_f64(pt.stats.txn_p99_ms),
+                json_f64(pt.stats.queue_p99_ms),
+                pt.stats.shed_rate,
+                pt.stats.warmup_s,
+                pt.stats.admitted,
+                pt.stats.commits,
+                pt.stats.sheds,
+                pt.stats.rss_delta_kb,
                 comma
             ));
         }

@@ -160,6 +160,22 @@ pub enum OracleViolation {
     /// Health convergence: the writer still marks segments suspect after
     /// the fault window healed and the convergence budget elapsed.
     SuspectsLinger { count: usize },
+    /// Shard isolation: a fault plan scoped to one shard moved commit p99
+    /// on a *different* (healthy) shard beyond the budget vs a clean
+    /// same-seed twin.
+    ShardLatencyLeak {
+        shard: usize,
+        p99_ms: f64,
+        limit_ms: f64,
+    },
+    /// Shard isolation: a healthy shard's window commits fell below the
+    /// budget fraction of its clean same-seed twin.
+    ShardThroughputLeak {
+        shard: usize,
+        got: u64,
+        clean: u64,
+        floor: u64,
+    },
 }
 
 impl std::fmt::Display for OracleViolation {
@@ -208,6 +224,23 @@ impl std::fmt::Display for OracleViolation {
             OracleViolation::SuspectsLinger { count } => write!(
                 f,
                 "health: {count} segment(s) still suspect/degraded after convergence budget"
+            ),
+            OracleViolation::ShardLatencyLeak {
+                shard,
+                p99_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "isolation: healthy shard {shard} commit p99 {p99_ms:.2}ms exceeds budget {limit_ms:.2}ms"
+            ),
+            OracleViolation::ShardThroughputLeak {
+                shard,
+                got,
+                clean,
+                floor,
+            } => write!(
+                f,
+                "isolation: healthy shard {shard} committed {got} vs {clean} clean (floor {floor})"
             ),
         }
     }
@@ -607,6 +640,7 @@ pub fn plan_for_seed(cfg: &DstConfig) -> FaultPlan {
         writer: Some(writer),
         zones: azs as u8,
         intensity,
+        shard: None,
     };
     schedule::generate(&spec, cfg.seed)
 }
@@ -834,4 +868,326 @@ pub fn format_plan(plan: &FaultPlan) -> String {
         out.push_str(&format!("+{:>8}us  {:?}\n", at.nanos() / 1_000, action));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Shard isolation (sharded deployments behind the proxy tier)
+// ---------------------------------------------------------------------------
+
+/// One shard-isolation run: a fault plan **scoped to one shard** (see
+/// [`aurora_sim::schedule::ShardScope`]) executes against a sharded
+/// deployment under session-fleet load through the proxy tier. The
+/// isolation oracle holds every *other* shard to a degradation budget
+/// against a clean same-seed twin: shards are independent volumes, so a
+/// fault in shard i must not move commit p99 (or starve commits) on
+/// shard j.
+#[derive(Debug, Clone)]
+pub struct ShardIsolationConfig {
+    pub seed: u64,
+    pub shards: usize,
+    /// The shard the fault plan targets.
+    pub target: usize,
+    /// Generation intensity. Kills are always clamped to zero: this
+    /// topology carries no spares, so every crash must restart.
+    pub intensity: Intensity,
+    /// Fault window, run under load.
+    pub window: SimDuration,
+    /// Logical sessions across the proxy tier (mean think time 1 s, so
+    /// offered load ≈ `sessions` tps spread over the shards by key hash).
+    pub sessions: u32,
+    /// Bootstrap rows per shard == fleet keyspace.
+    pub rows_per_shard: u64,
+    /// What healthy shards are held to vs the clean twin. Tighter than
+    /// the gray-failure default: an untouched shard should barely move.
+    pub budget: DegradationBudget,
+}
+
+impl Default for ShardIsolationConfig {
+    fn default() -> Self {
+        ShardIsolationConfig {
+            seed: 0,
+            shards: 3,
+            target: 0,
+            intensity: Intensity::moderate(),
+            window: SimDuration::from_secs(2),
+            sessions: 600,
+            rows_per_shard: 2_000,
+            budget: DegradationBudget {
+                p99_multiple: 3.0,
+                p99_floor_ms: 20.0,
+                min_commit_fraction: 0.5,
+            },
+        }
+    }
+}
+
+/// Verdict of one shard-isolation run. Deterministic for a given config
+/// (everything here derives from simulated state — `PartialEq` is the
+/// replay digest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardIsolationReport {
+    pub seed: u64,
+    pub target: usize,
+    pub plan_len: usize,
+    /// Per-shard window commits, faulted run.
+    pub commits: Vec<u64>,
+    /// Per-shard window commits, clean twin.
+    pub clean_commits: Vec<u64>,
+    /// Per-shard commit p99 (ns) over the window, faulted run (0 = no
+    /// samples).
+    pub p99_ns: Vec<u64>,
+    pub clean_p99_ns: Vec<u64>,
+    pub clock_ns: u64,
+    pub violations: Vec<OracleViolation>,
+}
+
+impl ShardIsolationReport {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The shard-scoped [`ScheduleSpec`] a config expands to against a built
+/// sharded world: the target shard's own storage nodes (AZ layout
+/// mirrors `build_topology`: node i sits in zone i mod 3) and writer,
+/// plus the proxy tier for `ProxyPartition` incidents.
+pub fn shard_schedule_spec(
+    c: &aurora_core::cluster::ShardedCluster,
+    cfg: &ShardIsolationConfig,
+) -> ScheduleSpec {
+    let azs = 3usize;
+    let shard = &c.shards[cfg.target];
+    let mut intensity = cfg.intensity.clone();
+    intensity.max_kills = 0; // no spares here: every crash must restart
+    ScheduleSpec {
+        window: cfg.window,
+        storage: shard
+            .storage
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, Zone((i % azs) as u8)))
+            .collect(),
+        writer: Some(shard.engine),
+        zones: azs as u8,
+        intensity,
+        shard: Some(aurora_sim::schedule::ShardScope {
+            shard: cfg.target,
+            proxies: c.proxies.clone(),
+        }),
+    }
+}
+
+/// Build the sharded world, attach the fleets, warm it, optionally
+/// install the scoped plan, run the window, and return per-shard
+/// `(commits, commit p99 ns)` plus the plan length and final clock.
+fn run_shard_world(
+    cfg: &ShardIsolationConfig,
+    with_plan: bool,
+) -> (usize, Vec<u64>, Vec<u64>, u64) {
+    use crate::fleet::{FleetConfig, SessionFleet};
+    use crate::harness::calib;
+    use aurora_core::cluster::{ShardedCluster, ShardedConfig};
+    use aurora_core::engine::InstanceSpec;
+    use aurora_core::proxy::ProxyConfig;
+
+    let total_pages_hint = cfg.rows_per_shard / 12 + 256;
+    let shard_cfg = ClusterConfig {
+        seed: cfg.seed.wrapping_mul(2).wrapping_add(1),
+        pgs: 2,
+        pages_per_pg: (total_pages_hint / 2 + 1).max(1_000),
+        storage_nodes: 6,
+        replicas: 0,
+        instance: InstanceSpec::r3("r3.xlarge", 4, 8_000),
+        bootstrap_rows: cfg.rows_per_shard,
+        ..Default::default()
+    };
+    let mut c = ShardedCluster::build_with(
+        ShardedConfig {
+            seed: cfg.seed.wrapping_mul(2).wrapping_add(1),
+            shards: cfg.shards,
+            proxies: cfg.shards,
+            shard: shard_cfg,
+            proxy: ProxyConfig {
+                slots_per_shard: 32,
+                queue_watermark: 1_024,
+                queue_deadline: SimDuration::from_millis(200),
+                ..ProxyConfig::default()
+            },
+            expected_sessions: cfg.sessions as usize,
+        },
+        |_, e| {
+            e.cpu_per_op = calib::aurora_write();
+            e.cpu_per_read = calib::aurora_read();
+            e.cpu_per_commit = calib::commit();
+        },
+    );
+    let mut guard = 0;
+    while !c.all_ready() {
+        c.sim.run_for(SimDuration::from_millis(100));
+        guard += 1;
+        assert!(guard < 10_000, "sharded bootstrap never finished");
+    }
+    c.sim.run_for(SimDuration::from_millis(200));
+
+    let proxies = c.proxies.clone();
+    let per = cfg.sessions / proxies.len() as u32;
+    let rem = cfg.sessions % proxies.len() as u32;
+    let mut base_conn = 0u64;
+    for (i, &proxy) in proxies.iter().enumerate() {
+        let count = per + u32::from((i as u32) < rem);
+        if count == 0 {
+            continue;
+        }
+        let mut fc = FleetConfig::new(proxy, count);
+        fc.base_conn = base_conn;
+        fc.keyspace = cfg.rows_per_shard;
+        fc.seed = cfg.seed;
+        c.sim.add_node(
+            format!("fleet-{i}"),
+            Zone((i % 3) as u8),
+            Box::new(SessionFleet::new(fc)),
+            aurora_sim::NodeOpts::default(),
+        );
+        base_conn += count as u64;
+    }
+
+    // Warm until every session has cycled at least once (1s mean think),
+    // then measure only the fault window.
+    c.sim.run_for(SimDuration::from_millis(1_500));
+    c.sim.clear_stats();
+
+    let plan_len = if with_plan {
+        let spec = shard_schedule_spec(&c, cfg);
+        let plan = schedule::generate(&spec, cfg.seed);
+        plan.validate(cfg.window)
+            .unwrap_or_else(|e| panic!("seed {}: invalid scoped plan: {e}", cfg.seed));
+        c.sim.install_fault_plan(&plan);
+        plan.len()
+    } else {
+        0
+    };
+    c.sim.run_for(cfg.window);
+
+    let commits: Vec<u64> = c
+        .shards
+        .iter()
+        .map(|s| c.sim.metrics.counter(s.engine, "engine.commits"))
+        .collect();
+    let p99: Vec<u64> = c
+        .shards
+        .iter()
+        .map(|s| {
+            c.sim
+                .metrics
+                .histogram(s.engine, "engine.commit_ns")
+                .map(|h| h.p99())
+                .unwrap_or(0)
+        })
+        .collect();
+    (plan_len, commits, p99, c.sim.now().nanos())
+}
+
+/// Run the shard-isolation oracle for one seed: faulted run vs clean
+/// same-seed twin, then hold every shard *other than the target* to the
+/// budget. Deterministic: the same config always yields the same report.
+pub fn run_shard_isolation(cfg: &ShardIsolationConfig) -> ShardIsolationReport {
+    assert!(cfg.shards >= 2, "isolation needs a healthy shard to watch");
+    assert!(cfg.target < cfg.shards);
+    let (plan_len, commits, p99_ns, clock_ns) = run_shard_world(cfg, true);
+    let (_, clean_commits, clean_p99_ns, _) = run_shard_world(cfg, false);
+
+    let mut violations = Vec::new();
+    for j in 0..cfg.shards {
+        if j == cfg.target {
+            continue; // the faulted shard may degrade; its siblings may not
+        }
+        let floor = (cfg.budget.min_commit_fraction * clean_commits[j] as f64) as u64;
+        if commits[j] < floor {
+            violations.push(OracleViolation::ShardThroughputLeak {
+                shard: j,
+                got: commits[j],
+                clean: clean_commits[j],
+                floor,
+            });
+        }
+        let limit_ms =
+            (cfg.budget.p99_multiple * clean_p99_ns[j] as f64 / 1e6).max(cfg.budget.p99_floor_ms);
+        let p99_ms = p99_ns[j] as f64 / 1e6;
+        if p99_ms > limit_ms {
+            violations.push(OracleViolation::ShardLatencyLeak {
+                shard: j,
+                p99_ms,
+                limit_ms,
+            });
+        }
+    }
+
+    ShardIsolationReport {
+        seed: cfg.seed,
+        target: cfg.target,
+        plan_len,
+        commits,
+        clean_commits,
+        p99_ns,
+        clean_p99_ns,
+        clock_ns,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ShardIsolationConfig {
+        ShardIsolationConfig {
+            shards: 2,
+            sessions: 200,
+            rows_per_shard: 1_000,
+            window: SimDuration::from_secs(1),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shard_isolation_holds_and_replays() {
+        let cfg = small();
+        let a = run_shard_isolation(&cfg);
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert!(a.plan_len > 0, "seed 0 must generate a non-empty plan");
+        // the healthy shard saw real traffic in both runs
+        let j = 1 - cfg.target;
+        assert!(a.commits[j] > 0 && a.clean_commits[j] > 0);
+        let b = run_shard_isolation(&cfg);
+        assert_eq!(a, b, "same config must replay bit-identically");
+    }
+
+    #[test]
+    fn scoped_plan_stays_inside_the_target_shard() {
+        // The generated spec must list only the target shard's nodes (plus
+        // the proxies), so the legality proof from the schedule tests
+        // carries over to the real node-id layout.
+        use aurora_core::cluster::Cluster;
+        let c = Cluster::build_sharded(3);
+        assert_eq!(c.shards.len(), 3);
+        let cfg = ShardIsolationConfig {
+            target: 1,
+            ..small()
+        };
+        let spec = shard_schedule_spec(&c, &cfg);
+        let shard = &c.shards[1];
+        for (n, _) in &spec.storage {
+            assert!(shard.storage.contains(n));
+        }
+        assert_eq!(spec.writer, Some(shard.engine));
+        let scope = spec.shard.as_ref().unwrap();
+        assert_eq!(scope.shard, 1);
+        assert_eq!(scope.proxies, c.proxies);
+        // and plans generated from it validate
+        for seed in 0..10 {
+            schedule::generate(&spec, seed)
+                .validate(spec.window)
+                .unwrap();
+        }
+    }
 }

@@ -79,6 +79,11 @@ pub struct AuroraParams {
     pub retransmit_policy: Option<aurora_core::engine::RetransmitPolicy>,
     /// Base retransmit timeout (None = engine default).
     pub retransmit_base: Option<SimDuration>,
+    /// Derive warmup from the workload instead of running `warmup`
+    /// verbatim: warm in slices until every connection has completed at
+    /// least one transaction and the completion rate stabilizes, with
+    /// `warmup` as the cap (see [`warm_adaptive`]).
+    pub warmup_auto: bool,
 }
 
 impl AuroraParams {
@@ -100,6 +105,7 @@ impl AuroraParams {
             ship_policy: None,
             retransmit_policy: None,
             retransmit_base: None,
+            warmup_auto: false,
         }
     }
 }
@@ -120,6 +126,8 @@ pub struct MysqlParams {
     pub rate: Option<f64>,
     pub warmup: SimDuration,
     pub window: SimDuration,
+    /// See [`AuroraParams::warmup_auto`].
+    pub warmup_auto: bool,
 }
 
 impl MysqlParams {
@@ -138,6 +146,7 @@ impl MysqlParams {
             rate: None,
             warmup: SimDuration::from_millis(500),
             window: SimDuration::from_secs(2),
+            warmup_auto: false,
         }
     }
 }
@@ -230,6 +239,64 @@ fn write_run_trace(dir: &PathBuf, label: &str, c: &Cluster) {
     let _ = std::fs::write(dir.join(format!("{base}.watermarks.txt")), &dump.watermarks);
 }
 
+/// Peak resident set size in kB, from `/proc/self/status` VmHWM
+/// (Linux-only; 0 where unavailable). Process-global and monotone —
+/// callers measure growth via before/after deltas. Reporting-only:
+/// never fold it into deterministic comparison digests.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Warm a freshly-built deployment until it reaches steady state, the
+/// criterion *derived* from the connection count rather than a
+/// hardcoded seconds-per-connection formula (Tables 3/5 run up to
+/// thousands of connections whose start-up convoy length depends on the
+/// mix and the engine, not just the count): run in 100 ms slices until
+///
+/// * every connection has completed at least one transaction
+///   (closed-loop, so completions ≥ connections means every session has
+///   been admitted and cycled at least once), and
+/// * the completion rate moved < 8% between two consecutive slices.
+///
+/// Capped at `cap` so a wedged deployment cannot warm forever. Returns
+/// the warmup actually spent.
+pub fn warm_adaptive(
+    sim: &mut aurora_sim::Sim,
+    connections: usize,
+    cap: SimDuration,
+) -> SimDuration {
+    let slice = SimDuration::from_millis(100);
+    let mut spent = SimDuration::ZERO;
+    let mut prev_total = 0u64;
+    let mut prev_slice: Option<u64> = None;
+    while spent < cap {
+        sim.run_for(slice);
+        spent = spent + slice;
+        let total = sim.metrics.counter_total("client.commits")
+            + sim.metrics.counter_total("client.aborts");
+        let this = total - prev_total;
+        prev_total = total;
+        let all_cycled = total >= connections as u64;
+        let flat = matches!(prev_slice, Some(prev) if prev > 0 && this > 0 && {
+            let (hi, lo) = (this.max(prev) as f64, this.min(prev) as f64);
+            (hi - lo) / hi <= 0.08
+        });
+        prev_slice = Some(this);
+        if all_cycled && flat {
+            break;
+        }
+    }
+    spent
+}
+
 /// Run an Aurora configuration and return its statistics.
 pub fn run_aurora(p: &AuroraParams) -> RunStats {
     run_aurora_with(p, |_| {}, |_, _| {})
@@ -306,7 +373,11 @@ pub fn run_aurora_with(
     );
     let _ = wl;
 
-    c.sim.run_for(p.warmup);
+    if p.warmup_auto {
+        warm_adaptive(&mut c.sim, p.connections, p.warmup);
+    } else {
+        c.sim.run_for(p.warmup);
+    }
     c.sim.clear_stats();
     let tracing_to = trace_dir();
     if tracing_to.is_some() {
@@ -450,7 +521,11 @@ pub fn run_mysql_with(
         NodeOpts::default(),
     );
 
-    c.sim.run_for(p.warmup);
+    if p.warmup_auto {
+        warm_adaptive(&mut c.sim, p.connections, p.warmup);
+    } else {
+        c.sim.run_for(p.warmup);
+    }
     c.sim.clear_stats();
     c.sim.run_for(p.window);
 

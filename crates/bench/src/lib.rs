@@ -22,13 +22,19 @@
 //! paper's; the *shapes* — who wins, by what factor, where the knees are —
 //! are the reproduction target, and EXPERIMENTS.md records both.
 
+pub mod connscale;
 pub mod dst;
 pub mod experiments;
+pub mod fleet;
 pub mod harness;
 pub mod sweep;
 pub mod workload;
 
-pub use dst::{DstConfig, DstReport, OracleViolation, Oracles};
-pub use sweep::{default_jobs, parallel_map};
+pub use connscale::{run_connscale_step, ConnscaleParams, ConnscaleStats};
+pub use dst::{
+    DstConfig, DstReport, OracleViolation, Oracles, ShardIsolationConfig, ShardIsolationReport,
+};
+pub use fleet::{FleetConfig, SessionFleet};
 pub use harness::{AuroraParams, MysqlParams, RunStats};
+pub use sweep::{default_jobs, parallel_map};
 pub use workload::{Mix, WorkloadActor, WorkloadConfig};

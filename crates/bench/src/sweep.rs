@@ -135,8 +135,7 @@ mod tests {
             );
             let want: Vec<u64> = items.iter().map(|x| x * 10).collect();
             assert_eq!(out, want, "jobs={jobs}");
-            let want_emits: Vec<(usize, u64)> =
-                want.iter().copied().enumerate().collect();
+            let want_emits: Vec<(usize, u64)> = want.iter().copied().enumerate().collect();
             assert_eq!(emitted, want_emits, "jobs={jobs}");
         }
     }
@@ -149,10 +148,15 @@ mod tests {
 
         let one = [41u32];
         let mut emits = 0;
-        let out = parallel_map(&one, 8, |&x| x + 1, |i, &r| {
-            assert_eq!((i, r), (0, 42));
-            emits += 1;
-        });
+        let out = parallel_map(
+            &one,
+            8,
+            |&x| x + 1,
+            |i, &r| {
+                assert_eq!((i, r), (0, 42));
+                emits += 1;
+            },
+        );
         assert_eq!(out, vec![42]);
         assert_eq!(emits, 1);
     }

@@ -80,6 +80,62 @@ pub struct WorkloadConfig {
     pub value_size: usize,
 }
 
+/// Generate one transaction of the given mix. Shared by the classic
+/// [`WorkloadActor`] and the scale-out session fleet (`fleet` module) so
+/// both drivers draw identical op streams from identical RNG state.
+pub fn gen_txn(mix: &Mix, keyspace: u64, value_size: usize, rng: &mut SimRng) -> TxnSpec {
+    let ks = keyspace.max(1);
+    let vs = value_size;
+    let mut val_rng = rng.fork();
+    let mut val = move || {
+        let mut v = vec![0u8; vs];
+        val_rng.bytes(&mut v);
+        v
+    };
+    let ops = match mix.clone() {
+        Mix::ReadOnly { selects } => (0..selects)
+            .map(|_| Op::Get(rng.range_u64(0, ks)))
+            .collect(),
+        Mix::WriteOnly { writes } => (0..writes)
+            .map(|_| Op::Upsert(rng.range_u64(0, ks), val()))
+            .collect(),
+        Mix::Oltp => {
+            let mut ops: Vec<Op> = (0..10).map(|_| Op::Get(rng.range_u64(0, ks))).collect();
+            ops.push(Op::Scan(rng.range_u64(0, ks), 10));
+            for _ in 0..4 {
+                ops.push(Op::Upsert(rng.range_u64(0, ks), val()));
+            }
+            ops
+        }
+        Mix::TpccLike { warehouses, items } => {
+            // hot rows: warehouse w occupies key w, district rows the
+            // next 10*warehouses keys; items above that
+            let w = rng.skewed_index(warehouses as usize, 0.7) as u64;
+            let d = rng.range_u64(0, 10);
+            let mut ops = vec![
+                Op::Get(w),
+                Op::Upsert(w, val()),                       // W_YTD update
+                Op::Upsert(warehouses + w * 10 + d, val()), // D_NEXT_O_ID
+            ];
+            let item_base = warehouses * 11;
+            for _ in 0..items {
+                let item = item_base + rng.range_u64(0, ks.saturating_sub(item_base).max(1));
+                ops.push(Op::Get(item));
+                ops.push(Op::Upsert(item, val()));
+            }
+            ops
+        }
+        Mix::Web { reads, writes } => {
+            let mut ops: Vec<Op> = (0..reads).map(|_| Op::Get(rng.range_u64(0, ks))).collect();
+            for _ in 0..writes {
+                ops.push(Op::Upsert(rng.range_u64(0, ks), val()));
+            }
+            ops
+        }
+    };
+    TxnSpec { ops }
+}
+
 /// Drives transactions and records client-side statistics:
 /// `client.commits`, `client.aborts`, `client.txn_ns`.
 pub struct WorkloadActor {
@@ -104,57 +160,12 @@ impl WorkloadActor {
     }
 
     fn gen_txn(&mut self) -> TxnSpec {
-        let ks = self.cfg.keyspace.max(1);
-        let vs = self.cfg.value_size;
-        let rng = &mut self.rng;
-        let mut val_rng = rng.fork();
-        let mut val = move || {
-            let mut v = vec![0u8; vs];
-            val_rng.bytes(&mut v);
-            v
-        };
-        let ops = match self.cfg.mix.clone() {
-            Mix::ReadOnly { selects } => (0..selects)
-                .map(|_| Op::Get(rng.range_u64(0, ks)))
-                .collect(),
-            Mix::WriteOnly { writes } => (0..writes)
-                .map(|_| Op::Upsert(rng.range_u64(0, ks), val()))
-                .collect(),
-            Mix::Oltp => {
-                let mut ops: Vec<Op> = (0..10).map(|_| Op::Get(rng.range_u64(0, ks))).collect();
-                ops.push(Op::Scan(rng.range_u64(0, ks), 10));
-                for _ in 0..4 {
-                    ops.push(Op::Upsert(rng.range_u64(0, ks), val()));
-                }
-                ops
-            }
-            Mix::TpccLike { warehouses, items } => {
-                // hot rows: warehouse w occupies key w, district rows the
-                // next 10*warehouses keys; items above that
-                let w = rng.skewed_index(warehouses as usize, 0.7) as u64;
-                let d = rng.range_u64(0, 10);
-                let mut ops = vec![
-                    Op::Get(w),
-                    Op::Upsert(w, val()),                       // W_YTD update
-                    Op::Upsert(warehouses + w * 10 + d, val()), // D_NEXT_O_ID
-                ];
-                let item_base = warehouses * 11;
-                for _ in 0..items {
-                    let item = item_base + rng.range_u64(0, ks.saturating_sub(item_base).max(1));
-                    ops.push(Op::Get(item));
-                    ops.push(Op::Upsert(item, val()));
-                }
-                ops
-            }
-            Mix::Web { reads, writes } => {
-                let mut ops: Vec<Op> = (0..reads).map(|_| Op::Get(rng.range_u64(0, ks))).collect();
-                for _ in 0..writes {
-                    ops.push(Op::Upsert(rng.range_u64(0, ks), val()));
-                }
-                ops
-            }
-        };
-        TxnSpec { ops }
+        gen_txn(
+            &self.cfg.mix.clone(),
+            self.cfg.keyspace,
+            self.cfg.value_size,
+            &mut self.rng,
+        )
     }
 
     fn launch(&mut self, ctx: &mut Ctx<'_>) {

@@ -40,15 +40,17 @@ pub mod buffer;
 pub mod cluster;
 pub mod engine;
 pub mod locks;
+pub mod proxy;
 pub mod replica;
 pub mod wire;
 
 pub use btree::{BTree, BTreeError, PageEditor, PageMiss, PageProvider, TreeMeta};
 pub use buffer::BufferPool;
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, Shard, ShardedCluster, ShardedConfig};
 pub use engine::{
     EngineActor, EngineConfig, EngineStatus, HealthState, InstanceSpec, RetransmitPolicy,
 };
 pub use locks::{LockOutcome, LockTable};
+pub use proxy::{HashRing, ProxyActor, ProxyConfig};
 pub use replica::{ReplicaActor, ReplicaConfig};
 pub use wire::{ClientRequest, ClientResponse, Op, OpResult, TxnResult, TxnSpec};

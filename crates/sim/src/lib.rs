@@ -44,9 +44,9 @@ pub use metrics::{Histogram, MetricId, MetricsRegistry};
 pub use msg::{Msg, Payload};
 pub use net::{LinkSpec, NetPolicy, NetStats};
 pub use probe::{Probe, Relay};
+pub use queue::{EventQueue, WheelItem};
 pub use rng::SimRng;
 pub use schedule::{generate, shrink, Intensity, ScheduleSpec};
-pub use queue::{EventQueue, WheelItem};
 pub use sim::{
     Actor, ActorEvent, Ctx, DiskSpec, NodeId, NodeOpts, Sim, SimHints, Tag, TimerId, Zone,
 };

@@ -12,6 +12,13 @@
 //!   when the slot becomes current, and dispatched as a batch.
 //! * **overflow heap** — events beyond the wheel horizon (experiment-end
 //!   timers, long recovery timeouts) fall back to a small binary heap.
+//!   As the cursor advances, overflow entries that have come within the
+//!   horizon are migrated in batches into their ring buckets, so a
+//!   far-future event pays the heap exactly once instead of parking there
+//!   until its own slot comes up. The ring itself is sized from the
+//!   [`EventQueue::with_hint`] capacity hint: topologies that pend more
+//!   events get a wider horizon, which keeps periodic timers (gossip,
+//!   heartbeats, session think times) out of the overflow path entirely.
 //! * **overlay heap** — events that land at or before the *current* slot:
 //!   zero-latency self-sends scheduled during dispatch, and pushes made
 //!   after `run_until` advanced the clock past the wheel cursor.
@@ -115,11 +122,28 @@ impl<T: WheelItem> EventQueue<T> {
     }
 
     /// Queue sized for roughly `expected_events` concurrently pending
-    /// events (a topology hint; see `Sim::with_hints`). The ring geometry
-    /// is fixed — the hint pre-reserves the merge/overlay/overflow storage
-    /// that would otherwise regrow in the hot loop.
+    /// events (a topology hint; see `Sim::with_hints`). The hint
+    /// pre-reserves the merge/overlay/overflow storage that would
+    /// otherwise regrow in the hot loop, and widens the ring for large
+    /// topologies: more pending events means more periodic timers spread
+    /// over longer cadences, and a wider horizon keeps them in O(1)
+    /// bucket pushes instead of the O(log n) overflow heap. Geometry is
+    /// performance-only — the pop order is `(at, seq)` regardless.
     pub fn with_hint(expected_events: usize) -> Self {
-        let slot_count = DEFAULT_SLOT_COUNT;
+        let slot_count = match expected_events {
+            0..=16_384 => DEFAULT_SLOT_COUNT,           // ≈ 67 ms horizon
+            16_385..=65_536 => DEFAULT_SLOT_COUNT * 2,  // ≈ 134 ms
+            65_537..=262_144 => DEFAULT_SLOT_COUNT * 4, // ≈ 268 ms
+            _ => DEFAULT_SLOT_COUNT * 8,                // ≈ 537 ms
+        };
+        Self::with_geometry(expected_events, slot_count)
+    }
+
+    /// Queue with an explicit ring size (power of two). Exposed for
+    /// benchmarks that pin geometry; everything else goes through
+    /// [`EventQueue::with_hint`].
+    pub fn with_geometry(expected_events: usize, slot_count: usize) -> Self {
+        assert!(slot_count.is_power_of_two() && slot_count >= 64);
         let expected = expected_events.max(64);
         EventQueue {
             granularity_log2: DEFAULT_GRANULARITY_LOG2,
@@ -251,6 +275,28 @@ impl<T: WheelItem> EventQueue<T> {
             }
             self.batch.push(self.overflow.pop().expect("peeked").0);
         }
+        // Batch re-bucket: overflow entries that the cursor's advance just
+        // brought inside the horizon move to their ring buckets now, one
+        // O(log n) pop each, instead of being re-peeked on every advance
+        // until their own slot arrives. Entries land strictly after the
+        // cursor (`slot > target`), so the ring invariant holds, and the
+        // migration preserves `(at, seq)` order because buckets sort on
+        // load exactly like the batch does.
+        let horizon_end = target + self.slot_count as u64;
+        while let Some(head) = self.overflow.peek() {
+            let slot = self.slot_of(head.0.at_nanos());
+            if slot >= horizon_end {
+                break;
+            }
+            let item = self.overflow.pop().expect("peeked").0;
+            let idx = (slot & self.slot_mask) as usize;
+            self.buckets[idx].push(item);
+            let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+            if self.occupancy[word] & bit == 0 {
+                self.occupancy[word] |= bit;
+                self.active_slots.push(std::cmp::Reverse(slot));
+            }
+        }
         // Descending (at, seq): the minimum sits at the back.
         self.batch
             .sort_unstable_by_key(|e| std::cmp::Reverse((e.at_nanos(), e.seq())));
@@ -370,7 +416,9 @@ mod tests {
         push(&mut q, &mut model, 0);
         let mut now = 0u64;
         for _ in 0..5_000 {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let it = q.pop();
             model.sort_by_key(|i| (i.at, i.seq));
             let want = if model.is_empty() {
@@ -400,15 +448,42 @@ mod tests {
     #[test]
     fn push_below_cursor_lands_in_overlay_and_still_pops_first() {
         let mut q = EventQueue::new();
-        q.push(Item { at: 50_000_000, seq: 0 });
-        assert_eq!(q.pop(), Some(Item { at: 50_000_000, seq: 0 }));
+        q.push(Item {
+            at: 50_000_000,
+            seq: 0,
+        });
+        assert_eq!(
+            q.pop(),
+            Some(Item {
+                at: 50_000_000,
+                seq: 0
+            })
+        );
         // Cursor now sits at the 50 ms slot; a later push at an *earlier*
         // nanosecond (run_until jumped the clock, then pushed at `now`)
         // must still pop before a far-future event.
-        q.push(Item { at: 49_999_999, seq: 1 });
-        q.push(Item { at: 80_000_000, seq: 2 });
-        assert_eq!(q.pop(), Some(Item { at: 49_999_999, seq: 1 }));
-        assert_eq!(q.pop(), Some(Item { at: 80_000_000, seq: 2 }));
+        q.push(Item {
+            at: 49_999_999,
+            seq: 1,
+        });
+        q.push(Item {
+            at: 80_000_000,
+            seq: 2,
+        });
+        assert_eq!(
+            q.pop(),
+            Some(Item {
+                at: 49_999_999,
+                seq: 1
+            })
+        );
+        assert_eq!(
+            q.pop(),
+            Some(Item {
+                at: 80_000_000,
+                seq: 2
+            })
+        );
         assert_eq!(q.pop(), None);
     }
 
@@ -432,7 +507,10 @@ mod tests {
         // couple of events in flight.
         let mut now = 0u64;
         for seq in 0..1_000 {
-            q.push(Item { at: now + 3_000_000, seq });
+            q.push(Item {
+                at: now + 3_000_000,
+                seq,
+            });
             let it = q.pop().expect("non-empty");
             assert!(it.at >= now, "time went backwards");
             now = it.at;
@@ -441,11 +519,56 @@ mod tests {
     }
 
     #[test]
+    fn overflow_rebuckets_into_ring_in_order() {
+        // A dense band of far-future timers (think-time style: spread over
+        // ~1 s, far past any horizon) interleaved with near-term churn.
+        // Everything must still pop in (at, seq) order as the cursor
+        // marches through the band and the overflow heap drains into ring
+        // buckets in batches.
+        let mut q = EventQueue::with_hint(256);
+        let mut want = Vec::new();
+        let mut seq = 0u64;
+        for i in 0..4_000u64 {
+            let at = 200_000_000 + (i * 77_777) % 1_000_000_000;
+            q.push(Item { at, seq });
+            want.push(Item { at, seq });
+            seq += 1;
+        }
+        for i in 0..64u64 {
+            let at = i * 9_000;
+            q.push(Item { at, seq });
+            want.push(Item { at, seq });
+            seq += 1;
+        }
+        want.sort_by_key(|i| (i.at, i.seq));
+        assert_eq!(drain(&mut q), want);
+    }
+
+    #[test]
+    fn wider_hint_geometry_preserves_order() {
+        // The adaptive ring must not change pop order, only cost.
+        for hint in [64usize, 20_000, 100_000, 400_000] {
+            let mut q = EventQueue::with_hint(hint);
+            let mut want = Vec::new();
+            for seq in 0..500u64 {
+                let at = (seq * 1_337_331) % 900_000_000;
+                q.push(Item { at, seq });
+                want.push(Item { at, seq });
+            }
+            want.sort_by_key(|i| (i.at, i.seq));
+            assert_eq!(drain(&mut q), want, "hint={hint}");
+        }
+    }
+
+    #[test]
     fn len_and_reserved_bytes_track_storage() {
         let mut q = EventQueue::with_hint(4096);
         assert!(q.reserved_bytes() >= 4096 * std::mem::size_of::<Item>());
         for i in 0..100 {
-            q.push(Item { at: i * 10_000, seq: i });
+            q.push(Item {
+                at: i * 10_000,
+                seq: i,
+            });
         }
         assert_eq!(q.len(), 100);
         while q.pop().is_some() {}

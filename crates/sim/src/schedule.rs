@@ -106,6 +106,24 @@ impl Intensity {
     }
 }
 
+/// Scopes a generated schedule to one shard of a sharded deployment.
+///
+/// `ScheduleSpec::storage` / `writer` already name the target shard's
+/// own nodes; the scope adds what a shard-local plan must know beyond
+/// that: the proxy tier (so plans can cut a proxy off from the shard's
+/// writer) and the fact that *sim-global* faults — AZ isolation, packet
+/// chaos — would leak into every other shard sharing the simulation and
+/// are therefore off the menu. "Kill a shard's AZ" becomes per-node
+/// crash/restart over the shard's own nodes in that AZ instead.
+#[derive(Debug, Clone)]
+pub struct ShardScope {
+    /// Which shard the plan targets (labeling/reporting only).
+    pub shard: usize,
+    /// Proxy nodes routing into this shard; `ProxyPartition` incidents
+    /// cut one of them off from the shard's writer.
+    pub proxies: Vec<NodeId>,
+}
+
 /// The world a schedule is generated against.
 #[derive(Debug, Clone)]
 pub struct ScheduleSpec {
@@ -119,6 +137,10 @@ pub struct ScheduleSpec {
     /// Number of AZs.
     pub zones: u8,
     pub intensity: Intensity,
+    /// When set, the plan stays inside one shard: only that shard's
+    /// nodes (and its proxies) are touched, and sim-global actions are
+    /// replaced by shard-local equivalents. See [`ShardScope`].
+    pub shard: Option<ShardScope>,
 }
 
 /// Closed interval arithmetic over schedule time, used for the
@@ -140,6 +162,12 @@ enum Kind {
     Brownout,
     FlakyLink,
     Stall,
+    /// Shard-scoped stand-in for `ZonePartition`: crash/restart every one
+    /// of the shard's storage nodes in one AZ (zone isolation is
+    /// sim-global and would leak into other shards).
+    ShardAzDown,
+    /// Partition one of the shard's proxies from its writer.
+    ProxyPartition,
 }
 
 /// Generate a legal fault plan from a seed. Deterministic: the same
@@ -167,13 +195,25 @@ pub fn generate(spec: &ScheduleSpec, seed: u64) -> FaultPlan {
         kinds.push((Kind::WriterCrash, 2));
     }
     if it.zone_faults {
-        kinds.push((Kind::ZonePartition, 2));
+        // Sim-global AZ isolation leaks across shards; a scoped plan
+        // downs the shard's own slice of the AZ node by node instead.
+        kinds.push(if spec.shard.is_some() {
+            (Kind::ShardAzDown, 2)
+        } else {
+            (Kind::ZonePartition, 2)
+        });
     }
     if it.disk_faults {
         kinds.push((Kind::DiskDegrade, 2));
     }
-    if it.packet_chaos {
+    // Packet chaos is also sim-global: excluded under a shard scope.
+    if it.packet_chaos && spec.shard.is_none() {
         kinds.push((Kind::Chaos, 2));
+    }
+    if let Some(scope) = &spec.shard {
+        if !scope.proxies.is_empty() && spec.writer.is_some() {
+            kinds.push((Kind::ProxyPartition, 2));
+        }
     }
     if it.gray_faults {
         kinds.push((Kind::Brownout, 4));
@@ -352,6 +392,59 @@ pub fn generate(spec: &ScheduleSpec, seed: u64) -> FaultPlan {
                 entries.push((start, FaultAction::FlakyLink(na, nb, chaos)));
                 entries.push((end, FaultAction::HealLink(na, nb)));
             }
+            Kind::ShardAzDown => {
+                let zone = rng.index(spec.zones as usize) as u8;
+                let nodes: Vec<NodeId> = spec
+                    .storage
+                    .iter()
+                    .filter(|(_, z)| z.0 == zone)
+                    .map(|(n, _)| *n)
+                    .collect();
+                if nodes.is_empty() {
+                    continue;
+                }
+                let span = (start, end);
+                if zone_busy
+                    .iter()
+                    .any(|(z, iv)| *z == zone && overlaps(*iv, span))
+                {
+                    continue;
+                }
+                // same budget shape as ZonePartition: the whole AZ slice
+                // leaves quorum at once, charged per node
+                let concurrent = down.iter().filter(|iv| overlaps(**iv, span)).count();
+                if concurrent + nodes.len() > it.max_concurrent_down.max(nodes.len()) {
+                    continue;
+                }
+                if nodes.iter().any(|n| {
+                    node_busy
+                        .iter()
+                        .any(|(m, iv)| m == n && overlaps(*iv, span))
+                }) {
+                    continue;
+                }
+                zone_busy.push((zone, span));
+                for n in nodes {
+                    down.push(span);
+                    node_busy.push((n, span));
+                    entries.push((start, FaultAction::Crash(n)));
+                    entries.push((end, FaultAction::Restart(n)));
+                }
+            }
+            Kind::ProxyPartition => {
+                let (Some(scope), Some(writer)) = (&spec.shard, spec.writer) else {
+                    continue;
+                };
+                let proxy = scope.proxies[rng.index(scope.proxies.len())];
+                let span = (start, end);
+                // one routing fault at a time on the writer's front door
+                if writer_busy.iter().any(|iv| overlaps(*iv, span)) {
+                    continue;
+                }
+                writer_busy.push(span);
+                entries.push((start, FaultAction::PartitionPair(proxy, writer)));
+                entries.push((end, FaultAction::HealPair(proxy, writer)));
+            }
             Kind::Stall => {
                 // alive but unresponsive: events are held, not dropped —
                 // the node is effectively down, so charge the down budget
@@ -440,7 +533,17 @@ mod tests {
             writer: Some(10),
             zones: 3,
             intensity: Intensity::heavy(),
+            shard: None,
         }
+    }
+
+    fn scoped_spec() -> ScheduleSpec {
+        let mut s = spec();
+        s.shard = Some(ShardScope {
+            shard: 1,
+            proxies: vec![40, 41],
+        });
+        s
     }
 
     #[test]
@@ -510,6 +613,79 @@ mod tests {
             }
         }
         assert!(saw_gray > 30, "gray actions should dominate: {saw_gray}/50");
+    }
+
+    #[test]
+    fn shard_scoped_plans_touch_only_the_shard() {
+        let s = scoped_spec();
+        let shard_nodes: Vec<NodeId> = s.storage.iter().map(|(n, _)| *n).chain(s.writer).collect();
+        let proxies = s.shard.as_ref().unwrap().proxies.clone();
+        let in_scope = |n: &NodeId| shard_nodes.contains(n) || proxies.contains(n);
+        for seed in 0..60u64 {
+            let p = generate(&s, seed);
+            p.validate(s.window).unwrap();
+            for (_, a) in p.entries() {
+                match a {
+                    FaultAction::IsolateZone(_)
+                    | FaultAction::HealZone(_)
+                    | FaultAction::ZoneDown(_)
+                    | FaultAction::ZoneUp(_)
+                    | FaultAction::StartPacketChaos(_)
+                    | FaultAction::StopPacketChaos => {
+                        panic!("seed {seed}: sim-global action {a:?} in a scoped plan")
+                    }
+                    FaultAction::Crash(n)
+                    | FaultAction::Restart(n)
+                    | FaultAction::DegradeDisk(n, _)
+                    | FaultAction::RestoreDisk(n)
+                    | FaultAction::BrownoutDisk(n, _)
+                    | FaultAction::HealBrownout(n)
+                    | FaultAction::StallNode(n)
+                    | FaultAction::UnstallNode(n) => {
+                        assert!(in_scope(n), "seed {seed}: {a:?} outside the shard")
+                    }
+                    FaultAction::PartitionPair(x, y)
+                    | FaultAction::HealPair(x, y)
+                    | FaultAction::FlakyLink(x, y, _)
+                    | FaultAction::HealLink(x, y, ..) => {
+                        assert!(
+                            in_scope(x) && in_scope(y),
+                            "seed {seed}: {a:?} outside the shard"
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_scope_reaches_az_down_and_proxy_partition() {
+        let s = scoped_spec();
+        let proxies = s.shard.as_ref().unwrap().proxies.clone();
+        let (mut saw_az, mut saw_proxy) = (0, 0);
+        for seed in 0..60u64 {
+            let p = generate(&s, seed);
+            // An AZ-down incident crashes the shard's whole AZ slice (two
+            // nodes here) at the same instant.
+            let mut crash_times: Vec<u64> = p
+                .entries()
+                .iter()
+                .filter(|(_, a)| matches!(a, FaultAction::Crash(_)))
+                .map(|(at, _)| at.nanos())
+                .collect();
+            crash_times.sort_unstable();
+            if crash_times.windows(2).any(|w| w[0] == w[1]) {
+                saw_az += 1;
+            }
+            if p.entries().iter().any(|(_, a)| {
+                matches!(a, FaultAction::PartitionPair(x, y)
+                    if proxies.contains(x) || proxies.contains(y))
+            }) {
+                saw_proxy += 1;
+            }
+        }
+        assert!(saw_az > 5, "AZ-down incidents too rare: {saw_az}/60");
+        assert!(saw_proxy > 5, "proxy partitions too rare: {saw_proxy}/60");
     }
 
     #[test]

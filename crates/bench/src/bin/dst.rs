@@ -14,13 +14,16 @@
 //! `<out>/failing_seeds.txt`; shrunk plans in `<out>/seed_<n>_shrunk.txt`
 //! (both uploaded as CI artifacts by the nightly workflow). Every failing
 //! seed is automatically re-run traced and its forensics — Chrome trace,
-//! NDJSON event log, watermark timeline — land beside the shrunk plan.
-//! `--trace` additionally captures those artifacts for a `--replay` run.
+//! NDJSON event log, watermark timeline, telemetry flight-recorder dump —
+//! land beside the shrunk plan. `--trace` additionally captures those
+//! artifacts for a `--replay` run, and `--telemetry` enables the windowed
+//! sampler (printing the timeline table on a replay and writing
+//! `seed_<n>.telemetry.{ndjson,csv}`).
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use aurora_bench::dst::{self, DegradationBudget, DstConfig, TraceDump};
+use aurora_bench::dst::{self, DegradationBudget, DstConfig, TelemetryDump, TraceDump};
 use aurora_bench::sweep;
 use aurora_sim::Intensity;
 
@@ -31,6 +34,7 @@ struct Args {
     shrink: bool,
     replay: Option<u64>,
     trace: bool,
+    telemetry: bool,
     out: PathBuf,
     jobs: usize,
     /// Sweep shard-scoped plans against the isolation oracle instead of
@@ -46,6 +50,7 @@ fn parse_args() -> Args {
         shrink: false,
         replay: None,
         trace: false,
+        telemetry: false,
         out: PathBuf::from("target/dst"),
         jobs: sweep::default_jobs(),
         shard_isolation: false,
@@ -64,6 +69,7 @@ fn parse_args() -> Args {
             "--shrink" => args.shrink = true,
             "--replay" => args.replay = Some(val("--replay").parse().expect("--replay SEED")),
             "--trace" => args.trace = true,
+            "--telemetry" => args.telemetry = true,
             "--out" => args.out = PathBuf::from(val("--out")),
             "--jobs" => args.jobs = val("--jobs").parse().expect("--jobs N"),
             "--shard-isolation" => args.shard_isolation = true,
@@ -71,8 +77,8 @@ fn parse_args() -> Args {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: dst [--seeds N] [--start N] [--intensity light|moderate|heavy|gray] \
-                     [--smoke] [--shrink] [--replay SEED] [--trace] [--out DIR] [--jobs N] \
-                     [--shard-isolation]"
+                     [--smoke] [--shrink] [--replay SEED] [--trace] [--telemetry] [--out DIR] \
+                     [--jobs N] [--shard-isolation]"
                 );
                 std::process::exit(2);
             }
@@ -118,6 +124,19 @@ fn write_trace(out: &Path, seed: u64, dump: &TraceDump) {
         "seed {seed}: trace artifacts in {} (open the .json in chrome://tracing)",
         out.display()
     );
+}
+
+/// Write a telemetry-enabled run's flight-recorder dump next to the
+/// other seed outputs.
+fn write_telemetry(out: &Path, seed: u64, dump: &TelemetryDump) {
+    std::fs::write(
+        out.join(format!("seed_{seed}.telemetry.ndjson")),
+        &dump.ndjson,
+    )
+    .expect("write telemetry ndjson");
+    std::fs::write(out.join(format!("seed_{seed}.telemetry.csv")), &dump.csv)
+        .expect("write telemetry csv");
+    println!("seed {seed}: telemetry dump in {}", out.display());
 }
 
 /// Sweep shard-scoped fault plans against the per-shard isolation
@@ -192,6 +211,10 @@ fn main() {
     if let Some(seed) = args.replay {
         let mut cfg = config_for(seed, &args.intensity);
         cfg.trace = args.trace;
+        cfg.telemetry = args.telemetry;
+        // Replay is the forensics path: always render the dump the user
+        // asked for, failing verdict or not.
+        cfg.telemetry_dump = args.telemetry;
         let plan = dst::plan_for_seed(&cfg);
         println!("seed {seed}: {} actions", plan.len());
         print!("{}", dst::format_plan(&plan));
@@ -207,6 +230,10 @@ fn main() {
         }
         if let Some(dump) = &report.trace {
             write_trace(&args.out, seed, dump);
+        }
+        if let Some(dump) = &report.telemetry {
+            print!("{}", dump.timeline);
+            write_telemetry(&args.out, seed, dump);
         }
         if args.shrink && !report.passed() {
             let minimal = dst::shrink_failing(&cfg, &plan);
@@ -226,10 +253,18 @@ fn main() {
     // to a sequential (`--jobs 1`) run.
     let seeds: Vec<u64> = (args.start..args.start + args.seeds).collect();
     let intensity = args.intensity.clone();
+    // `--telemetry` on a sweep samples every run (no SLO probes, so
+    // verdicts are untouched) — the CI overhead gate compares this
+    // sweep's wall clock against a plain one.
+    let telemetry = args.telemetry;
     let reports = sweep::parallel_map(
         &seeds,
         args.jobs,
-        |&seed| dst::run_seed(&config_for(seed, &intensity)),
+        |&seed| {
+            let mut cfg = config_for(seed, &intensity);
+            cfg.telemetry = telemetry;
+            dst::run_seed(&cfg)
+        },
         |i, report| {
             let seed = seeds[i];
             if report.passed() {
@@ -272,15 +307,21 @@ fn main() {
             writeln!(f, "{seed}").unwrap();
         }
         println!("failing seeds written to {}", list.display());
-        // Forensics: re-run every failing seed traced (same seed ⇒ same
-        // run, now with the causal record) and dump the artifacts next to
-        // the shrunk schedule.
+        // Forensics: re-run every failing seed traced + sampled (same
+        // seed ⇒ same run, now with the causal record and the telemetry
+        // flight recorder) and dump the artifacts next to the shrunk
+        // schedule.
         for seed in &failing {
             let mut cfg = config_for(*seed, &args.intensity);
             cfg.trace = true;
+            cfg.telemetry = true;
+            cfg.telemetry_dump = true;
             let report = dst::run_seed(&cfg);
             if let Some(dump) = &report.trace {
                 write_trace(&args.out, *seed, dump);
+            }
+            if let Some(dump) = &report.telemetry {
+                write_telemetry(&args.out, *seed, dump);
             }
         }
         if args.shrink {

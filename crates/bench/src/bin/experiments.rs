@@ -18,6 +18,13 @@
 //! `--trace DIR` captures a deterministic causal trace of every Aurora
 //! run's measurement window into DIR (Chrome `trace_event` JSON +
 //! NDJSON + watermark timeline per run).
+//!
+//! `--timeline` samples windowed telemetry (100ms sim-time windows, the
+//! default Aurora SLO probes) over every Aurora run's measurement window
+//! and prints a sparkline timeline after each run's stats. Observation
+//! only: measured numbers are identical with or without it, and the
+//! timeline rides the suite capture sink so output stays byte-identical
+//! across `--jobs`.
 
 use std::time::Instant;
 
@@ -167,6 +174,10 @@ fn main() {
         connscale_ladder = ConnscaleLadder::Nightly;
         args.remove(pos);
     }
+    if let Some(pos) = args.iter().position(|a| a == "--timeline") {
+        args.remove(pos);
+        harness::set_timeline(true);
+    }
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
         if pos + 1 < args.len() {
             let dir = std::path::PathBuf::from(&args[pos + 1]);
@@ -180,8 +191,8 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: experiments [--scale F] [--bench-json PATH] [--trace DIR] [--jobs N] \
-             <name>... | all"
+            "usage: experiments [--scale F] [--bench-json PATH] [--trace DIR] [--timeline] \
+             [--jobs N] <name>... | all"
         );
         eprintln!("names: {}", ALL_SUITES.join(" "));
         std::process::exit(2);
@@ -389,12 +400,31 @@ fn main() {
         out.push_str("  \"connscale\": [\n");
         for (i, pt) in cpoints.iter().enumerate() {
             let comma = if i + 1 == cpoints.len() { "" } else { "," };
+            // Per-shard rollups: the CI gate asserts the hash ring kept
+            // the spread bounded (every shard admitted traffic, no shard
+            // dominating).
+            let per_shard: Vec<String> = pt
+                .stats
+                .per_shard
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"shard\": {}, \"forwarded\": {}, \"sheds\": {}, \
+                         \"commits\": {}, \"commit_p99_ms\": {}}}",
+                        r.shard,
+                        r.forwarded,
+                        r.sheds,
+                        r.commits,
+                        json_f64(r.commit_p99_ms)
+                    )
+                })
+                .collect();
             out.push_str(&format!(
                 "    {{\"sessions\": {}, \"shards\": {}, \"tps\": {:.0}, \
                  \"commit_p50_ms\": {}, \"commit_p99_ms\": {}, \"txn_p99_ms\": {}, \
                  \"queue_p99_ms\": {}, \"shed_rate\": {:.4}, \"warmup_s\": {:.2}, \
                  \"admitted\": {}, \"commits\": {}, \"sheds\": {}, \
-                 \"rss_delta_kb\": {}}}{}\n",
+                 \"rss_delta_kb\": {}, \"per_shard\": [{}]}}{}\n",
                 pt.sessions,
                 pt.shards,
                 pt.stats.tps,
@@ -408,6 +438,7 @@ fn main() {
                 pt.stats.commits,
                 pt.stats.sheds,
                 pt.stats.rss_delta_kb,
+                per_shard.join(", "),
                 comma
             ));
         }

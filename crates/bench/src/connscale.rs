@@ -88,6 +88,26 @@ pub struct ConnscaleStats {
     /// kB. Process-global and therefore NOT deterministic — report it,
     /// never fold it into comparison digests.
     pub rss_delta_kb: u64,
+    /// Per-shard rollup over the window: how evenly the hash ring spread
+    /// the offered load, and whether any one shard's commit path lagged
+    /// the fleet. Attribution rides on the proxy's per-shard counters
+    /// (`proxy.shard_forwarded` / `proxy.shard_sheds`, owned by each
+    /// shard's writer) and the writer's own commit metrics.
+    pub per_shard: Vec<ShardRollup>,
+}
+
+/// One shard's slice of a connection-scale window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRollup {
+    pub shard: usize,
+    /// Requests the proxy tier forwarded into this shard.
+    pub forwarded: u64,
+    /// Requests shed at admission while targeting this shard.
+    pub sheds: u64,
+    /// Transactions this shard's writer committed.
+    pub commits: u64,
+    /// This shard's commit p99 (None = no commits in the window).
+    pub commit_p99_ms: Option<f64>,
 }
 
 fn ns_ms(v: u64) -> f64 {
@@ -231,6 +251,21 @@ pub fn run_connscale_step(p: &ConnscaleParams) -> ConnscaleStats {
         .map(|i| c.proxy_actor(i).sessions_seen)
         .sum();
     let denom = (commits + aborts + sheds).max(1);
+    let per_shard = (0..p.shards)
+        .map(|i| {
+            let owner = c.shards[i].engine;
+            ShardRollup {
+                shard: i,
+                forwarded: m.counter(owner, "proxy.shard_forwarded"),
+                sheds: m.counter(owner, "proxy.shard_sheds"),
+                commits: m.counter(owner, "engine.commits"),
+                commit_p99_ms: m
+                    .histogram(owner, "engine.commit_ns")
+                    .and_then(|h| h.try_quantile(0.99))
+                    .map(ns_ms),
+            }
+        })
+        .collect();
 
     ConnscaleStats {
         sessions: p.sessions,
@@ -248,6 +283,7 @@ pub fn run_connscale_step(p: &ConnscaleParams) -> ConnscaleStats {
         queue_p99_ms: queue.try_quantile(0.99).map(ns_ms),
         shed_rate: sheds as f64 / denom as f64,
         rss_delta_kb: peak_rss_kb().saturating_sub(rss_before),
+        per_shard,
     }
 }
 
@@ -272,7 +308,7 @@ mod tests {
                     let s = run_connscale_step(&p);
                     // everything deterministic; rss_delta_kb deliberately out
                     format!(
-                        "{} {} {:.3} {} {} {} {} {:.1} {:?} {:?} {:?} {:?} {:?} {:.4}",
+                        "{} {} {:.3} {} {} {} {} {:.1} {:?} {:?} {:?} {:?} {:?} {:.4} {:?}",
                         s.sessions,
                         s.shards,
                         s.warmup_s,
@@ -287,6 +323,7 @@ mod tests {
                         s.commit_p99_ms,
                         s.queue_p99_ms,
                         s.shed_rate,
+                        s.per_shard,
                     )
                 },
                 |_, _| {},
@@ -295,5 +332,27 @@ mod tests {
         let sequential = run(1);
         let parallel = run(4);
         assert_eq!(sequential, parallel);
+    }
+
+    /// The hash ring spreads sessions evenly, so every shard must see
+    /// real traffic and no shard may dominate: the CI gate asserts the
+    /// same bound on the full ladder's JSON.
+    #[test]
+    fn per_shard_rollups_are_attributed_and_bounded() {
+        let mut p = ConnscaleParams::new(400, 2);
+        p.window = SimDuration::from_millis(200);
+        let s = run_connscale_step(&p);
+        assert_eq!(s.per_shard.len(), 2);
+        for r in &s.per_shard {
+            assert!(r.forwarded > 0, "shard {} saw no traffic", r.shard);
+            assert!(r.commits > 0, "shard {} committed nothing", r.shard);
+            assert!(r.commit_p99_ms.is_some());
+        }
+        let max = s.per_shard.iter().map(|r| r.forwarded).max().unwrap();
+        let min = s.per_shard.iter().map(|r| r.forwarded).min().unwrap();
+        assert!(
+            (max as f64) < 3.0 * min as f64,
+            "load spread too skewed: {max} vs {min}"
+        );
     }
 }

@@ -26,7 +26,13 @@
 //!   configured multiple of a clean same-seed baseline ([`DegradationBudget`];
 //!   §4.1 "avoid ... disks with poor performance"),
 //! * **health convergence** — once the world heals, the writer's gray-
-//!   failure tracker must clear every suspect segment.
+//!   failure tracker must clear every suspect segment,
+//! * **SLO burns** — with telemetry enabled, the windowed sampler's SLO
+//!   probes watch each 100ms window *during* the run; a sustained breach
+//!   (e.g. commit p99 blowing its ceiling for K consecutive windows)
+//!   surfaces as a violation even when the end-state checks all pass.
+//!   The last [`FLIGHT_RING`] windows ride back on
+//!   [`DstReport::telemetry`] as flight-recorder artifacts.
 //!
 //! Same seed ⇒ same plan ⇒ same verdict, bit for bit: a failing seed from
 //! a thousand-run sweep replays exactly, and
@@ -41,7 +47,9 @@ use aurora_core::wire::{Op, OpResult, TxnResult, TxnSpec};
 use aurora_log::{Lsn, SegmentId};
 use aurora_quorum::VolumeEpoch;
 use aurora_sim::schedule::{self, Intensity, ScheduleSpec};
-use aurora_sim::{trace, FaultAction, FaultPlan, NodeId, SimDuration, Zone};
+use aurora_sim::{
+    trace, FaultAction, FaultPlan, NodeId, SimDuration, SloSpec, TelemetryConfig, Zone,
+};
 use aurora_storage::{ControlConfig, ControlPlane, StorageNode};
 
 /// One DST run's shape: the world to build and how hard to shake it.
@@ -71,6 +79,22 @@ pub struct DstConfig {
     /// is compared against a clean twin (same seed, empty plan) and must
     /// keep committing within the budget. `None` skips the comparison.
     pub degradation: Option<DegradationBudget>,
+    /// Enable the windowed telemetry sampler (100ms sim-time windows,
+    /// ring of [`FLIGHT_RING`]). Observation-only: the verdict — commits,
+    /// final clock, every non-SLO violation — is bit-identical with it on
+    /// or off. The rendered dump rides back on [`DstReport::telemetry`].
+    pub telemetry: bool,
+    /// SLO probes evaluated per closed window when `telemetry` is on.
+    /// Sustained breaches surface as [`OracleViolation::SloBurn`] mid-run.
+    /// `None` = sample only (the default, so sweep/replay verdicts can't
+    /// pick up latency-sensitive failures unless a test opts in).
+    pub slo: Option<Vec<SloSpec>>,
+    /// Always render the flight-recorder dump, even for clean runs.
+    /// Without this, a telemetry-enabled run renders
+    /// [`DstReport::telemetry`] only when an oracle fired — sampling is
+    /// cheap enough for every sweep seed, stringifying three artifacts per
+    /// seed is not, and a flight recorder's dump is for crashes anyway.
+    pub telemetry_dump: bool,
 }
 
 /// How much a gray fault is allowed to hurt before the run counts as a
@@ -104,6 +128,11 @@ impl Default for DegradationBudget {
 /// window around a violation, small enough to render instantly.
 pub const TRACE_CAPACITY: usize = 65_536;
 
+/// Telemetry ring for DST runs: the flight recorder keeps the last 64
+/// windows (6.4s at the default 100ms interval) — the causal tail that
+/// matters when an oracle fires.
+pub const FLIGHT_RING: usize = 64;
+
 impl Default for DstConfig {
     fn default() -> Self {
         DstConfig {
@@ -119,6 +148,9 @@ impl Default for DstConfig {
             converge_budget: SimDuration::from_secs(20),
             trace: false,
             degradation: None,
+            telemetry: false,
+            slo: None,
+            telemetry_dump: false,
         }
     }
 }
@@ -175,6 +207,17 @@ pub enum OracleViolation {
         got: u64,
         clean: u64,
         floor: u64,
+    },
+    /// An SLO probe burned mid-run: `sustained` consecutive telemetry
+    /// windows breached the probe's limit. Caught *while the fault was
+    /// active* — by the time convergence checks run the signal is gone.
+    SloBurn {
+        probe: &'static str,
+        /// Window index of the burn (the `sustained`-th breach).
+        window: u64,
+        value: f64,
+        limit: f64,
+        sustained: u32,
     },
 }
 
@@ -242,6 +285,16 @@ impl std::fmt::Display for OracleViolation {
                 f,
                 "isolation: healthy shard {shard} committed {got} vs {clean} clean (floor {floor})"
             ),
+            OracleViolation::SloBurn {
+                probe,
+                window,
+                value,
+                limit,
+                sustained,
+            } => write!(
+                f,
+                "slo: {probe} burned at window {window}: value {value:.3} breaches limit {limit:.3} (sustained {sustained} windows)"
+            ),
         }
     }
 }
@@ -268,6 +321,12 @@ pub struct DstReport {
     /// Part of the `PartialEq` digest: two same-seed traced runs must
     /// produce byte-identical artifacts.
     pub trace: Option<TraceDump>,
+    /// Flight-recorder dump: the sampler ring's last [`FLIGHT_RING`]
+    /// windows rendered to portable artifacts. Present when
+    /// [`DstConfig::telemetry`] is on and either the run failed an oracle
+    /// or [`DstConfig::telemetry_dump`] forced a render. Part of the
+    /// `PartialEq` digest — same seed ⇒ byte-identical dumps.
+    pub telemetry: Option<TelemetryDump>,
 }
 
 impl DstReport {
@@ -280,11 +339,27 @@ impl DstReport {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceDump {
     /// Chrome `trace_event` JSON — open in `chrome://tracing` / Perfetto.
+    /// When telemetry is also on, fleet counter tracks ("C" events) are
+    /// spliced in so throughput/latency plot next to the spans.
     pub chrome: String,
     /// Newline-delimited JSON, one event per line (grep/jq-friendly).
     pub ndjson: String,
     /// Per-PG watermark timeline table (VDL/VCL/SCL/PGMRPL advances).
     pub watermarks: String,
+}
+
+/// Flight-recorder artifacts captured from a telemetry-enabled run: the
+/// sampler ring rendered at the end of the run (window points, fleet
+/// rollups, and any SLO burns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryDump {
+    /// One JSON object per line: per-owner points, fleet rollups, burns.
+    pub ndjson: String,
+    /// Flat `window,scope,owner,metric,...` table (spreadsheet-friendly).
+    pub csv: String,
+    /// Terminal sparkline/table render — what `dst --replay N
+    /// --telemetry` prints.
+    pub timeline: String,
 }
 
 /// Human-readable role of a node in the DST topology (for trace actor
@@ -314,13 +389,26 @@ pub fn node_name(c: &Cluster, node: NodeId) -> String {
     format!("node-{node}")
 }
 
-/// Render the cluster's trace ring into portable artifacts.
+/// Render the cluster's trace ring into portable artifacts. If the
+/// telemetry sampler is live, its fleet counter tracks are spliced into
+/// the chrome trace.
 pub fn render_trace(c: &Cluster) -> TraceDump {
     let name_of = |n: u32| node_name(c, n as NodeId);
+    let counters = c.sim.telemetry.chrome_counter_events();
     TraceDump {
-        chrome: trace::chrome_trace(&c.sim.trace, name_of),
+        chrome: trace::chrome_trace_with(&c.sim.trace, name_of, &counters),
         ndjson: trace::ndjson(&c.sim.trace, name_of),
         watermarks: trace::watermark_table(&c.sim.trace),
+    }
+}
+
+/// Render the telemetry sampler ring into flight-recorder artifacts.
+pub fn render_telemetry(c: &Cluster) -> TelemetryDump {
+    let name_of = |n: u32| node_name(c, n as NodeId);
+    TelemetryDump {
+        ndjson: c.sim.telemetry.ndjson(name_of),
+        csv: c.sim.telemetry.csv(name_of),
+        timeline: c.sim.telemetry.render_table(),
     }
 }
 
@@ -668,9 +756,17 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
     if cfg.trace {
         c.sim.trace.enable(TRACE_CAPACITY);
     }
+    if cfg.telemetry {
+        c.sim.enable_telemetry(TelemetryConfig {
+            ring: FLIGHT_RING,
+            slos: cfg.slo.clone().unwrap_or_default(),
+            ..TelemetryConfig::default()
+        });
+    }
     c.sim.run_for(SimDuration::from_millis(300));
     let mut oracles = Oracles::new();
     oracles.poll(&c);
+    let mut burns_seen = 0usize;
     c.sim.install_fault_plan(plan);
 
     // conn encoding: key * 1_000_000 + version (chaos.rs idiom)
@@ -713,6 +809,9 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
         }
         c.sim.run_for(tick);
         oracles.poll(&c);
+        // SLO burns are caught *here*, mid-run, while the fault is live —
+        // this is the anomaly class the post-heal checks can never see.
+        drain_slo_burns(&c, &mut burns_seen, &mut oracles.violations);
         let (fresh, next_cursor) = c.responses_since(resp_cursor);
         resp_cursor = next_cursor;
         for resp in fresh {
@@ -746,6 +845,7 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
     heal_world(&mut c, plan);
     let convergence = await_convergence(&mut c, cfg.converge_budget, &mut oracles);
     oracles.violations.extend(convergence);
+    drain_slo_burns(&c, &mut burns_seen, &mut oracles.violations);
 
     // late acks that arrived during convergence still count
     for resp in c.responses() {
@@ -833,7 +933,13 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
         }
     }
 
+    drain_slo_burns(&c, &mut burns_seen, &mut oracles.violations);
     let trace = cfg.trace.then(|| render_trace(&c));
+    // Flight-recorder semantics: sample every run, dump on anomaly (or on
+    // explicit request — replay/forensics). Rendering is deterministic
+    // either way because the decision depends only on the verdict.
+    let telemetry = (cfg.telemetry && (cfg.telemetry_dump || !oracles.violations().is_empty()))
+        .then(|| render_telemetry(&c));
     DstReport {
         seed: cfg.seed,
         plan_len: plan.len(),
@@ -843,7 +949,23 @@ pub fn run_plan(cfg: &DstConfig, plan: &FaultPlan) -> DstReport {
         clock_ns: c.sim.now().nanos(),
         violations: oracles.into_violations(),
         trace,
+        telemetry,
     }
+}
+
+/// Fold SLO burns recorded since the last drain into oracle violations.
+fn drain_slo_burns(c: &Cluster, seen: &mut usize, out: &mut Vec<OracleViolation>) {
+    let burns = c.sim.telemetry.burns();
+    for b in &burns[*seen..] {
+        out.push(OracleViolation::SloBurn {
+            probe: b.probe,
+            window: b.window,
+            value: b.value,
+            limit: b.limit,
+            sustained: b.sustained,
+        });
+    }
+    *seen = burns.len();
 }
 
 /// Expand `cfg.seed` into a plan and run it.
@@ -1138,6 +1260,108 @@ pub fn run_shard_isolation(cfg: &ShardIsolationConfig) -> ShardIsolationReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aurora_sim::BrownoutSpec;
+
+    /// Brown out 4 of the 6 storage nodes: every 4/6 write quorum must
+    /// include at least two slow disks, so commit latency balloons while
+    /// the fault is live — then everything heals before the window ends.
+    fn majority_brownout() -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for node in 1..=4 as NodeId {
+            plan = plan.brownout_for(
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(1_300),
+                node,
+                BrownoutSpec {
+                    ramp_secs: 0.05,
+                    peak_factor: 60.0,
+                },
+            );
+        }
+        plan
+    }
+
+    #[test]
+    fn slo_burn_oracle_catches_brownout_that_convergence_misses() {
+        let base = DstConfig {
+            seed: 901,
+            ..Default::default()
+        };
+        let plan = majority_brownout();
+        plan.validate(base.window).unwrap();
+
+        // End-state oracles alone: the brownout heals mid-window, nothing
+        // is lost, every PG converges — the run *passes*.
+        let quiet = run_plan(&base, &plan);
+        assert!(
+            quiet.passed(),
+            "convergence-only run must pass: {:?}",
+            quiet.violations
+        );
+        assert!(quiet.commits > 0);
+
+        // Same world, telemetry + a commit-p99 SLO probe: the brownout is
+        // caught in flight as a sustained burn.
+        let mut cfg = base.clone();
+        cfg.telemetry = true;
+        // Ceiling between the healthy p99 (~1.6ms in this world) and the
+        // browned-out p99 (~6-9ms): only the fault windows breach.
+        cfg.slo = Some(vec![SloSpec::commit_p99_ceiling(5_000_000, 3)]);
+        let seen = run_plan(&cfg, &plan);
+        assert!(
+            seen.violations
+                .iter()
+                .any(|v| matches!(v, OracleViolation::SloBurn { .. })),
+            "slo probe must burn under a majority brownout: {:?}",
+            seen.violations
+        );
+
+        // The flight recorder captured the episode.
+        let dump = seen.telemetry.as_ref().expect("telemetry dump");
+        assert!(dump.ndjson.contains("slo_burn"));
+        assert!(dump.timeline.contains("burn"));
+        assert!(dump.csv.lines().count() > 1);
+
+        // Observation-only: sampling + probes never perturb the world.
+        assert_eq!(quiet.commits, seen.commits);
+        assert_eq!(quiet.clock_ns, seen.clock_ns);
+    }
+
+    #[test]
+    fn telemetry_dumps_replay_bit_identically_across_jobs() {
+        let mk = |seed| DstConfig {
+            seed,
+            window: SimDuration::from_secs(1),
+            trace: true,
+            telemetry: true,
+            telemetry_dump: true,
+            ..Default::default()
+        };
+        let seeds = [5u64, 9];
+        let sequential: Vec<DstReport> = seeds.iter().map(|&s| run_seed(&mk(s))).collect();
+        let parallel = crate::sweep::parallel_map(&seeds, 4, |&s| run_seed(&mk(s)), |_, _| {});
+        // Full-report equality covers the rendered ndjson/csv/timeline
+        // byte for byte, and the spliced chrome counter tracks.
+        assert_eq!(sequential, parallel);
+        for r in &sequential {
+            let dump = r.telemetry.as_ref().expect("telemetry dump");
+            assert!(dump.ndjson.contains("\"scope\":\"fleet\""));
+            let chrome = &r.trace.as_ref().expect("trace dump").chrome;
+            assert!(
+                chrome.contains("\"ph\":\"C\""),
+                "chrome trace must carry telemetry counter tracks"
+            );
+        }
+
+        // A clean run without the dump flag samples but skips rendering —
+        // the flight recorder writes artifacts only on anomaly or request.
+        let mut norender = mk(5);
+        norender.telemetry_dump = false;
+        norender.trace = false;
+        let r = run_seed(&norender);
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        assert!(r.telemetry.is_none(), "clean sweep seeds must not render dumps");
+    }
 
     fn small() -> ShardIsolationConfig {
         ShardIsolationConfig {

@@ -1077,6 +1077,16 @@ fn connscale_ladder(scale: f64, steps: &[(u32, usize)]) -> Vec<ConnscalePoint> {
             s.warmup_s,
             s.admitted
         );
+        for r in &s.per_shard {
+            say!(
+                "    shard {:>2}: forwarded {:>8}  shed {:>7}  commits {:>7}  commit p99 {:>7.2} ms",
+                r.shard,
+                r.forwarded,
+                r.sheds,
+                r.commits,
+                r.commit_p99_ms.unwrap_or(f64::NAN)
+            );
+        }
         out.push(ConnscalePoint {
             sessions,
             shards,

@@ -20,7 +20,7 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use aurora_baseline::{MysqlCluster, MysqlClusterConfig, MysqlEngine, MysqlFlavor};
@@ -223,6 +223,23 @@ fn trace_dir() -> Option<PathBuf> {
     TRACE_DIR.lock().unwrap().clone()
 }
 
+/// Process-global timeline switch (set by `experiments --timeline`).
+/// When on, every Aurora run samples windowed telemetry (100ms windows,
+/// the default Aurora SLO probes) over its measurement window and prints
+/// the sparkline timeline after its stats. Reporting-only: the sampler
+/// observes simulated time without scheduling events, so enabling it
+/// never changes measured results — and output rides the suite capture
+/// sink, so it stays byte-identical across `--jobs`.
+static TIMELINE: AtomicBool = AtomicBool::new(false);
+
+pub fn set_timeline(on: bool) {
+    TIMELINE.store(on, Ordering::Relaxed);
+}
+
+fn timeline_on() -> bool {
+    TIMELINE.load(Ordering::Relaxed)
+}
+
 fn write_run_trace(dir: &PathBuf, label: &str, c: &Cluster) {
     let dump = crate::dst::render_trace(c);
     let slug: String = label
@@ -383,6 +400,12 @@ pub fn run_aurora_with(
     if tracing_to.is_some() {
         c.sim.trace.enable(crate::dst::TRACE_CAPACITY);
     }
+    if timeline_on() {
+        c.sim.enable_telemetry(aurora_sim::TelemetryConfig {
+            slos: aurora_sim::SloSpec::aurora_defaults(),
+            ..Default::default()
+        });
+    }
     if let Some(plan) = &p.fault_plan {
         plan.validate(p.window)
             .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
@@ -426,6 +449,12 @@ pub fn run_aurora_with(
     let label = format!("aurora/{}", p.instance.name);
     if let Some(dir) = tracing_to {
         write_run_trace(&dir, &label, &c);
+    }
+    if timeline_on() {
+        crate::experiments::emit_line(format_args!("-- timeline: {label} --"));
+        for line in c.sim.telemetry.render_table().lines() {
+            crate::experiments::emit_line(format_args!("{line}"));
+        }
     }
     RunStats {
         label,

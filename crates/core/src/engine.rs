@@ -1032,6 +1032,8 @@ impl EngineActor {
             records.len() as u64,
         );
         ctx.trace_instant("wm.pgmrpl", span, pgmrpl.0, 0);
+        ctx.gauge("engine.pgmrpl", pgmrpl.0);
+        ctx.gauge("engine.inflight_batches", self.tracker.outstanding() as u64);
         ctx.trace_instant("engine.ship", span, reason as u64, records.len() as u64);
         // shard by PG (§5) and ship to all six replicas of each PG —
         // each PG's shard is assembled once and every send (and any later
@@ -1138,6 +1140,7 @@ impl EngineActor {
         let ids = self.hot(ctx);
         self.alloc.advance_vdl(vdl);
         ctx.trace_instant("wm.vdl", SpanId::NONE, vdl.0, 0);
+        ctx.gauge("engine.vdl", vdl.0);
         // complete asynchronous commits (§4.2.2)
         let ready: Vec<Lsn> = self.commit_waiters.range(..=vdl).map(|(l, _)| *l).collect();
         let now = ctx.now();

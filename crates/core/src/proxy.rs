@@ -146,7 +146,10 @@ const SESSION_BITMAP_CAP: u64 = 1 << 24;
 /// Metrics: `proxy.requests`, `proxy.forwarded`, `proxy.queued`,
 /// `proxy.shed_full`, `proxy.shed_deadline`, `proxy.responses`,
 /// `proxy.sessions` (distinct), and `proxy.queue_ns` (queue wait of
-/// forwarded requests).
+/// forwarded requests). Per-shard rollups are attributed to the shard's
+/// writer engine node: `proxy.shard_forwarded`, `proxy.shard_sheds`.
+/// Gauges `proxy.in_flight` / `proxy.queued_depth` (refreshed each
+/// sweep) expose pool pressure to the telemetry windows.
 pub struct ProxyActor {
     cfg: ProxyConfig,
     ring: HashRing,
@@ -206,7 +209,11 @@ impl ProxyActor {
         }
     }
 
-    fn shed(&self, ctx: &mut Ctx<'_>, origin: NodeId, req: &ClientRequest, reason: &str) {
+    fn shed(&self, ctx: &mut Ctx<'_>, shard: usize, origin: NodeId, req: &ClientRequest, reason: &str) {
+        // Attribute the shed to the shard that was overloaded (owner =
+        // that shard's writer engine) so per-shard telemetry rollups can
+        // show *which* shard degraded, not just that the fleet shed.
+        ctx.inc_for(self.cfg.shards[shard], "proxy.shard_sheds", 1);
         ctx.send(
             origin,
             ClientResponse {
@@ -221,6 +228,7 @@ impl ProxyActor {
         self.pending.insert(req.conn, (origin, shard as u32));
         self.lanes[shard].in_flight += 1;
         ctx.inc("proxy.forwarded", 1);
+        ctx.inc_for(self.cfg.shards[shard], "proxy.shard_forwarded", 1);
         ctx.send(self.cfg.shards[shard], req);
     }
 
@@ -242,7 +250,7 @@ impl ProxyActor {
             self.queue_high_water = self.queue_high_water.max(lane.queue.len());
         } else {
             ctx.inc("proxy.shed_full", 1);
-            self.shed(ctx, origin, &req, "shed: admission queue full");
+            self.shed(ctx, shard, origin, &req, "shed: admission queue full");
         }
     }
 
@@ -257,7 +265,7 @@ impl ProxyActor {
             let waited = ctx.now().since(q.enqueued);
             if waited > self.cfg.queue_deadline {
                 ctx.inc("proxy.shed_deadline", 1);
-                self.shed(ctx, q.origin, &q.req, "shed: queue deadline");
+                self.shed(ctx, shard, q.origin, &q.req, "shed: queue deadline");
                 continue;
             }
             ctx.record("proxy.queue_ns", waited.nanos());
@@ -290,9 +298,19 @@ impl ProxyActor {
                 }
                 let q = self.lanes[shard].queue.pop_front().expect("peeked");
                 ctx.inc("proxy.shed_deadline", 1);
-                self.shed(ctx, q.origin, &q.req, "shed: queue deadline");
+                self.shed(ctx, shard, q.origin, &q.req, "shed: queue deadline");
             }
         }
+        // Pool-pressure gauges, sampled by the telemetry windows: how
+        // much work this proxy is holding right now.
+        let (in_flight, queued) = self
+            .lanes
+            .iter()
+            .fold((0u64, 0u64), |(f, q), l| {
+                (f + l.in_flight as u64, q + l.queue.len() as u64)
+            });
+        ctx.gauge("proxy.in_flight", in_flight);
+        ctx.gauge("proxy.queued_depth", queued);
         ctx.set_timer(self.cfg.sweep_every, TAG_SWEEP);
     }
 }

@@ -34,6 +34,7 @@ pub mod queue;
 pub mod rng;
 pub mod schedule;
 pub mod sim;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -49,6 +50,10 @@ pub use rng::SimRng;
 pub use schedule::{generate, shrink, Intensity, ScheduleSpec};
 pub use sim::{
     Actor, ActorEvent, Ctx, DiskSpec, NodeId, NodeOpts, Sim, SimHints, Tag, TimerId, Zone,
+};
+pub use telemetry::{
+    SloBurn, SloKind, SloSpec, SloUnit, TelemetryConfig, TelemetryPoint, TelemetrySampler,
+    TelemetryValue, TelemetryWindow,
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::{SpanId, TraceBuffer, TraceEvent, TracePhase};

@@ -24,6 +24,9 @@ pub(crate) use crate::hash::FxHashMap as FxMap;
 pub struct Histogram {
     /// counts[bucket][sub]; bucket = floor(log2(v)) clamped, 16 sub-buckets.
     counts: Vec<[u64; 16]>,
+    /// Bit `b` set once `counts[b]` holds any sample — lets windowed scans
+    /// skip the (many) never-touched power-of-two rows.
+    occupied: u64,
     total: u64,
     sum: u128,
     min: u64,
@@ -36,12 +39,26 @@ impl Default for Histogram {
     fn default() -> Self {
         Histogram {
             counts: vec![[0u64; 16]; BUCKETS],
+            occupied: 0,
             total: 0,
             sum: 0,
             min: u64::MAX,
             max: 0,
         }
     }
+}
+
+/// Windowed summary a [`Histogram::fold_window`] call reports: the same
+/// numbers `delta_since(prev)` + quantile calls would produce, without
+/// materializing the intermediate histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowStats {
+    pub count: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub min: u64,
+    pub max: u64,
 }
 
 impl Histogram {
@@ -60,7 +77,7 @@ impl Histogram {
         (bucket.min(BUCKETS - 1), sub)
     }
 
-    fn bucket_value(bucket: usize, sub: usize) -> u64 {
+    pub(crate) fn bucket_value(bucket: usize, sub: usize) -> u64 {
         if bucket == 0 {
             return sub as u64;
         }
@@ -74,6 +91,7 @@ impl Histogram {
     pub fn record(&mut self, value: u64) {
         let (b, s) = Self::locate(value);
         self.counts[b][s] += 1;
+        self.occupied |= 1 << b;
         self.total += 1;
         self.sum += value as u128;
         self.min = self.min.min(value);
@@ -170,6 +188,7 @@ impl Histogram {
                 self.counts[b][s] += c;
             }
         }
+        self.occupied |= other.occupied;
         self.total += other.total;
         self.sum += other.sum;
         if other.total > 0 {
@@ -178,16 +197,184 @@ impl Histogram {
         }
     }
 
+    /// The histogram of values recorded since `prev` was cloned from this
+    /// histogram — the windowed delta the telemetry sampler snapshots every
+    /// `sample_interval`. `prev` must be an earlier state of `self` (same
+    /// metric, monotonically growing); bucket counts, total and sum
+    /// subtract exactly.
+    ///
+    /// Min/max cannot always be recovered exactly from cumulative state:
+    /// * if the window set a new global extreme (`self.min < prev.min`, or
+    ///   `self.max > prev.max`, or `prev` was empty) the exact tracked
+    ///   value is used;
+    /// * otherwise the extreme of the window is approximated by the
+    ///   representative value of the first/last non-empty delta bucket —
+    ///   the same ≤~6% relative error as any interior quantile.
+    ///
+    /// An empty delta (no samples in the window) returns an empty
+    /// histogram: `count() == 0`, `try_quantile` is `None`.
+    pub fn delta_since(&self, prev: &Histogram) -> Histogram {
+        debug_assert!(self.total >= prev.total, "delta_since: prev is not an earlier state");
+        let mut out = Histogram::new();
+        if self.total == prev.total {
+            return out; // empty window
+        }
+        let mut first: Option<(usize, usize)> = None;
+        let mut last: Option<(usize, usize)> = None;
+        for (b, subs) in self.counts.iter().enumerate() {
+            for (s, &c) in subs.iter().enumerate() {
+                let d = c - prev.counts[b][s];
+                if d != 0 {
+                    out.counts[b][s] = d;
+                    out.occupied |= 1 << b;
+                    if first.is_none() {
+                        first = Some((b, s));
+                    }
+                    last = Some((b, s));
+                }
+            }
+        }
+        out.total = self.total - prev.total;
+        out.sum = self.sum - prev.sum;
+        out.min = if prev.total == 0 || self.min < prev.min {
+            self.min
+        } else {
+            let (b, s) = first.expect("non-empty delta has a first bucket");
+            Self::bucket_value(b, s)
+        };
+        out.max = if prev.total == 0 || self.max > prev.max {
+            self.max
+        } else {
+            let (b, s) = last.expect("non-empty delta has a last bucket");
+            Self::bucket_value(b, s)
+        };
+        // Bucket representatives can land outside the cumulative envelope
+        // (midpoint above a max that set no new extreme); keep the
+        // invariant min <= max within [self.min, self.max].
+        out.min = out.min.clamp(self.min, self.max);
+        out.max = out.max.clamp(out.min, self.max);
+        out
+    }
+
+    /// The telemetry sampler's fused twin of [`Histogram::delta_since`]:
+    /// one sparse scan (only occupied buckets) that
+    ///
+    /// * reports the window's [`WindowStats`] — bit-identical to what
+    ///   `delta_since(prev)` followed by `p50/p95/p99/max` would return,
+    /// * appends the window's non-zero `(linear slot, delta)` pairs to
+    ///   `slots` in value order (for fleet rollup accumulation), and
+    /// * advances `prev` in place to match `self`,
+    ///
+    /// without allocating or copying the full bucket table. `prev` must be
+    /// an earlier state of `self`; returns `None` for an empty window.
+    pub(crate) fn fold_window(
+        &self,
+        prev: &mut Histogram,
+        slots: &mut Vec<(u32, u64)>,
+    ) -> Option<WindowStats> {
+        debug_assert!(self.total >= prev.total, "fold_window: prev is not an earlier state");
+        if self.total == prev.total {
+            return None;
+        }
+        let start = slots.len();
+        let mut first: Option<(usize, usize)> = None;
+        let mut last: Option<(usize, usize)> = None;
+        let mut occ = self.occupied;
+        while occ != 0 {
+            let b = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let cur_row = &self.counts[b];
+            let prev_row = &mut prev.counts[b];
+            if cur_row == prev_row {
+                continue;
+            }
+            for (s, (&c, p)) in cur_row.iter().zip(prev_row.iter_mut()).enumerate() {
+                let d = c - *p;
+                if d != 0 {
+                    slots.push(((b * 16 + s) as u32, d));
+                    if first.is_none() {
+                        first = Some((b, s));
+                    }
+                    last = Some((b, s));
+                    *p = c;
+                }
+            }
+        }
+        let total = self.total - prev.total;
+        // Same min/max envelope rules as delta_since.
+        let min = if prev.total == 0 || self.min < prev.min {
+            self.min
+        } else {
+            let (b, s) = first.expect("non-empty delta has a first bucket");
+            Self::bucket_value(b, s)
+        };
+        let max = if prev.total == 0 || self.max > prev.max {
+            self.max
+        } else {
+            let (b, s) = last.expect("non-empty delta has a last bucket");
+            Self::bucket_value(b, s)
+        };
+        let min = min.clamp(self.min, self.max);
+        let max = max.clamp(min, self.max);
+        prev.occupied = self.occupied;
+        prev.total = self.total;
+        prev.sum = self.sum;
+        prev.min = self.min;
+        prev.max = self.max;
+        let window = &slots[start..];
+        let q = |qv: f64| sparse_quantile(window, total, min, max, qv);
+        Some(WindowStats {
+            count: total,
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            min,
+            max,
+        })
+    }
+
     /// Reset to empty (used for warm-up windows).
     pub fn clear(&mut self) {
         for subs in self.counts.iter_mut() {
             *subs = [0; 16];
         }
+        self.occupied = 0;
         self.total = 0;
         self.sum = 0;
         self.min = u64::MAX;
         self.max = 0;
     }
+}
+
+/// Quantile over a sparse `(linear slot, count)` representation of a
+/// bucket table — the same answer [`Histogram::try_quantile`] gives on the
+/// materialized histogram with that table and `min`/`max` envelope.
+/// `slots` must be sorted by slot index (duplicate indices add, so
+/// concatenated-then-sorted per-owner runs behave like a merged histogram).
+pub(crate) fn sparse_quantile(slots: &[(u32, u64)], total: u64, min: u64, max: u64, q: f64) -> u64 {
+    debug_assert!(total > 0);
+    if q <= 0.0 {
+        return min;
+    }
+    if q >= 1.0 {
+        return max;
+    }
+    let target = ((q * total as f64).ceil() as u64).max(1);
+    if target >= total {
+        return max;
+    }
+    if target == 1 {
+        return min;
+    }
+    let mut seen = 0u64;
+    for &(slot, c) in slots {
+        seen += c;
+        if seen >= target {
+            return Histogram::bucket_value((slot / 16) as usize, (slot % 16) as usize)
+                .clamp(min, max);
+        }
+    }
+    max
 }
 
 /// An interned metric name: a dense index into the registry's tables.
@@ -214,6 +401,16 @@ pub struct MetricsRegistry {
     /// `counter_names` faithful to the old map-of-entries behaviour.
     counter_touched: Vec<bool>,
     histograms: Vec<Vec<Option<Box<Histogram>>>>,
+    /// hist_totals[owner_slot][metric_id] mirrors `histograms[s][i].count()`
+    /// densely. The telemetry sampler's per-window scan compares these rows
+    /// against its own mirror sequentially and only dereferences the boxed
+    /// histograms that actually changed — chasing every `Box<Histogram>`
+    /// just to read its count costs two cold cache lines per pair.
+    hist_totals: Vec<Vec<u64>>,
+    /// gauges[owner_slot][metric_id]: last-write-wins point-in-time values
+    /// (queue depths, watermarks, repair counts). `None` = never set, so a
+    /// telemetry window can tell "no reading" apart from a real 0.
+    gauges: Vec<Vec<Option<u64>>>,
 }
 
 /// Owner id used for simulation-global metrics.
@@ -324,6 +521,62 @@ impl MetricsRegistry {
             row.resize_with(self.names.len().max(i + 1), || None);
         }
         row[i].get_or_insert_with(Default::default).record(value);
+        if s >= self.hist_totals.len() {
+            self.hist_totals.resize_with(s + 1, Vec::new);
+        }
+        let totals = &mut self.hist_totals[s];
+        if i >= totals.len() {
+            totals.resize(self.names.len().max(i + 1), 0);
+        }
+        totals[i] += 1;
+    }
+
+    /// Set a gauge to its current reading (last write wins).
+    #[inline]
+    pub fn set_gauge(&mut self, owner: u32, name: &'static str, value: u64) {
+        let id = self.metric_id(name);
+        self.set_gauge_id(owner, id, value);
+    }
+
+    /// Set a gauge through a pre-resolved handle (no hashing).
+    #[inline]
+    pub fn set_gauge_id(&mut self, owner: u32, id: MetricId, value: u64) {
+        let s = slot(owner);
+        let i = id.0 as usize;
+        if s >= self.gauges.len() {
+            self.gauges.resize_with(s + 1, Vec::new);
+        }
+        let row = &mut self.gauges[s];
+        if i >= row.len() {
+            row.resize(self.names.len().max(i + 1), None);
+        }
+        row[i] = Some(value);
+    }
+
+    /// Read a gauge, `None` if it was never set (or cleared since).
+    pub fn gauge(&self, owner: u32, name: &'static str) -> Option<u64> {
+        let id = self.lookup(name)?;
+        self.gauges
+            .get(slot(owner))?
+            .get(id as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Deterministic dump of every set gauge as `(owner, name, value)`,
+    /// sorted by `(owner, name)`.
+    pub fn gauges_snapshot(&self) -> Vec<(u32, &'static str, u64)> {
+        let mut out = Vec::new();
+        for (s, row) in self.gauges.iter().enumerate() {
+            let owner = if s == 0 { GLOBAL } else { (s - 1) as u32 };
+            for (i, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    out.push((owner, self.names[i], *v));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(o, n, _)| (*o, *n));
+        out
     }
 
     /// Read a histogram, if any values were recorded.
@@ -361,7 +614,45 @@ impl MetricsRegistry {
                 h.clear();
             }
         }
+        for row in self.hist_totals.iter_mut() {
+            row.iter_mut().for_each(|v| *v = 0);
+        }
         self.counter_touched.iter_mut().for_each(|t| *t = false);
+        for row in self.gauges.iter_mut() {
+            row.iter_mut().for_each(|v| *v = None);
+        }
+    }
+
+    /// Raw dense tables for the telemetry sampler's delta pass — iterating
+    /// the slots directly avoids re-sorting snapshots every 100ms window.
+    pub(crate) fn raw_counters(&self) -> &[Vec<u64>] {
+        &self.counters
+    }
+
+    pub(crate) fn raw_histograms(&self) -> &[Vec<Option<Box<Histogram>>>] {
+        &self.histograms
+    }
+
+    /// Dense per-(owner, metric) histogram sample counts, parallel to
+    /// `raw_histograms` (rows may be shorter — absent means 0).
+    pub(crate) fn raw_hist_totals(&self) -> &[Vec<u64>] {
+        &self.hist_totals
+    }
+
+    pub(crate) fn raw_gauges(&self) -> &[Vec<Option<u64>>] {
+        &self.gauges
+    }
+
+    pub(crate) fn name_of(&self, id: u32) -> &'static str {
+        self.names[id as usize]
+    }
+
+    pub(crate) fn names_len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub(crate) fn lookup_id(&self, name: &str) -> Option<u32> {
+        self.lookup(name)
     }
 
     /// All counter names currently present (sorted, deduped) — handy for
@@ -544,6 +835,176 @@ mod tests {
         a.clear();
         assert_eq!(a.count(), 0);
         assert_eq!(a.max(), 0);
+    }
+
+    #[test]
+    fn delta_since_empty_window_is_empty() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(5_000);
+        let prev = h.clone();
+        // no samples between the snapshots → empty delta, not zeros
+        let d = h.delta_since(&prev);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.try_quantile(0.5), None);
+        assert_eq!(d.min(), 0);
+        assert_eq!(d.max(), 0);
+        // and a delta against a fresh prev of an empty histogram is empty
+        let e = Histogram::new();
+        let d = e.delta_since(&Histogram::new());
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn delta_since_single_sample_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        let prev = h.clone();
+        h.record(123_456_789);
+        let d = h.delta_since(&prev);
+        // one sample in the window: it set a new global max, so min, max
+        // and every quantile are the exact value
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.min(), 123_456_789);
+        assert_eq!(d.max(), 123_456_789);
+        assert_eq!(d.try_quantile(0.5), Some(123_456_789));
+        assert!((d.mean() - 123_456_789.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_since_prev_empty_copies_exact_extremes() {
+        let mut h = Histogram::new();
+        let prev = h.clone(); // empty
+        h.record(7);
+        h.record(999_999);
+        let d = h.delta_since(&prev);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.min(), 7);
+        assert_eq!(d.max(), 999_999);
+    }
+
+    #[test]
+    fn delta_since_interior_window_preserves_minmax_envelope() {
+        // The window's samples sit strictly inside the cumulative
+        // [min, max]: exact extremes are unrecoverable, so the delta
+        // reports bucket representatives — within ~6% relative error and
+        // always inside the cumulative envelope.
+        let mut h = Histogram::new();
+        h.record(1); // global min
+        h.record(100_000_000); // global max
+        let prev = h.clone();
+        for v in [50_000u64, 60_000, 70_000] {
+            h.record(v);
+        }
+        let d = h.delta_since(&prev);
+        assert_eq!(d.count(), 3);
+        let min = d.min();
+        let max = d.max();
+        let min_err = (min as f64 - 50_000.0).abs() / 50_000.0;
+        let max_err = (max as f64 - 70_000.0).abs() / 70_000.0;
+        assert!(min_err < 0.07, "delta min {min} err {min_err}");
+        assert!(max_err < 0.07, "delta max {max} err {max_err}");
+        assert!(min <= max);
+        // quantiles stay inside the delta's own [min, max]
+        let p99 = d.try_quantile(0.99).unwrap();
+        assert!(p99 >= min && p99 <= max, "p99 {p99} not in [{min}, {max}]");
+    }
+
+    #[test]
+    fn delta_since_sums_and_buckets_subtract_exactly() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        let prev = h.clone();
+        for v in 1..=50u64 {
+            h.record(v * 2000);
+        }
+        let d = h.delta_since(&prev);
+        assert_eq!(d.count(), 50);
+        let want_sum: u128 = (1..=50u128).map(|v| v * 2000).sum();
+        assert!((d.mean() - want_sum as f64 / 50.0).abs() < 1e-6);
+        // merging the delta back onto prev reproduces the cumulative state
+        let mut rebuilt = prev.clone();
+        rebuilt.merge(&d);
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.p50(), h.p50());
+        assert_eq!(rebuilt.p99(), h.p99());
+    }
+
+    #[test]
+    fn fold_window_matches_delta_since() {
+        // Deterministic pseudo-random value stream spanning many buckets.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 50_000_000
+        };
+        let mut h = Histogram::new();
+        let mut prev = Histogram::new();
+        let mut slots = Vec::new();
+        for window in 0..20 {
+            let snapshot = h.clone();
+            for _ in 0..(window % 5) * 3 {
+                h.record(next());
+            }
+            let d = h.delta_since(&snapshot);
+            slots.clear();
+            let got = h.fold_window(&mut prev, &mut slots);
+            if d.count() == 0 {
+                assert_eq!(got, None, "empty window");
+                continue;
+            }
+            let want = WindowStats {
+                count: d.count(),
+                p50: d.p50(),
+                p95: d.p95(),
+                p99: d.p99(),
+                min: d.min(),
+                max: d.max(),
+            };
+            assert_eq!(got, Some(want), "window {window}");
+            // the sparse slot run carries exactly the delta's bucket mass
+            assert_eq!(slots.iter().map(|&(_, c)| c).sum::<u64>(), d.count());
+            // sparse quantiles over the run agree with the materialized delta
+            for q in [0.01, 0.25, 0.5, 0.9, 0.99] {
+                assert_eq!(
+                    sparse_quantile(&slots, d.count(), d.min(), d.max(), q),
+                    d.quantile(q),
+                    "q={q} window {window}"
+                );
+            }
+            // and the mirror advanced to match the cumulative state
+            assert_eq!(prev.count(), h.count());
+            assert_eq!(prev.p99(), h.p99());
+        }
+    }
+
+    #[test]
+    fn registry_gauges() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.gauge(1, "depth"), None);
+        m.set_gauge(1, "depth", 42);
+        m.set_gauge(1, "depth", 17); // last write wins
+        m.set_gauge(GLOBAL, "depth", 5);
+        m.set_gauge(2, "vdl", 0);
+        assert_eq!(m.gauge(1, "depth"), Some(17));
+        assert_eq!(m.gauge(2, "vdl"), Some(0)); // real zero, not "unset"
+        assert_eq!(m.gauge(3, "depth"), None);
+        let snap = m.gauges_snapshot();
+        assert_eq!(
+            snap,
+            vec![(1, "depth", 17), (2, "vdl", 0), (GLOBAL, "depth", 5)]
+        );
+        m.clear();
+        assert_eq!(m.gauge(1, "depth"), None);
+        assert!(m.gauges_snapshot().is_empty());
+        // ids stay valid across clear
+        let id = m.metric_id("depth");
+        m.set_gauge_id(1, id, 9);
+        assert_eq!(m.gauge(1, "depth"), Some(9));
     }
 
     #[test]

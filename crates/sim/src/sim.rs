@@ -29,6 +29,7 @@ use crate::metrics::MetricsRegistry;
 use crate::msg::{Msg, Payload};
 use crate::net::{NetPolicy, NetStats};
 use crate::rng::SimRng;
+use crate::telemetry::{TelemetryConfig, TelemetrySampler};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{SpanId, TraceBuffer};
 
@@ -230,6 +231,10 @@ pub struct Sim {
     /// Deterministic causal trace, recorded on simulated time. Off by
     /// default (`trace.enable(cap)` turns it on); see [`crate::trace`].
     pub trace: TraceBuffer,
+    /// Windowed time-series sampler on simulated time. Off by default
+    /// ([`Sim::enable_telemetry`] turns it on); flushed from the dispatch
+    /// loop so it never perturbs event order — see [`crate::telemetry`].
+    pub telemetry: TelemetrySampler,
     net: NetStats,
     cancelled_timers: FxHashSet<u64>,
     next_timer_id: u64,
@@ -335,6 +340,7 @@ impl Sim {
             rng: SimRng::new(seed),
             metrics: MetricsRegistry::new(),
             trace: TraceBuffer::new(),
+            telemetry: TelemetrySampler::default(),
             net: NetStats::new(),
             cancelled_timers: FxHashSet::default(),
             next_timer_id: 0,
@@ -471,6 +477,9 @@ impl Sim {
         self.metrics.clear();
         self.net.clear();
         self.trace.clear_events();
+        // Telemetry windows number from the measurement boundary, and the
+        // sampler's delta mirrors must reset with the counters they shadow.
+        self.telemetry.rebase(self.time.nanos());
     }
 
     /// Mutable access to the network policy (for ablations that slow down
@@ -902,12 +911,18 @@ impl Sim {
     /// Dispatch the next event or scheduled fault (faults win ties).
     /// Returns `false` when both queues are empty.
     pub fn step(&mut self) -> bool {
-        let fault_due = match (self.next_fault_at(), self.events.peek().map(|e| e.at)) {
-            (Some(f), Some(e)) => f <= e,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
+        let (next_at, fault_due) = match (self.next_fault_at(), self.events.peek().map(|e| e.at)) {
+            (Some(f), Some(e)) => (f.min(e), f <= e),
+            (Some(f), None) => (f, true),
+            (None, Some(e)) => (e, false),
             (None, None) => return false,
         };
+        if self.telemetry.due(next_at.nanos(), false) {
+            // Close every sample window strictly before the next event:
+            // events at exactly a boundary T belong to the window ending
+            // at T (run_until flushes it when the clock lands on T).
+            self.flush_telemetry(next_at.nanos(), false);
+        }
         if fault_due {
             let f = self.pop_fault();
             debug_assert!(f.at >= self.time, "time went backwards");
@@ -937,7 +952,49 @@ impl Sim {
             }
             self.step();
         }
+        if self.telemetry.due(t.nanos(), true) {
+            // The clock lands exactly on `t`: close windows through it.
+            self.flush_telemetry(t.nanos(), true);
+        }
         self.time = t;
+    }
+
+    /// Close every due telemetry window up to `upto_ns` (exclusive, or
+    /// inclusive when the clock is landing exactly on `upto_ns`). Sets
+    /// the kernel self-observation gauges first so each window carries
+    /// the event-queue state at its close.
+    fn flush_telemetry(&mut self, upto_ns: u64, inclusive: bool) {
+        use crate::metrics::GLOBAL;
+        while let Some(end) = self.telemetry.next_boundary(upto_ns, inclusive) {
+            self.metrics
+                .set_gauge(GLOBAL, "kernel.events_pending", self.events.len() as u64);
+            self.metrics.set_gauge(
+                GLOBAL,
+                "kernel.events_high_water",
+                self.events.high_water() as u64,
+            );
+            self.metrics.set_gauge(
+                GLOBAL,
+                "kernel.events_overflowed",
+                self.events.overflow_pushes(),
+            );
+            self.metrics.set_gauge(
+                GLOBAL,
+                "kernel.event_pool_reserved_bytes",
+                self.events.reserved_bytes() as u64,
+            );
+            self.metrics
+                .set_gauge(GLOBAL, "kernel.events_dispatched", self.events_dispatched);
+            self.telemetry.close_window(end, &self.metrics);
+        }
+    }
+
+    /// Turn on the windowed telemetry sampler (see [`crate::telemetry`]);
+    /// the first window opens at the current simulated time. Sampling is
+    /// observation-only: enabling it never changes event order, the RNG
+    /// stream, or any metric the simulation reads back.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry.enable(cfg, self.time.nanos());
     }
 
     /// Run for a span of simulated time.
@@ -1134,6 +1191,26 @@ impl<'a> Ctx<'a> {
         self.sim.metrics.record_id(self.node, id, value);
     }
 
+    /// Set a per-node gauge to its current reading (telemetry windows
+    /// sample the latest value at each close).
+    #[inline]
+    pub fn gauge(&mut self, name: &'static str, value: u64) {
+        self.sim.metrics.set_gauge(self.node, name, value);
+    }
+
+    /// Set a gauge through a pre-resolved handle.
+    #[inline]
+    pub fn gauge_id(&mut self, id: crate::metrics::MetricId, value: u64) {
+        self.sim.metrics.set_gauge_id(self.node, id, value);
+    }
+
+    /// Increment a counter attributed to another owner — used by tier
+    /// actors (proxies) to roll work up to the shard they routed it to.
+    #[inline]
+    pub fn inc_for(&mut self, owner: NodeId, name: &'static str, v: u64) {
+        self.sim.metrics.inc(owner, name, v);
+    }
+
     /// Read one of this node's counters back.
     pub fn counter(&self, name: &'static str) -> u64 {
         self.sim.metrics.counter(self.node, name)
@@ -1181,6 +1258,7 @@ impl<'a> Ctx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::TelemetryValue;
 
     #[derive(Debug)]
     struct Hello(u64);
@@ -1900,5 +1978,83 @@ mod tests {
         sim.add_node("l", Zone(0), Box::new(Loopy), NodeOpts::default());
         let n = sim.run_until_idle(100);
         assert_eq!(n, 100);
+    }
+
+    /// A periodic actor whose behavior consumes randomness and writes
+    /// counters, histograms, and gauges — the full surface the telemetry
+    /// sampler observes.
+    struct Chatty {
+        ticks: u64,
+    }
+    impl Actor for Chatty {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ActorEvent) {
+            match ev {
+                ActorEvent::Start | ActorEvent::Timer { .. } => {
+                    self.ticks += 1;
+                    let r = ctx.rng().range_u64(0, 1_000_000);
+                    ctx.inc("work", 1);
+                    ctx.record("lat_ns", r);
+                    ctx.gauge("depth", self.ticks % 7);
+                    ctx.set_timer(SimDuration::from_millis(3), 0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_is_observation_only_and_windows_close_on_time() {
+        let run = |telemetry: bool| {
+            let mut sim = Sim::new(42);
+            sim.add_node("c", Zone(0), Box::new(Chatty { ticks: 0 }), NodeOpts::default());
+            if telemetry {
+                sim.enable_telemetry(TelemetryConfig {
+                    interval_ns: 100_000_000,
+                    ring: 16,
+                    slos: vec![],
+                });
+            }
+            sim.run_for(SimDuration::from_secs(1));
+            sim
+        };
+        let plain = run(false);
+        let sampled = run(true);
+        // Same seed, telemetry on vs off: identical event counts, metric
+        // state, and RNG-derived histograms — sampling perturbed nothing.
+        assert_eq!(plain.events_dispatched(), sampled.events_dispatched());
+        assert_eq!(
+            plain.metrics.counters_snapshot(),
+            sampled.metrics.counters_snapshot()
+        );
+        assert_eq!(
+            plain.metrics.histograms_snapshot(),
+            sampled.metrics.histograms_snapshot()
+        );
+        // 1s at 100ms windows: exactly 10 windows, the last closed by
+        // run_until landing on the boundary.
+        assert_eq!(sampled.telemetry.total_windows(), 10);
+        let w = sampled.telemetry.windows().back().unwrap();
+        assert_eq!(w.end_ns, 1_000_000_000);
+        // every window saw the periodic work and the kernel gauges
+        for w in sampled.telemetry.windows() {
+            assert!(w
+                .points
+                .iter()
+                .any(|p| p.metric == "work" && matches!(p.value, TelemetryValue::Delta(_))));
+            assert!(w
+                .rollups
+                .iter()
+                .any(|p| p.metric == "kernel.events_pending"
+                    && matches!(p.value, TelemetryValue::Gauge(_))));
+            assert!(w
+                .rollups
+                .iter()
+                .any(|p| p.metric == "kernel.events_high_water"));
+        }
+        // byte-identical dumps across two same-seed runs
+        let again = run(true);
+        let names = |o: u32| format!("n{o}");
+        assert_eq!(sampled.telemetry.ndjson(names), again.telemetry.ndjson(names));
+        assert_eq!(sampled.telemetry.csv(names), again.telemetry.csv(names));
     }
 }

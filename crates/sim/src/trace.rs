@@ -286,6 +286,17 @@ fn ts_us(at_ns: u64) -> String {
 /// instants become thread-scoped `i` events. `name_of` maps a node id to
 /// its display name.
 pub fn chrome_trace(buf: &TraceBuffer, name_of: impl Fn(u32) -> String) -> String {
+    chrome_trace_with(buf, name_of, &[])
+}
+
+/// [`chrome_trace`] plus extra pre-rendered event objects (no trailing
+/// comma or newline) spliced into the same JSON array — used by the
+/// telemetry flight recorder to add counter tracks next to the spans.
+pub fn chrome_trace_with(
+    buf: &TraceBuffer,
+    name_of: impl Fn(u32) -> String,
+    extra: &[String],
+) -> String {
     let mut actors: Vec<u32> = buf.events().map(|e| e.actor).collect();
     actors.sort_unstable();
     actors.dedup();
@@ -301,7 +312,11 @@ pub fn chrome_trace(buf: &TraceBuffer, name_of: impl Fn(u32) -> String) -> Strin
     let n = buf.len();
     for (i, e) in buf.events().enumerate() {
         let kind = json_escape(buf.kind_name(e.kind));
-        let comma = if i + 1 == n { "" } else { "," };
+        let comma = if i + 1 == n && extra.is_empty() {
+            ""
+        } else {
+            ","
+        };
         match e.phase {
             TracePhase::Begin | TracePhase::End => {
                 let ph = if e.phase == TracePhase::Begin {
@@ -339,6 +354,12 @@ pub fn chrome_trace(buf: &TraceBuffer, name_of: impl Fn(u32) -> String) -> Strin
                 ));
             }
         }
+    }
+    for (i, line) in extra.iter().enumerate() {
+        let comma = if i + 1 == extra.len() { "" } else { "," };
+        out.push_str(line);
+        out.push_str(comma);
+        out.push('\n');
     }
     out.push_str("]\n");
     out

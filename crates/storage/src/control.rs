@@ -431,6 +431,7 @@ impl Actor for ControlPlane {
             }
             ActorEvent::Timer { tag: TAG_SWEEP } => {
                 self.sweep(ctx);
+                ctx.gauge("control.repairs_in_flight", self.in_repair_count() as u64);
                 ctx.set_timer(self.cfg.sweep_interval, TAG_SWEEP);
             }
             ActorEvent::Timer { .. } => {}

@@ -1205,6 +1205,9 @@ impl StorageNode {
         let ids = self.hot(ctx);
         match tag {
             TAG_GOSSIP => {
+                // Queue-depth gauge for the telemetry windows: in-flight
+                // foreground/background ops on this node right now.
+                ctx.gauge("storage.pending_ops", self.pending.len() as u64);
                 if !self.busy() {
                     // Collect pulls first to satisfy the borrow checker.
                     let mut pulls: Vec<(NodeId, GossipPull)> = Vec::new();
